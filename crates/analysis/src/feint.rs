@@ -1,0 +1,177 @@
+//! The Feinting attack against PRCT (paper §II-H / §V-G), by exact
+//! water-filling simulation.
+
+/// Result of a feinting-attack simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeintResult {
+    /// Maximum total activations delivered to the shared victim of the two
+    /// surviving rows (the single-sided-equivalent MinTRH of the design).
+    pub victim_total: u32,
+    /// Per-row activations of the final pair (= MinTRH-D).
+    pub per_row: u32,
+    /// Number of rows the attack started with.
+    pub start_rows: u32,
+}
+
+/// Simulates the ProTRR Feinting attack against an idealized per-row
+/// counter table that mitigates the max-counter row at each REF.
+///
+/// The attacker starts with `start_rows` aggressor rows and distributes the
+/// `acts_per_refi` activations of each tREFI to keep all remaining rows'
+/// counters as equal as possible (water-filling). The defender removes the
+/// max row each REF. When only two rows remain, they are arranged
+/// double-sided around the victim, and the attack focuses everything on
+/// them until both are mitigated.
+///
+/// The exact integer simulation reproduces the paper's PRCT numbers:
+/// MinTRH 1226 / MinTRH-D 623 (§II-H).
+///
+/// # Panics
+///
+/// Panics if `start_rows < 2` or `start_rows > refis` (the defender would
+/// run out of REFs before the end-game) or `acts_per_refi == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use mint_analysis::feint::feinting_attack;
+/// let r = feinting_attack(8192, 73, 8192);
+/// assert!((600..650).contains(&r.per_row)); // paper: 623
+/// ```
+#[must_use]
+pub fn feinting_attack(start_rows: u32, acts_per_refi: u32, refis: u32) -> FeintResult {
+    assert!(start_rows >= 2, "need at least the final double-sided pair");
+    assert!(acts_per_refi > 0, "need at least one activation per tREFI");
+    assert!(
+        start_rows <= refis,
+        "defender must have enough REFs to whittle the rows down"
+    );
+    // All remaining rows share the same *water level* (min count); a budget
+    // of fractional activations is spread exactly, tracked in integer
+    // activations with a remainder wheel for exactness.
+    //
+    // Representation: all `n` remaining rows have count `level` or
+    // `level + 1`; `high` of them have `level + 1`.
+    let mut n = start_rows;
+    let mut level: u32 = 0;
+    let mut high: u32 = 0;
+    let mut refi = 0u32;
+    while n > 2 && refi < refis {
+        // Spread this tREFI's budget over the n rows, lowest first.
+        let budget = acts_per_refi;
+        let low = n - high;
+        if budget >= low {
+            // Fill all the low rows up to level+1 (everyone is now equal),
+            // then spread the remainder evenly from the new level.
+            let remaining = budget - low;
+            level += 1 + remaining / n;
+            high = remaining % n;
+        } else {
+            high += budget;
+        }
+        // Defender mitigates the max-count row (one of the `high` rows if
+        // any, else a `level` row) and the attacker abandons it.
+        if high > 0 {
+            high -= 1;
+        }
+        n -= 1;
+        refi += 1;
+    }
+    // End-game: two rows left, flanking the victim. One final tREFI splits
+    // the budget across the pair; at its REF the defender mitigates one of
+    // them, which *refreshes the shared victim* — so all damage must land
+    // before that. The victim's exposure is the pair's combined count at
+    // the end of this round.
+    let mut a = level + u32::from(high >= 1);
+    let mut b = level + u32::from(high >= 2);
+    if refi < refis {
+        a += acts_per_refi / 2;
+        b += acts_per_refi - acts_per_refi / 2;
+    }
+    FeintResult {
+        victim_total: a + b,
+        per_row: (a + b) / 2,
+        start_rows,
+    }
+}
+
+/// PRCT's MinTRH-D under the feinting attack with the paper's parameters.
+#[must_use]
+pub fn prct_min_trh_d() -> u32 {
+    feinting_attack(8192, 73, 8192).per_row
+}
+
+/// PRCT's MinTRH-D under maximum refresh postponement (§VI-A): the selected
+/// row gains up to `4 × MaxACT` extra activations, split across the
+/// double-sided pair.
+#[must_use]
+pub fn prct_min_trh_d_postponed(max_act: u32) -> u32 {
+    prct_min_trh_d() + 2 * max_act
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_prct_623() {
+        let r = feinting_attack(8192, 73, 8192);
+        assert!(
+            (600..650).contains(&r.per_row),
+            "PRCT MinTRH-D should be ≈623, got {}",
+            r.per_row
+        );
+        assert!(
+            (1200..1300).contains(&r.victim_total),
+            "PRCT MinTRH should be ≈1226, got {}",
+            r.victim_total
+        );
+    }
+
+    #[test]
+    fn postponement_adds_146_double_sided() {
+        // Table IV: PRCT 623 → 769.
+        let base = prct_min_trh_d();
+        let post = prct_min_trh_d_postponed(73);
+        assert_eq!(post - base, 146);
+        assert!((740..790).contains(&post), "{post}");
+    }
+
+    #[test]
+    fn more_rows_help_the_attacker() {
+        let small = feinting_attack(1024, 73, 8192);
+        let large = feinting_attack(8192, 73, 8192);
+        assert!(large.victim_total > small.victim_total);
+    }
+
+    #[test]
+    fn harmonic_growth_shape() {
+        // The water level grows like 73·H_n, so doubling the rows adds
+        // ≈73·ln 2 ≈ 50.6 per row — ≈101 on the two-row victim total.
+        let a = feinting_attack(2048, 73, 8192).victim_total as f64;
+        let b = feinting_attack(4096, 73, 8192).victim_total as f64;
+        let delta = b - a;
+        assert!((80.0..130.0).contains(&delta), "delta {delta}");
+    }
+
+    #[test]
+    fn degenerate_two_rows() {
+        // Straight to the end-game: a single split round before the REF
+        // mitigates one of the pair (refreshing the victim).
+        let r = feinting_attack(2, 73, 8192);
+        assert_eq!(r.victim_total, 73);
+        assert_eq!(r.per_row, 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "final double-sided pair")]
+    fn one_row_rejected() {
+        let _ = feinting_attack(1, 73, 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "enough REFs")]
+    fn too_many_rows_rejected() {
+        let _ = feinting_attack(10_000, 73, 8192);
+    }
+}

@@ -1,0 +1,44 @@
+//! Analytical security models for in-DRAM Rowhammer trackers.
+//!
+//! This crate is the quantitative core of the MINT reproduction: it
+//! implements the paper's §IV methodology — the Sariou–Wolman
+//! failure-probability recurrence, MTTF computation and the *MinTRH* figure
+//! of merit — and applies it to every design and every experiment:
+//!
+//! * [`sw`] — the failure-probability recurrence (Eqs 5–7) with the
+//!   auto-refresh correction, and its batched generalisation.
+//! * [`mttf`] — MTTF conversion, the 10,000-year target, and the binary
+//!   search defining MinTRH.
+//! * [`para`] — InDRAM-PARA: survival/sampling curves (Figs 3, 5, 6) and its
+//!   MinTRH, including the refresh-postponement regime.
+//! * [`patterns`] — MINT worst-case pattern sweeps (Figs 10, 11).
+//! * [`feint`] — the Feinting attack against PRCT (§V-G) by exact
+//!   water-filling simulation.
+//! * [`mithril_bound`] — the entries-vs-threshold trade-off for Mithril.
+//! * [`ada`] — the Markov-chain model of adaptive attacks on MINT+DMQ
+//!   (Appendix B, Fig 21).
+//! * [`comparison`] — Table III; [`postponement`] — Table IV; [`rfm`] —
+//!   Table V; [`ttf`] — Table VII; [`storage`] — Table IX;
+//!   [`maxact`] — Fig 18 (Appendix A).
+//! * [`reference`] — literature constants (Table II).
+//! * [`textable`] — the plain-text/TSV table writer used by every
+//!   regeneration binary.
+
+pub mod ada;
+pub mod comparison;
+pub mod feint;
+pub mod maxact;
+pub mod mithril_bound;
+pub mod mttf;
+pub mod para;
+pub mod patterns;
+pub mod postponement;
+pub mod reference;
+pub mod rfm;
+pub mod storage;
+pub mod sw;
+pub mod textable;
+pub mod ttf;
+
+pub use mttf::{MinTrhSolver, TargetMttf};
+pub use sw::SwModel;

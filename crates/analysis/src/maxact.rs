@@ -1,0 +1,74 @@
+//! Fig 18 (Appendix A): sensitivity of MinTRH-D to MaxACT.
+
+use crate::mttf::MinTrhSolver;
+use crate::{para, patterns};
+
+/// One point of the Fig 18 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxActPoint {
+    /// Activation slots per tREFI.
+    pub max_act: u32,
+    /// MINT's MinTRH-D (pattern-2 at `k = MaxACT`, transitive span).
+    pub mint_d: u32,
+    /// InDRAM-PARA's MinTRH-D (worst-position-synchronised attack).
+    pub para_d: u32,
+}
+
+/// Sweeps MaxACT over `lo..=hi` (the paper plots 65..=80; the viable DDR5
+/// range is ≈67..78).
+#[must_use]
+pub fn fig18_series(solver: &MinTrhSolver, lo: u32, hi: u32) -> Vec<MaxActPoint> {
+    assert!(lo >= 2 && lo <= hi, "invalid MaxACT range");
+    (lo..=hi)
+        .map(|m| MaxActPoint {
+            max_act: m,
+            mint_d: patterns::pattern2_min_trh(solver, m, m, m + 1) / 2,
+            para_d: para::min_trh(solver, m) / 2,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mttf::TargetMttf;
+
+    fn series() -> Vec<MaxActPoint> {
+        let solver = MinTrhSolver::new(TargetMttf::paper_default(), 0.032);
+        fig18_series(&solver, 65, 80)
+    }
+
+    #[test]
+    fn min_trh_grows_with_max_act() {
+        let s = series();
+        assert!(s.first().unwrap().mint_d < s.last().unwrap().mint_d);
+        assert!(s.first().unwrap().para_d < s.last().unwrap().para_d);
+    }
+
+    #[test]
+    fn para_penalty_stable_across_range() {
+        // Appendix A: the MINT advantage stays ≈2.7x across the whole range.
+        for p in series() {
+            let ratio = f64::from(p.para_d) / f64::from(p.mint_d);
+            assert!(
+                (1.8..3.2).contains(&ratio),
+                "MaxACT {}: ratio {ratio}",
+                p.max_act
+            );
+        }
+    }
+
+    #[test]
+    fn default_point_matches_other_modules() {
+        let solver = MinTrhSolver::new(TargetMttf::paper_default(), 0.032);
+        let s = fig18_series(&solver, 73, 73);
+        assert!((1350..1460).contains(&s[0].mint_d), "{}", s[0].mint_d);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MaxACT range")]
+    fn bad_range_rejected() {
+        let solver = MinTrhSolver::new(TargetMttf::paper_default(), 0.032);
+        let _ = fig18_series(&solver, 1, 0);
+    }
+}

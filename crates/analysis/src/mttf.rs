@@ -1,0 +1,259 @@
+//! MTTF computation and the MinTRH figure of merit (paper §IV-B/C).
+
+use crate::sw::SwModel;
+
+/// Seconds per (Julian) year.
+pub const SECS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+/// Banks usable concurrently in the evaluated system (§VIII-B: 64 banks,
+/// 22 concurrently active due to tFAW) — converts per-bank MTTF to system
+/// MTTF in Table VII.
+pub const CONCURRENT_BANKS: f64 = 22.0;
+
+/// The reliability target: mean time to failure per bank.
+///
+/// The paper's default is 10,000 years per bank, chosen to match the
+/// per-bank rate of naturally occurring DRAM faults (§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetMttf {
+    /// Target MTTF per bank, in years.
+    pub years_per_bank: f64,
+}
+
+impl TargetMttf {
+    /// The paper's default target: 10,000 years per bank.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            years_per_bank: 10_000.0,
+        }
+    }
+
+    /// The maximum tolerable failure probability per tREFW window.
+    #[must_use]
+    pub fn max_failure_prob_per_refw(&self, t_refw_secs: f64) -> f64 {
+        let windows_per_year = SECS_PER_YEAR / t_refw_secs;
+        1.0 / (self.years_per_bank * windows_per_year)
+    }
+
+    /// System-level MTTF corresponding to this per-bank target (Table VII).
+    #[must_use]
+    pub fn system_mttf_years(&self) -> f64 {
+        self.years_per_bank / CONCURRENT_BANKS
+    }
+}
+
+impl Default for TargetMttf {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Converts a per-tREFW failure probability into MTTF in years (Eq 8).
+#[must_use]
+pub fn mttf_years(p_refw: f64, t_refw_secs: f64) -> f64 {
+    if p_refw <= 0.0 {
+        return f64::INFINITY;
+    }
+    t_refw_secs / p_refw / SECS_PER_YEAR
+}
+
+/// Binary-searches the Minimum Tolerated TRH (§IV-C): the lowest threshold
+/// (in *events*; callers convert to activations) for which the design meets
+/// the target MTTF.
+///
+/// `prob_at(t)` must be monotonically non-increasing in `t` (more required
+/// consecutive escapes → less likely).
+///
+/// # Examples
+///
+/// ```
+/// use mint_analysis::{MinTrhSolver, TargetMttf};
+///
+/// let solver = MinTrhSolver::new(TargetMttf::paper_default(), 0.032);
+/// // A design failing with probability 2^-t per window:
+/// let t = solver.min_threshold(1, 10_000, &|t| 0.5f64.powi(t as i32));
+/// assert!((40..60).contains(&t));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MinTrhSolver {
+    target: TargetMttf,
+    t_refw_secs: f64,
+}
+
+impl MinTrhSolver {
+    /// Creates a solver for a device whose refresh window lasts
+    /// `t_refw_secs` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_refw_secs <= 0`.
+    #[must_use]
+    pub fn new(target: TargetMttf, t_refw_secs: f64) -> Self {
+        assert!(t_refw_secs > 0.0, "tREFW must be positive");
+        Self {
+            target,
+            t_refw_secs,
+        }
+    }
+
+    /// The solver's target.
+    #[must_use]
+    pub fn target(&self) -> TargetMttf {
+        self.target
+    }
+
+    /// The failure-probability budget per tREFW.
+    #[must_use]
+    pub fn prob_budget(&self) -> f64 {
+        self.target.max_failure_prob_per_refw(self.t_refw_secs)
+    }
+
+    /// Smallest `t` in `[lo, hi]` with `prob_at(t) ≤ budget`, or `hi` if
+    /// none qualifies (the design cannot meet the target in range — callers
+    /// treat `hi` as "≥ hi").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo == 0` or `lo > hi`.
+    #[must_use]
+    pub fn min_threshold(&self, lo: u32, hi: u32, prob_at: &dyn Fn(u32) -> f64) -> u32 {
+        assert!(lo > 0 && lo <= hi, "invalid search range [{lo}, {hi}]");
+        let budget = self.prob_budget();
+        if prob_at(hi) > budget {
+            return hi;
+        }
+        let (mut lo, mut hi) = (lo, hi);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if prob_at(mid) <= budget {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// MinTRH for a [`SwModel`] family parameterised by its threshold, with
+    /// thresholds expressed in *activations* and `acts_per_event` activations
+    /// per model event (1 for single-copy patterns, `c` for pattern-3).
+    #[must_use]
+    pub fn min_trh_sw(&self, template: &SwModel, acts_per_event: u32, max_acts: u32) -> u32 {
+        assert!(acts_per_event > 0, "acts_per_event must be non-zero");
+        let prob = |acts: u32| {
+            let events = acts.div_ceil(acts_per_event);
+            let m = SwModel {
+                threshold_events: events.max(1),
+                ..*template
+            };
+            m.failure_prob_refw()
+        };
+        self.min_threshold(1, max_acts, &prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_budget_matches_paper_scale() {
+        // 10K years per bank at tREFW = 32 ms → ~1.0e-13 per window.
+        let t = TargetMttf::paper_default();
+        let budget = t.max_failure_prob_per_refw(0.032);
+        assert!((0.8e-13..1.3e-13).contains(&budget), "{budget}");
+    }
+
+    #[test]
+    fn system_mttf_is_per_bank_over_22() {
+        // Table VII: 10K years/bank → 450 years system.
+        let t = TargetMttf::paper_default();
+        let sys = t.system_mttf_years();
+        assert!((450.0 - sys).abs() < 10.0, "{sys}");
+    }
+
+    #[test]
+    fn mttf_years_conversion() {
+        assert!(mttf_years(0.0, 0.032).is_infinite());
+        let y = mttf_years(1e-13, 0.032);
+        assert!((y - 0.032 / 1e-13 / SECS_PER_YEAR).abs() < 1.0);
+    }
+
+    #[test]
+    fn binary_search_finds_boundary() {
+        let solver = MinTrhSolver::new(TargetMttf::paper_default(), 0.032);
+        let budget = solver.prob_budget();
+        // Step function: above budget until 1234, below afterwards.
+        let f = |t: u32| if t < 1234 { budget * 10.0 } else { budget / 10.0 };
+        assert_eq!(solver.min_threshold(1, 8192, &f), 1234);
+    }
+
+    #[test]
+    fn unreachable_target_returns_hi() {
+        let solver = MinTrhSolver::new(TargetMttf::paper_default(), 0.032);
+        let f = |_t: u32| 1.0;
+        assert_eq!(solver.min_threshold(1, 100, &f), 100);
+    }
+
+    #[test]
+    fn paper_anchor_pattern1_minthr() {
+        // §V-D pattern-1: p = 1/73, one hammer per tREFI → MinTRH 2461.
+        let solver = MinTrhSolver::new(TargetMttf::paper_default(), 0.032);
+        let template = SwModel {
+            p_mitigation: 1.0 / 73.0,
+            threshold_events: 1,
+            events_per_refw: 8192,
+            refi_per_event: 1.0,
+            row_multiplier: 1.0,
+        };
+        let t = solver.min_trh_sw(&template, 1, 8192);
+        assert!(
+            (2400..2530).contains(&t),
+            "pattern-1 MinTRH should be ≈2461, got {t}"
+        );
+    }
+
+    #[test]
+    fn paper_anchor_pattern2_k73_minthr() {
+        // §V-D pattern-2 with k=73 (pre-transitive, p = 1/73): MinTRH 2763.
+        let solver = MinTrhSolver::new(TargetMttf::paper_default(), 0.032);
+        let template = SwModel {
+            p_mitigation: 1.0 / 73.0,
+            threshold_events: 1,
+            events_per_refw: 8192,
+            refi_per_event: 1.0,
+            row_multiplier: 73.0,
+        };
+        let t = solver.min_trh_sw(&template, 1, 8192);
+        assert!(
+            (2700..2830).contains(&t),
+            "pattern-2 MinTRH should be ≈2763, got {t}"
+        );
+    }
+
+    #[test]
+    fn paper_anchor_mint_transitive_2800() {
+        // §V-E: with the transitive slot, p = 1/74 → MinTRH 2800 (D 1400).
+        let solver = MinTrhSolver::new(TargetMttf::paper_default(), 0.032);
+        let template = SwModel {
+            p_mitigation: 1.0 / 74.0,
+            threshold_events: 1,
+            events_per_refw: 8192,
+            refi_per_event: 1.0,
+            row_multiplier: 73.0,
+        };
+        let t = solver.min_trh_sw(&template, 1, 8192);
+        assert!(
+            (2740..2870).contains(&t),
+            "MINT MinTRH should be ≈2800, got {t}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid search range")]
+    fn bad_range_rejected() {
+        let solver = MinTrhSolver::new(TargetMttf::paper_default(), 0.032);
+        let _ = solver.min_threshold(0, 10, &|_| 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! MinTRH for the MINT worst-case pattern family (§V-D, Figs 10 and 11).
+
+use crate::mttf::MinTrhSolver;
+use crate::sw::SwModel;
+
+/// MinTRH of pattern-2 with `k` attack rows (Fig 10).
+///
+/// Every row is activated once per sweep; a sweep takes
+/// `ceil(k / max_act)` tREFI (1 for `k ≤ MaxACT`). Each activation escapes
+/// MINT's selection with probability `1 − 1/span` where `span` is the SAN
+/// range (73 in the pre-transitive §V-D analysis that Fig 10 plots,
+/// 74 for full MINT).
+///
+/// # Examples
+///
+/// ```
+/// use mint_analysis::patterns::pattern2_min_trh;
+/// use mint_analysis::{MinTrhSolver, TargetMttf};
+///
+/// let solver = MinTrhSolver::new(TargetMttf::paper_default(), 0.032);
+/// let k1 = pattern2_min_trh(&solver, 1, 73, 73);
+/// let k73 = pattern2_min_trh(&solver, 73, 73, 73);
+/// assert!(k1 < k73); // more rows, more chances of failure
+/// ```
+#[must_use]
+pub fn pattern2_min_trh(solver: &MinTrhSolver, k: u32, max_act: u32, span: u32) -> u32 {
+    assert!(k > 0 && max_act > 0 && span > 0, "parameters must be non-zero");
+    let sweep_refis = k.div_ceil(max_act);
+    let hammers_per_refw = 8192 / sweep_refis;
+    let template = SwModel {
+        p_mitigation: 1.0 / f64::from(span),
+        threshold_events: 1,
+        events_per_refw: hammers_per_refw,
+        refi_per_event: f64::from(sweep_refis),
+        row_multiplier: f64::from(k),
+    };
+    solver.min_trh_sw(&template, 1, hammers_per_refw)
+}
+
+/// MinTRH of pattern-3 with `c` copies per row (Fig 11).
+///
+/// `k = max_act / c` rows are each activated `c` times per tREFI; the row is
+/// selected by MINT with probability `c/span` per window, and failure needs
+/// `ceil(T/c)` consecutive unselected windows.
+#[must_use]
+pub fn pattern3_min_trh(solver: &MinTrhSolver, copies: u32, max_act: u32, span: u32) -> u32 {
+    assert!(
+        copies >= 1 && copies <= max_act,
+        "copies must be in 1..=max_act"
+    );
+    let k = max_act / copies; // rows that fit in one tREFI
+    let p_window = f64::from(copies) / f64::from(span);
+    if p_window >= 1.0 {
+        // Guaranteed selection every window: the attack cannot even
+        // complete one unmitigated window, so the tolerated threshold is
+        // bounded by a single batch of activations.
+        return copies;
+    }
+    let template = SwModel {
+        p_mitigation: p_window,
+        threshold_events: 1,
+        events_per_refw: 8192,
+        refi_per_event: 1.0,
+        row_multiplier: f64::from(k.max(1)),
+    };
+    solver.min_trh_sw(&template, copies, 8192 * copies)
+}
+
+/// The full Fig 10 series: `(k, MinTRH)` for `k` in `1..=k_max`.
+#[must_use]
+pub fn fig10_series(solver: &MinTrhSolver, k_max: u32, max_act: u32, span: u32) -> Vec<(u32, u32)> {
+    (1..=k_max)
+        .map(|k| (k, pattern2_min_trh(solver, k, max_act, span)))
+        .collect()
+}
+
+/// The full Fig 11 series: `(c, MinTRH)` for `c` in `1..=max_act`.
+#[must_use]
+pub fn fig11_series(solver: &MinTrhSolver, max_act: u32, span: u32) -> Vec<(u32, u32)> {
+    (1..=max_act)
+        .map(|c| (c, pattern3_min_trh(solver, c, max_act, span)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mttf::TargetMttf;
+
+    fn solver() -> MinTrhSolver {
+        MinTrhSolver::new(TargetMttf::paper_default(), 0.032)
+    }
+
+    #[test]
+    fn fig10_shape_increases_then_decreases() {
+        let s = solver();
+        let k1 = pattern2_min_trh(&s, 1, 73, 73);
+        let k73 = pattern2_min_trh(&s, 73, 73, 73);
+        let k146 = pattern2_min_trh(&s, 146, 73, 73);
+        assert!(k1 < k73, "{k1} !< {k73}");
+        assert!(k146 < k73, "multi-tREFI must reduce MinTRH: {k146} !< {k73}");
+        // Paper values: 2461 (k=1), 2763 (k=73).
+        assert!((2400..2540).contains(&k1), "{k1}");
+        assert!((2690..2840).contains(&k73), "{k73}");
+    }
+
+    #[test]
+    fn fig10_peak_at_k_73() {
+        let series = fig10_series(&solver(), 100, 73, 73);
+        let (peak_k, peak_v) = series.iter().copied().max_by_key(|&(_, v)| v).unwrap();
+        assert_eq!(peak_k, 73, "peak must sit at k = MaxACT, got {peak_k} ({peak_v})");
+    }
+
+    #[test]
+    fn fig11_small_copies_within_half_percent() {
+        // §V-D: c = 1..3 within 0.5% of pattern-2.
+        let s = solver();
+        let c1 = pattern3_min_trh(&s, 1, 73, 73);
+        let c2 = pattern3_min_trh(&s, 2, 73, 73);
+        let c3 = pattern3_min_trh(&s, 3, 73, 73);
+        let base = c1 as f64;
+        for (c, v) in [(2u32, c2), (3, c3)] {
+            let rel = (v as f64 - base).abs() / base;
+            assert!(rel < 0.02, "c={c}: {v} deviates {rel} from {c1}");
+        }
+    }
+
+    #[test]
+    fn fig11_collapses_for_many_copies() {
+        let s = solver();
+        let c1 = pattern3_min_trh(&s, 1, 73, 73);
+        let c36 = pattern3_min_trh(&s, 36, 73, 73);
+        let c73 = pattern3_min_trh(&s, 73, 73, 73);
+        assert!(
+            (c36 as f64) < 0.8 * c1 as f64,
+            "c=36 should drop well below c=1: {c36} vs {c1}"
+        );
+        assert_eq!(c73, 73, "continuous hammering is always selected");
+    }
+
+    #[test]
+    fn pattern3_c1_equals_pattern2_k73() {
+        let s = solver();
+        assert_eq!(
+            pattern3_min_trh(&s, 1, 73, 73),
+            pattern2_min_trh(&s, 73, 73, 73)
+        );
+    }
+
+    #[test]
+    fn transitive_span_74_gives_2800() {
+        let t = pattern2_min_trh(&solver(), 73, 73, 74);
+        assert!((2740..2870).contains(&t), "{t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "copies")]
+    fn copies_out_of_range_rejected() {
+        let _ = pattern3_min_trh(&solver(), 74, 73, 73);
+    }
+}

@@ -1,0 +1,73 @@
+//! Literature reference data (paper Table II): the Rowhammer threshold
+//! across DRAM generations.
+
+/// One row of Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrhHistoryRow {
+    /// DRAM generation label.
+    pub generation: &'static str,
+    /// Single-sided threshold, if reported.
+    pub trh_s: Option<&'static str>,
+    /// Double-sided threshold, if reported.
+    pub trh_d: Option<&'static str>,
+}
+
+/// Table II as reported in the paper (values are literature citations, not
+/// measurements — kept as strings to preserve the reported ranges).
+#[must_use]
+pub fn table2() -> Vec<TrhHistoryRow> {
+    vec![
+        TrhHistoryRow {
+            generation: "DDR3-old",
+            trh_s: Some("139K"),
+            trh_d: None,
+        },
+        TrhHistoryRow {
+            generation: "DDR3-new",
+            trh_s: None,
+            trh_d: Some("22.4K"),
+        },
+        TrhHistoryRow {
+            generation: "DDR4",
+            trh_s: None,
+            trh_d: Some("10K - 17.5K"),
+        },
+        TrhHistoryRow {
+            generation: "LPDDR4",
+            trh_s: None,
+            trh_d: Some("4.8K - 9K"),
+        },
+    ]
+}
+
+/// The numeric envelope of Table II: (oldest single-sided, newest
+/// double-sided low end) — used by examples to put MinTRH numbers in
+/// context.
+#[must_use]
+pub fn trh_envelope() -> (u32, u32) {
+    (139_000, 4_800)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_generations() {
+        assert_eq!(table2().len(), 4);
+    }
+
+    #[test]
+    fn threshold_dropped_29x() {
+        let (old, new) = trh_envelope();
+        assert!(old / new >= 28);
+    }
+
+    #[test]
+    fn mint_rfm16_covers_observed_thresholds() {
+        // The paper's point: MINT+RFM16 tolerates 356, well under the
+        // lowest observed device threshold of 4.8K.
+        let (_, lowest_observed) = trh_envelope();
+        assert!(356 < lowest_observed);
+    }
+}

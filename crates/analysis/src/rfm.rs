@@ -1,0 +1,79 @@
+//! Table V: scaling MINT to lower thresholds with RFM.
+
+use crate::ada::AdaConfig;
+use crate::mttf::MinTrhSolver;
+
+/// One row of Table V.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RfmRow {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Human-readable relative mitigation rate.
+    pub rate: &'static str,
+    /// MinTRH-D (per-row, with DMQ, under the adaptive attack).
+    pub min_trh_d: u32,
+}
+
+/// Computes Table V: MINT at 0.5×/1× rate and MINT+RFM32/RFM16, all with
+/// DMQ and under adaptive attacks.
+#[must_use]
+pub fn table5(solver: &MinTrhSolver) -> Vec<RfmRow> {
+    vec![
+        RfmRow {
+            scheme: "MINT",
+            rate: "0.5x (one per two tREFI)",
+            min_trh_d: AdaConfig::half_rate().ada_min_trh_d(solver),
+        },
+        RfmRow {
+            scheme: "MINT",
+            rate: "1x (one per tREFI)",
+            min_trh_d: AdaConfig::mint_default().ada_min_trh_d(solver),
+        },
+        RfmRow {
+            scheme: "MINT+RFM32",
+            rate: "2x (approx two per tREFI)",
+            min_trh_d: AdaConfig::rfm(32).ada_min_trh_d(solver),
+        },
+        RfmRow {
+            scheme: "MINT+RFM16",
+            rate: "4x (approx four per tREFI)",
+            min_trh_d: AdaConfig::rfm(16).ada_min_trh_d(solver),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mttf::TargetMttf;
+
+    #[test]
+    fn table5_monotone_in_rate() {
+        let solver = MinTrhSolver::new(TargetMttf::paper_default(), 0.032);
+        let rows = table5(&solver);
+        assert_eq!(rows.len(), 4);
+        for pair in rows.windows(2) {
+            assert!(
+                pair[0].min_trh_d > pair[1].min_trh_d,
+                "{} ({}) should exceed {} ({})",
+                pair[0].scheme,
+                pair[0].min_trh_d,
+                pair[1].scheme,
+                pair[1].min_trh_d
+            );
+        }
+        // Paper anchors: 2.70K / 1.48K / 689 / 356.
+        assert!((2500..2950).contains(&rows[0].min_trh_d), "{}", rows[0].min_trh_d);
+        assert!((1420..1540).contains(&rows[1].min_trh_d), "{}", rows[1].min_trh_d);
+        assert!((620..740).contains(&rows[2].min_trh_d), "{}", rows[2].min_trh_d);
+        assert!((310..390).contains(&rows[3].min_trh_d), "{}", rows[3].min_trh_d);
+    }
+
+    #[test]
+    fn rfm16_scales_about_4x_down() {
+        let solver = MinTrhSolver::new(TargetMttf::paper_default(), 0.032);
+        let rows = table5(&solver);
+        let ratio = f64::from(rows[1].min_trh_d) / f64::from(rows[3].min_trh_d);
+        assert!((3.0..5.2).contains(&ratio), "ratio {ratio} (paper ≈ 4.2x)");
+    }
+}

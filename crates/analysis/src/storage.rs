@@ -1,0 +1,115 @@
+//! Table IX: per-bank SRAM overhead of trackers.
+
+/// One row of Table IX.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageRow {
+    /// Tracker name.
+    pub name: &'static str,
+    /// SRAM bytes per bank at device TRH-D = 3K.
+    pub bytes_at_3k: u64,
+    /// SRAM bytes per bank at device TRH-D = 300.
+    pub bytes_at_300: u64,
+}
+
+/// MINT + DMQ storage: CAN(7) + SAN(7) + SAR(18) = 32 bits, plus four
+/// 19-bit DMQ entries = 76 bits; 108 bits ≈ 13.5 bytes (paper: "<15 bytes"),
+/// independent of the threshold.
+#[must_use]
+pub fn mint_dmq_bytes() -> u64 {
+    (32u64 + 4 * 19).div_ceil(8)
+}
+
+/// Graphene storage from our analytic Misra-Gries sizing (see
+/// [`GrapheneConfig`](../../mint_trackers/struct.GrapheneConfig.html)):
+/// `entries = ceil(W / (TRH_D/4))`, entry = 18-bit row + counter.
+#[must_use]
+pub fn graphene_bytes_analytic(trh_d: u32, acts_per_refw: u64) -> u64 {
+    assert!(trh_d >= 4, "threshold too small");
+    let t_mit = u64::from(trh_d) / 4;
+    let entries = acts_per_refw.div_ceil(t_mit);
+    let counter_bits = 64 - t_mit.leading_zeros() as u64;
+    (entries * (18 + counter_bits)).div_ceil(8)
+}
+
+/// The paper's cited Graphene numbers (Table IX), reproduced as literature
+/// constants: 56.5 KB at TRH-D = 3K, 565 KB at TRH-D = 300.
+#[must_use]
+pub fn graphene_bytes_paper(trh_d: u32) -> Option<u64> {
+    match trh_d {
+        3000 => Some((56.5 * 1024.0) as u64),
+        300 => Some(565 * 1024),
+        _ => None,
+    }
+}
+
+/// Computes Table IX (both the paper's cited Graphene sizing and our
+/// analytic sizing, so the discrepancy is visible rather than hidden).
+#[must_use]
+pub fn table9(acts_per_refw: u64) -> Vec<StorageRow> {
+    vec![
+        StorageRow {
+            name: "Graphene (paper-cited)",
+            bytes_at_3k: graphene_bytes_paper(3000).expect("constant"),
+            bytes_at_300: graphene_bytes_paper(300).expect("constant"),
+        },
+        StorageRow {
+            name: "Graphene (our analytic sizing)",
+            bytes_at_3k: graphene_bytes_analytic(3000, acts_per_refw),
+            bytes_at_300: graphene_bytes_analytic(300, acts_per_refw),
+        },
+        StorageRow {
+            name: "MINT+DMQ",
+            bytes_at_3k: mint_dmq_bytes(),
+            bytes_at_300: mint_dmq_bytes(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_dmq_under_15_bytes() {
+        let b = mint_dmq_bytes();
+        assert!(b <= 15, "{b}");
+        assert!(b >= 13, "{b}");
+    }
+
+    #[test]
+    fn graphene_orders_of_magnitude_larger() {
+        let rows = table9(598_016);
+        let mint = rows.iter().find(|r| r.name == "MINT+DMQ").unwrap();
+        for r in rows.iter().filter(|r| r.name != "MINT+DMQ") {
+            assert!(
+                r.bytes_at_3k > 100 * mint.bytes_at_3k,
+                "{}: {} vs {}",
+                r.name,
+                r.bytes_at_3k,
+                mint.bytes_at_3k
+            );
+        }
+    }
+
+    #[test]
+    fn graphene_scales_10x_with_threshold() {
+        let at_3k = graphene_bytes_analytic(3000, 598_016);
+        let at_300 = graphene_bytes_analytic(300, 598_016);
+        let ratio = at_300 as f64 / at_3k as f64;
+        assert!((8.0..12.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn mint_storage_is_threshold_independent() {
+        let rows = table9(598_016);
+        let mint = rows.iter().find(|r| r.name == "MINT+DMQ").unwrap();
+        assert_eq!(mint.bytes_at_3k, mint.bytes_at_300);
+    }
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(graphene_bytes_paper(3000), Some(57_856));
+        assert_eq!(graphene_bytes_paper(300), Some(578_560));
+        assert_eq!(graphene_bytes_paper(1000), None);
+    }
+}

@@ -1,0 +1,262 @@
+//! The Sariou–Wolman failure-probability model (paper §IV-A, Eqs 5–7).
+
+/// One "event" in the model is one opportunity for the defence to mitigate
+/// the attacked row: a single hammer for single-copy patterns, or a batch of
+/// `c` hammers for multi-copy patterns (the row is then mitigated with the
+/// whole batch's probability at once).
+///
+/// The model answers: given that each event escapes mitigation with
+/// probability `1 − p`, what is the probability that some run of
+/// `threshold_events` consecutive events all escape, within a tREFW window
+/// containing `events_per_refw` events?
+///
+/// Equations (5)–(7) of the paper:
+///
+/// ```text
+/// P_k = 0                                          k < T
+/// P_k = (1 − p)^T                                  k = T
+/// P_k = p·(1 − p)^T·(1 − P_{k−T−1}) + P_{k−1}      k > T
+/// ```
+///
+/// and the auto-refresh correction: the successful escape sequence spans `N`
+/// tREFI, and the victim must not be swept by the background refresh during
+/// it, so `P_REFW` is reduced by `(1 − N/8192)` (§IV-B).
+///
+/// # Examples
+///
+/// ```
+/// use mint_analysis::SwModel;
+///
+/// // MINT pattern-1: p = 1/73, one hammer per tREFI, 8192 hammers/tREFW.
+/// let m = SwModel {
+///     p_mitigation: 1.0 / 73.0,
+///     threshold_events: 2461,
+///     events_per_refw: 8192,
+///     refi_per_event: 1.0,
+///     row_multiplier: 1.0,
+/// };
+/// let p = m.failure_prob_refw();
+/// assert!(p > 0.0 && p < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwModel {
+    /// Probability that one event triggers a mitigation of the row.
+    pub p_mitigation: f64,
+    /// Events that must escape consecutively for a bit-flip (T).
+    pub threshold_events: u32,
+    /// Events the attacked row experiences per tREFW window.
+    pub events_per_refw: u32,
+    /// tREFI intervals spanned by one event (for the auto-refresh term).
+    pub refi_per_event: f64,
+    /// Number of identical, independent attacked rows (failure probability
+    /// is summed across them — pattern-2's `k` factor, §V-D).
+    pub row_multiplier: f64,
+}
+
+impl SwModel {
+    /// tREFI intervals per tREFW (fixed by the DDR5 configuration).
+    pub const REFI_PER_REFW: f64 = 8192.0;
+
+    /// The probability that the attacked row fails within one tREFW window
+    /// (before the row multiplier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_mitigation` is outside `(0, 1]` or
+    /// `threshold_events == 0`.
+    #[must_use]
+    pub fn failure_prob_refw_single_row(&self) -> f64 {
+        assert!(
+            self.p_mitigation > 0.0 && self.p_mitigation <= 1.0,
+            "mitigation probability must be in (0, 1]"
+        );
+        assert!(self.threshold_events > 0, "threshold must be non-zero");
+        let t = self.threshold_events as usize;
+        let k_max = self.events_per_refw as usize;
+        if t > k_max {
+            return 0.0; // cannot accumulate T events within the window
+        }
+        let p = self.p_mitigation;
+        // (1 − p)^T computed in log space to stay accurate for large T.
+        let escape_t = ((1.0 - p).ln() * t as f64).exp();
+        if escape_t == 0.0 {
+            return 0.0;
+        }
+        // Rolling recurrence: we need P_{k−1} and P_{k−T−1}.
+        // Keep the last T+1 values in a ring buffer.
+        let mut ring = vec![0.0f64; t + 1];
+        // Index k walks from T to k_max; ring[k % (t+1)] holds P_k.
+        ring[t % (t + 1)] = escape_t;
+        let mut prev = escape_t; // P_{k-1} as we advance
+        for k in (t + 1)..=k_max {
+            // P_{k-T-1}: for k = T+1 this is P_0 = 0; afterwards read ring.
+            let lag = k - t - 1;
+            let p_lag = if lag < t { 0.0 } else { ring[lag % (t + 1)] };
+            let pk = p * escape_t * (1.0 - p_lag) + prev;
+            ring[k % (t + 1)] = pk;
+            prev = pk;
+        }
+        // Auto-refresh correction (§IV-B): the escape sequence spans
+        // N = T × refi_per_event tREFI of the 8192-tREFI window.
+        let n = t as f64 * self.refi_per_event;
+        let auto = (1.0 - n / Self::REFI_PER_REFW).max(0.0);
+        (prev * auto).clamp(0.0, 1.0)
+    }
+
+    /// Failure probability per tREFW across all attacked rows
+    /// (`row_multiplier × single-row`, clamped to 1).
+    #[must_use]
+    pub fn failure_prob_refw(&self) -> f64 {
+        (self.failure_prob_refw_single_row() * self.row_multiplier).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(p: f64, t: u32, events: u32) -> SwModel {
+        SwModel {
+            p_mitigation: p,
+            threshold_events: t,
+            events_per_refw: events,
+            refi_per_event: 1.0,
+            row_multiplier: 1.0,
+        }
+    }
+
+    #[test]
+    fn no_failure_below_threshold() {
+        // k_max < T → impossible.
+        assert_eq!(model(0.1, 10, 9).failure_prob_refw(), 0.0);
+    }
+
+    #[test]
+    fn exactly_threshold_events() {
+        // P = (1−p)^T × auto-correction.
+        let m = model(0.1, 4, 4);
+        let expect = 0.9f64.powi(4) * (1.0 - 4.0 / 8192.0);
+        assert!((m.failure_prob_refw() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_enumeration() {
+        // Small case: enumerate all mitigation outcomes exactly.
+        // T = 3, k = 6, p = 0.3. Brute-force over 2^6 escape patterns:
+        // failure iff some run of 3 consecutive escapes exists.
+        let p: f64 = 0.3;
+        let t = 3usize;
+        let k = 6usize;
+        let mut exact2 = 0.0;
+        for mask in 0u32..(1 << k) {
+            // bit = 1 → mitigated at that event.
+            let mut run = 0;
+            let mut failed = false;
+            for i in 0..k {
+                if mask >> i & 1 == 0 {
+                    run += 1;
+                    if run >= t {
+                        failed = true;
+                    }
+                } else {
+                    run = 0;
+                }
+            }
+            if failed {
+                let mut prob = 1.0;
+                for i in 0..k {
+                    prob *= if mask >> i & 1 == 1 { p } else { 1.0 - p };
+                }
+                exact2 += prob;
+            }
+        }
+        let m = SwModel {
+            p_mitigation: p,
+            threshold_events: t as u32,
+            events_per_refw: k as u32,
+            refi_per_event: 0.0, // disable auto-refresh term for this check
+            row_multiplier: 1.0,
+        };
+        let model_p = m.failure_prob_refw();
+        assert!(
+            (model_p - exact2).abs() < 1e-9,
+            "model {model_p} vs exact {exact2}"
+        );
+    }
+
+    #[test]
+    fn monotone_decreasing_in_threshold() {
+        let mut last = 1.0;
+        for t in [100u32, 200, 400, 800, 1600, 3200] {
+            let p = model(1.0 / 74.0, t, 8192).failure_prob_refw();
+            assert!(p < last, "T={t}: {p} not < {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn monotone_increasing_in_events() {
+        let mut last = 0.0;
+        for k in [3000u32, 4000, 6000, 8192] {
+            let p = model(1.0 / 74.0, 2800, k).failure_prob_refw();
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn row_multiplier_scales_linearly() {
+        let base = model(1.0 / 74.0, 2800, 8192);
+        let x73 = SwModel {
+            row_multiplier: 73.0,
+            ..base
+        };
+        let a = base.failure_prob_refw();
+        let b = x73.failure_prob_refw();
+        assert!((b / a - 73.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_anchor_mint_pattern2_is_near_target_at_2800() {
+        // §V-E: with p = 1/74 and 73 rows, MinTRH = 2800 at the 10K-year
+        // target (P_target ≈ 1.03e-13 per tREFW). The failure probability at
+        // T = 2800 must straddle that target within a small factor.
+        let m = SwModel {
+            p_mitigation: 1.0 / 74.0,
+            threshold_events: 2800,
+            events_per_refw: 8192,
+            refi_per_event: 1.0,
+            row_multiplier: 73.0,
+        };
+        let p = m.failure_prob_refw();
+        assert!(
+            (2e-14..5e-13).contains(&p),
+            "P at the paper's MinTRH should be near 1e-13, got {p}"
+        );
+    }
+
+    #[test]
+    fn auto_refresh_zeroes_impossible_sequences() {
+        // A sequence spanning more than the whole tREFW cannot succeed.
+        let m = SwModel {
+            p_mitigation: 0.5,
+            threshold_events: 9000,
+            events_per_refw: 10_000,
+            refi_per_event: 1.0,
+            row_multiplier: 1.0,
+        };
+        assert_eq!(m.failure_prob_refw(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mitigation probability")]
+    fn invalid_probability_rejected() {
+        let _ = model(0.0, 10, 100).failure_prob_refw();
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_rejected() {
+        let _ = model(0.5, 0, 100).failure_prob_refw();
+    }
+}

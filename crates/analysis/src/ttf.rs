@@ -1,0 +1,82 @@
+//! Table VII: sensitivity of MinTRH-D to the target time-to-failure.
+
+use crate::ada::AdaConfig;
+use crate::mttf::{MinTrhSolver, TargetMttf};
+
+/// One row of Table VII.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TtfRow {
+    /// Per-bank target MTTF in years.
+    pub target_years: f64,
+    /// Corresponding system-level MTTF in years (22 concurrent banks).
+    pub system_years: f64,
+    /// MinTRH-D of MINT (1×, DMQ, adaptive).
+    pub mint: u32,
+    /// MinTRH-D of MINT+RFM32.
+    pub rfm32: u32,
+    /// MinTRH-D of MINT+RFM16.
+    pub rfm16: u32,
+}
+
+/// Computes Table VII for the paper's four targets (1K to 1M years).
+#[must_use]
+pub fn table7(t_refw_secs: f64) -> Vec<TtfRow> {
+    [1e3, 1e4, 1e5, 1e6]
+        .iter()
+        .map(|&years| {
+            let target = TargetMttf {
+                years_per_bank: years,
+            };
+            let solver = MinTrhSolver::new(target, t_refw_secs);
+            TtfRow {
+                target_years: years,
+                system_years: target.system_mttf_years(),
+                mint: AdaConfig::mint_default().ada_min_trh_d(&solver),
+                rfm32: AdaConfig::rfm(32).ada_min_trh_d(&solver),
+                rfm16: AdaConfig::rfm(16).ada_min_trh_d(&solver),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_monotone_in_target() {
+        let rows = table7(0.032);
+        assert_eq!(rows.len(), 4);
+        for pair in rows.windows(2) {
+            assert!(pair[0].mint < pair[1].mint, "stricter target → higher MinTRH");
+            assert!(pair[0].rfm32 <= pair[1].rfm32);
+            assert!(pair[0].rfm16 <= pair[1].rfm16);
+        }
+    }
+
+    #[test]
+    fn paper_anchors_10k_years() {
+        let rows = table7(0.032);
+        let r = &rows[1]; // 10K years
+        assert!((1420..1540).contains(&r.mint), "{}", r.mint);
+        assert!((620..740).contains(&r.rfm32), "{}", r.rfm32);
+        assert!((310..390).contains(&r.rfm16), "{}", r.rfm16);
+        assert!((r.system_years - 450.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn paper_anchors_1k_and_1m_years() {
+        let rows = table7(0.032);
+        // 1K years: 1.40K / 651 / 336; 1M years: 1.64K / 763 / 395.
+        assert!((1330..1470).contains(&rows[0].mint), "{}", rows[0].mint);
+        assert!((1560..1720).contains(&rows[3].mint), "{}", rows[3].mint);
+        assert!((350..440).contains(&rows[3].rfm16), "{}", rows[3].rfm16);
+    }
+
+    #[test]
+    fn decades_of_protection_even_at_low_band() {
+        // §VIII-B: even the 1K-year target leaves 45 years of system MTTF.
+        let rows = table7(0.032);
+        assert!((rows[0].system_years - 45.45).abs() < 1.0);
+    }
+}

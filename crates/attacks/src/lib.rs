@@ -1,0 +1,103 @@
+//! Rowhammer attack pattern generators.
+//!
+//! Every attack the paper analyses (and the classics it dismisses) is
+//! implemented as an [`AccessPattern`]: a deterministic-given-seed stream of
+//! demand activations indexed by `(tREFI index, slot)`. The Monte-Carlo
+//! engine in `mint-sim` pulls one slot at a time, so patterns can express
+//! idle slots (pattern-1 uses a single activation per tREFI) and
+//! tREFI-phase-dependent behaviour (the §VI-B postponement attack).
+//!
+//! Implemented patterns:
+//!
+//! * [`SingleSided`], [`DoubleSided`] — the classics (§V-C): guaranteed to
+//!   lose against MINT when they use every slot.
+//! * [`Pattern1`] — single-row/single-copy, one ACT per tREFI (§V-D).
+//! * [`Pattern2`] — multi-row/single-copy, `k` rows per tREFI, including the
+//!   multi-tREFI regime `k > MaxACT` (Fig 10).
+//! * [`Pattern3`] — multi-row/multi-copy, `c` copies per row (Fig 11).
+//! * [`ManySided`] — TRRespass-style round-robin over many aggressors.
+//! * [`Blacksmith`] — frequency/phase/amplitude fuzzer patterns,
+//!   tREFI-synchronised (§II-F).
+//! * [`HalfDouble`] — a single-sided hammer whose real targets are the
+//!   distance-2 rows reached by the mitigations themselves (§V-E).
+//! * [`PostponementDecoy`] — the §VI-B deterministic attack on low-cost
+//!   trackers under refresh postponement (decoys fill the visible window,
+//!   the victim absorbs the invisible 4×MaxACT).
+//! * [`AdaptiveAttack`] — ADA (Appendix B): pattern-2 until a morphing
+//!   point, then repeated hammering of one hopeful row to ride the DMQ.
+
+mod ada;
+mod blacksmith;
+mod classic;
+mod pattern;
+mod postpone;
+
+pub use ada::AdaptiveAttack;
+pub use blacksmith::{Blacksmith, BlacksmithConfig};
+pub use classic::{DoubleSided, HalfDouble, ManySided, SingleSided};
+pub use pattern::{Pattern1, Pattern2, Pattern3};
+pub use postpone::PostponementDecoy;
+
+use mint_dram::RowId;
+
+/// A stream of demand activations, addressed by refresh-interval index and
+/// slot within the interval.
+///
+/// `None` means the attacker leaves the slot idle (for security analysis an
+/// idle slot is equivalent to a decoy activation — paper §V-A — but
+/// distinguishing them lets the simulator count real activations).
+pub trait AccessPattern {
+    /// The activation for `slot` (0-based, `< MaxACT`) of tREFI `refi`.
+    fn next_act(&mut self, refi: u64, slot: u32) -> Option<RowId>;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The victim rows whose hammer counts the attack is trying to drive to
+    /// the threshold (used by the simulator for focused reporting; the bank
+    /// model checks *every* row regardless).
+    fn target_victims(&self) -> Vec<RowId>;
+
+    /// Restores the initial state (patterns with internal phase).
+    fn reset(&mut self);
+}
+
+/// Spacing between attack rows used by multi-row patterns so that no two
+/// aggressors share a victim (keeps patterns spatially uncorrelated, §V-F).
+pub const ROW_STRIDE: u32 = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All patterns must be deterministic: two fresh instances produce the
+    /// same stream.
+    #[test]
+    fn patterns_are_deterministic() {
+        let make: Vec<(&str, Box<dyn Fn() -> Box<dyn AccessPattern>>)> = vec![
+            ("single", Box::new(|| Box::new(SingleSided::new(RowId(100))))),
+            ("double", Box::new(|| Box::new(DoubleSided::new(RowId(100))))),
+            ("p1", Box::new(|| Box::new(Pattern1::new(RowId(100))))),
+            ("p2", Box::new(|| Box::new(Pattern2::new(RowId(100), 73, 73)))),
+            ("p3", Box::new(|| Box::new(Pattern3::new(RowId(100), 24, 3, 73)))),
+            ("many", Box::new(|| Box::new(ManySided::new(RowId(100), 16)))),
+            (
+                "postpone",
+                Box::new(|| Box::new(PostponementDecoy::new(RowId(5000), RowId(100), 73, 5))),
+            ),
+        ];
+        for (name, ctor) in make {
+            let mut a = ctor();
+            let mut b = ctor();
+            for refi in 0..12u64 {
+                for slot in 0..73u32 {
+                    assert_eq!(
+                        a.next_act(refi, slot),
+                        b.next_act(refi, slot),
+                        "{name} diverged at ({refi}, {slot})"
+                    );
+                }
+            }
+        }
+    }
+}

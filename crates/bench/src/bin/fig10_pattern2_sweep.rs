@@ -1,0 +1,4 @@
+//! Regenerates paper Fig 10 (pattern-2 sweep).
+fn main() {
+    println!("{}", mint_bench::security::fig10());
+}

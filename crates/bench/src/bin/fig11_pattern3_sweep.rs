@@ -1,0 +1,4 @@
+//! Regenerates paper Fig 11 (pattern-3 sweep).
+fn main() {
+    println!("{}", mint_bench::security::fig11());
+}

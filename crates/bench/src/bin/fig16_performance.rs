@@ -1,0 +1,4 @@
+//! Regenerates paper Fig 16 (normalized performance).
+fn main() {
+    println!("{}", mint_bench::perf::fig16());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig 17 (MINT vs MC-PARA).
+fn main() {
+    println!("{}", mint_bench::perf::fig17());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig 18 (MaxACT sensitivity).
+fn main() {
+    println!("{}", mint_bench::security::fig18());
+}

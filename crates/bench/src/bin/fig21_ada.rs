@@ -1,0 +1,4 @@
+//! Regenerates paper Fig 21 (adaptive-attack morphing sweep).
+fn main() {
+    println!("{}", mint_bench::security::fig21());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig 3 (InDRAM-PARA survival probability).
+fn main() {
+    println!("{}", mint_bench::security::fig3());
+}

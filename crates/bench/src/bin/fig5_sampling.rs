@@ -1,0 +1,4 @@
+//! Regenerates paper Fig 5 (no-overwrite sampling probability).
+fn main() {
+    println!("{}", mint_bench::security::fig5());
+}

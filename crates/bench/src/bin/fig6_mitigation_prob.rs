@@ -1,0 +1,4 @@
+//! Regenerates paper Fig 6 (relative mitigation probability).
+fn main() {
+    println!("{}", mint_bench::security::fig6());
+}

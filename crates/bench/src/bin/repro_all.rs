@@ -1,0 +1,33 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! ```bash
+//! cargo run --release -p mint-bench --bin repro_all > results.txt
+//! ```
+
+fn main() {
+    let experiments: Vec<(&str, fn() -> String)> = vec![
+        ("table1", mint_bench::params::table1 as fn() -> String),
+        ("table2", mint_bench::params::table2),
+        ("fig3", mint_bench::security::fig3),
+        ("fig5", mint_bench::security::fig5),
+        ("fig6", mint_bench::security::fig6),
+        ("fig10", mint_bench::security::fig10),
+        ("fig11", mint_bench::security::fig11),
+        ("table3", mint_bench::security::table3),
+        ("table4", mint_bench::security::table4),
+        ("table5", mint_bench::security::table5),
+        ("table6", mint_bench::params::table6),
+        ("fig16", mint_bench::perf::fig16),
+        ("table7", mint_bench::security::table7),
+        ("table8", mint_bench::perf::table8),
+        ("fig17", mint_bench::perf::fig17),
+        ("table9", mint_bench::security::table9),
+        ("fig18", mint_bench::security::fig18),
+        ("fig21", mint_bench::security::fig21),
+    ];
+    for (name, run) in experiments {
+        eprintln!("[repro_all] running {name} ...");
+        println!("{}\n", run());
+    }
+    eprintln!("[repro_all] done: 18 experiments regenerated");
+}

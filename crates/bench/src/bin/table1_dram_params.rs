@@ -1,0 +1,4 @@
+//! Regenerates paper Table I (DRAM parameters).
+fn main() {
+    println!("{}", mint_bench::params::table1());
+}

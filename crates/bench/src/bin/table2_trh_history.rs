@@ -1,0 +1,4 @@
+//! Regenerates paper Table II (TRH over time).
+fn main() {
+    println!("{}", mint_bench::params::table2());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table III (tracker comparison).
+fn main() {
+    println!("{}", mint_bench::security::table3());
+}

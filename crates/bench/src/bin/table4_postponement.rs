@@ -1,0 +1,4 @@
+//! Regenerates paper Table IV (refresh postponement and DMQ).
+fn main() {
+    println!("{}", mint_bench::security::table4());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table V (MINT+RFM scaling).
+fn main() {
+    println!("{}", mint_bench::security::table5());
+}

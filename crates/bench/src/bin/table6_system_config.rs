@@ -1,0 +1,4 @@
+//! Regenerates paper Table VI (system configuration).
+fn main() {
+    println!("{}", mint_bench::params::table6());
+}

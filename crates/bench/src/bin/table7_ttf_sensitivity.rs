@@ -1,0 +1,4 @@
+//! Regenerates paper Table VII (target-TTF sensitivity).
+fn main() {
+    println!("{}", mint_bench::security::table7());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table VIII (energy overheads).
+fn main() {
+    println!("{}", mint_bench::perf::table8());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table IX (SRAM overhead).
+fn main() {
+    println!("{}", mint_bench::security::table9());
+}

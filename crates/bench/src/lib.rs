@@ -1,0 +1,68 @@
+//! Experiment-regeneration harness: one function per table and figure of
+//! the MINT paper, each with a thin binary wrapper in `src/bin/` and all of
+//! them runnable at once via `repro_all`.
+//!
+//! Every function returns the rendered table/series as a `String` (the
+//! binaries print it), so the regeneration logic is unit-testable and the
+//! EXPERIMENTS.md record can be regenerated mechanically:
+//!
+//! ```bash
+//! cargo run --release -p mint-bench --bin repro_all
+//! cargo run --release -p mint-bench --bin table3_tracker_comparison
+//! ```
+//!
+//! Criterion micro-benchmarks for the simulator itself (tracker per-ACT
+//! cost, Sariou–Wolman solver, Monte-Carlo engine, memory controller) live
+//! in `benches/`.
+
+pub mod ablation;
+pub mod params;
+pub mod perf;
+pub mod security;
+
+use mint_analysis::{MinTrhSolver, TargetMttf};
+
+/// The solver every security experiment shares: 10,000-year target,
+/// 32 ms tREFW.
+#[must_use]
+pub fn default_solver() -> MinTrhSolver {
+    MinTrhSolver::new(TargetMttf::paper_default(), 0.032)
+}
+
+/// Formats a threshold the way the paper does: raw below 10K, `x.xK`
+/// above 1000 when round, `xK` for large counts.
+#[must_use]
+pub fn fmt_trh(v: u32) -> String {
+    if v >= 100_000 {
+        format!("{}K", v / 1000)
+    } else if v >= 10_000 {
+        format!("{:.1}K", v as f64 / 1000.0)
+    } else {
+        v.to_string()
+    }
+}
+
+/// Renders a titled experiment block.
+#[must_use]
+pub fn titled(title: &str, body: &str) -> String {
+    format!("== {title} ==\n{body}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_trh_bands() {
+        assert_eq!(fmt_trh(356), "356");
+        assert_eq!(fmt_trh(2763), "2763");
+        assert_eq!(fmt_trh(21_300), "21.3K");
+        assert_eq!(fmt_trh(478_296), "478K");
+    }
+
+    #[test]
+    fn titled_includes_both() {
+        let s = titled("T", "body");
+        assert!(s.contains("== T ==") && s.contains("body"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Tables I, II and VI: configuration and literature constants.
+
+use crate::titled;
+use mint_analysis::reference;
+use mint_analysis::textable::TexTable;
+use mint_dram::DdrTimings;
+use mint_memsys::SystemConfig;
+
+/// Table I: DRAM parameters from the DDR5 datasheet.
+#[must_use]
+pub fn table1() -> String {
+    let t = DdrTimings::ddr5_5200b();
+    let mut tab = TexTable::new(vec!["Parameter", "Explanation", "Value"]);
+    tab.row(vec![
+        "tREFW".into(),
+        "Refresh Window".into(),
+        format!("{} ms", t.t_refw_ns / 1e6),
+    ]);
+    tab.row(vec![
+        "tREFI".into(),
+        "Time interval between REF Commands".into(),
+        format!("{} ns", t.t_refi_ns),
+    ]);
+    tab.row(vec![
+        "tRFC".into(),
+        "Execution Time for REF Command".into(),
+        format!("{} ns", t.t_rfc_ns),
+    ]);
+    tab.row(vec![
+        "tRC".into(),
+        "Time between successive ACTs to a bank".into(),
+        format!("{} ns", t.t_rc_ns),
+    ]);
+    tab.row(vec![
+        "MaxACT".into(),
+        "M = (tREFI - tRFC) / tRC".into(),
+        t.max_act().to_string(),
+    ]);
+    titled("Table I: DRAM parameters (DDR5-5200B, 32 Gb)", &tab.to_text())
+}
+
+/// Table II: the Rowhammer threshold across DRAM generations.
+#[must_use]
+pub fn table2() -> String {
+    let mut tab = TexTable::new(vec!["DRAM Generation", "TRH-S (Single)", "TRH-D (Double)"]);
+    for row in reference::table2() {
+        tab.row(vec![
+            row.generation.into(),
+            row.trh_s.unwrap_or("-").into(),
+            row.trh_d.unwrap_or("-").into(),
+        ]);
+    }
+    titled("Table II: Rowhammer threshold over time (literature)", &tab.to_text())
+}
+
+/// Table VI: the evaluated system configuration.
+#[must_use]
+pub fn table6() -> String {
+    let c = SystemConfig::table6();
+    let mut tab = TexTable::new(vec!["Component", "Configuration"]);
+    tab.row(vec![
+        "Out-of-Order Cores".into(),
+        format!("{} cores, {} GHz, 8-wide, 192-ROB", c.cores, c.core_ghz),
+    ]);
+    tab.row(vec![
+        "Last Level Cache (Shared)".into(),
+        "4MB, 16-Way, 64B lines".into(),
+    ]);
+    tab.row(vec!["Memory specs".into(), "32 GB, DDR5".into()]);
+    tab.row(vec![
+        "tRCD-tCL-tRP-tRC".into(),
+        format!(
+            "{}-{}-{}-{} ns",
+            c.t_rcd_ps / 1000,
+            c.t_cl_ps / 1000,
+            c.t_rp_ps / 1000,
+            c.t_rc_ps / 1000
+        ),
+    ]);
+    tab.row(vec![
+        "Banks x Ranks x Channels".into(),
+        format!("{} x 1 x 1", c.banks),
+    ]);
+    tab.row(vec![
+        "Rows".into(),
+        format!("{}K rows, 8KB row buffer", c.rows_per_bank / 1024),
+    ]);
+    titled("Table VI: baseline system configuration", &tab.to_text())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reports_73() {
+        let t = table1();
+        assert!(t.contains("MaxACT"));
+        assert!(t.contains("73"));
+        assert!(t.contains("3900 ns"));
+    }
+
+    #[test]
+    fn table2_has_four_generations() {
+        let t = table2();
+        for gen in ["DDR3-old", "DDR3-new", "DDR4", "LPDDR4"] {
+            assert!(t.contains(gen), "missing {gen}");
+        }
+    }
+
+    #[test]
+    fn table6_matches_paper() {
+        let t = table6();
+        assert!(t.contains("4 cores, 3 GHz"));
+        assert!(t.contains("16-16-16-48 ns"));
+        assert!(t.contains("32 x 1 x 1"));
+        assert!(t.contains("128K rows"));
+    }
+}

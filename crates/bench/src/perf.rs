@@ -1,0 +1,199 @@
+//! Performance/energy experiments: Fig 16, Fig 17 and Table VIII.
+
+use crate::titled;
+use mint_analysis::textable::TexTable;
+use mint_memsys::{
+    mixes, run_workload, spec_rate_workloads, EnergyModel, MitigationScheme, NormalizedPerf,
+    SystemConfig, WorkloadSpec,
+};
+
+/// Requests per core per run — enough for stable averages, small enough
+/// that the full 34-workload × 4-scheme sweep runs in seconds.
+pub const REQUESTS_PER_CORE: u32 = 40_000;
+
+/// MC-PARA sampling probability tuned for a MinTRH similar to MINT's
+/// (≈1.5K → p ≈ 1/40; see DESIGN.md).
+pub const MC_PARA_P: f64 = 1.0 / 40.0;
+
+fn schemes_fig16() -> Vec<MitigationScheme> {
+    vec![
+        MitigationScheme::Baseline,
+        MitigationScheme::Mint,
+        MitigationScheme::MintRfm { rfm_th: 32 },
+        MitigationScheme::MintRfm { rfm_th: 16 },
+    ]
+}
+
+/// Runs one 4-core workload under every scheme in `schemes`; returns
+/// results normalized to the first (baseline).
+fn run_all(specs: &[WorkloadSpec; 4], schemes: &[MitigationScheme], seed: u64) -> Vec<NormalizedPerf> {
+    let cfg = SystemConfig::table6();
+    let base = run_workload(&cfg, schemes[0], specs, REQUESTS_PER_CORE, seed);
+    schemes
+        .iter()
+        .map(|&s| run_workload(&cfg, s, specs, REQUESTS_PER_CORE, seed).normalize(&base))
+        .collect()
+}
+
+fn workload_suite() -> Vec<(String, [WorkloadSpec; 4])> {
+    let mut suite: Vec<(String, [WorkloadSpec; 4])> = spec_rate_workloads()
+        .into_iter()
+        .map(|w| (format!("{}_r", w.name), [w; 4]))
+        .collect();
+    for (i, m) in mixes().into_iter().enumerate() {
+        suite.push((format!("mix{}", i + 1), m));
+    }
+    suite
+}
+
+/// Fig 16: normalized performance of MINT, MINT+RFM32 and MINT+RFM16 over
+/// the 17 rate + 17 mixed workloads.
+#[must_use]
+pub fn fig16() -> String {
+    let schemes = schemes_fig16();
+    let mut tab = TexTable::new(vec!["Workload", "MINT", "MINT+RFM32", "MINT+RFM16"]);
+    let mut sums = [0.0f64; 3];
+    let suite = workload_suite();
+    for (i, (name, specs)) in suite.iter().enumerate() {
+        let res = run_all(specs, &schemes, 1000 + i as u64);
+        let vals = [res[1].normalized, res[2].normalized, res[3].normalized];
+        for (s, v) in sums.iter_mut().zip(vals) {
+            *s += v;
+        }
+        tab.row(vec![
+            name.clone(),
+            format!("{:.4}", vals[0]),
+            format!("{:.4}", vals[1]),
+            format!("{:.4}", vals[2]),
+        ]);
+    }
+    let n = suite.len() as f64;
+    tab.row(vec![
+        "GMEAN/AVG".into(),
+        format!("{:.4}", sums[0] / n),
+        format!("{:.4}", sums[1] / n),
+        format!("{:.4}", sums[2] / n),
+    ]);
+    titled(
+        "Fig 16: normalized performance (paper: MINT 1.000, RFM32 ~0.998, RFM16 ~0.984)",
+        &tab.to_text(),
+    )
+}
+
+/// Fig 17: MINT (with RFM16 for equal threshold) vs blocking MC-PARA.
+#[must_use]
+pub fn fig17() -> String {
+    let schemes = vec![
+        MitigationScheme::Baseline,
+        MitigationScheme::Mint,
+        MitigationScheme::McPara { p: MC_PARA_P },
+    ];
+    let mut tab = TexTable::new(vec!["Workload", "MINT", "MC-PARA"]);
+    let mut sums = [0.0f64; 2];
+    let suite = workload_suite();
+    for (i, (name, specs)) in suite.iter().enumerate() {
+        let res = run_all(specs, &schemes, 2000 + i as u64);
+        let vals = [res[1].normalized, res[2].normalized];
+        for (s, v) in sums.iter_mut().zip(vals) {
+            *s += v;
+        }
+        tab.row(vec![
+            name.clone(),
+            format!("{:.4}", vals[0]),
+            format!("{:.4}", vals[1]),
+        ]);
+    }
+    let n = suite.len() as f64;
+    tab.row(vec![
+        "AVG".into(),
+        format!("{:.4}", sums[0] / n),
+        format!("{:.4}", sums[1] / n),
+    ]);
+    titled(
+        "Fig 17: MINT vs MC-PARA with blocking DRFM (paper: MC-PARA 2-9% slowdown)",
+        &tab.to_text(),
+    )
+}
+
+/// Table VIII: memory energy overheads, averaged over the rate workloads.
+#[must_use]
+pub fn table8() -> String {
+    let cfg = SystemConfig::table6();
+    let model = EnergyModel::ddr5_default();
+    let schemes = schemes_fig16();
+    let mut act = [0.0f64; 4];
+    let mut non_act = [0.0f64; 4];
+    let mut total = [0.0f64; 4];
+    let rate: Vec<[WorkloadSpec; 4]> = spec_rate_workloads().into_iter().map(|w| [w; 4]).collect();
+    for (i, specs) in rate.iter().enumerate() {
+        let base = run_workload(&cfg, schemes[0], specs, REQUESTS_PER_CORE, 3000 + i as u64);
+        let base_e = model.energy(&base.result, base.duration_ps, false);
+        for (j, &scheme) in schemes.iter().enumerate() {
+            let r = run_workload(&cfg, scheme, specs, REQUESTS_PER_CORE, 3000 + i as u64);
+            let with_hw = !matches!(scheme, MitigationScheme::Baseline);
+            let e = model.energy(&r.result, r.duration_ps, with_hw);
+            act[j] += e.act_j / base_e.act_j;
+            non_act[j] += e.non_act_j / base_e.non_act_j;
+            total[j] += e.total_j() / base_e.total_j();
+        }
+    }
+    let n = rate.len() as f64;
+    let mut tab = TexTable::new(vec!["Config", "ACT Energy", "Non-ACT Energy", "Total"]);
+    let names = ["Base (No Mitig)", "MINT", "MINT+RFM32", "MINT+RFM16"];
+    for j in 0..4 {
+        tab.row(vec![
+            names[j].into(),
+            format!("{:.2}x", act[j] / n),
+            format!("{:.2}x", non_act[j] / n),
+            format!("{:.2}x", total[j] / n),
+        ]);
+    }
+    titled(
+        "Table VIII: memory energy overheads (paper: MINT 1.06x/1.00x/1.01x)",
+        &tab.to_text(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One reduced-size smoke run shared by the tests (the full suite runs
+    /// in the binaries).
+    fn quick(scheme: MitigationScheme, seed: u64) -> NormalizedPerf {
+        let w = spec_rate_workloads();
+        let mcf = w.iter().find(|s| s.name == "mcf").copied().unwrap();
+        let cfg = SystemConfig::table6();
+        run_workload(&cfg, scheme, &[mcf; 4], 10_000, seed)
+    }
+
+    #[test]
+    fn fig16_shape_on_mcf() {
+        let base = quick(MitigationScheme::Baseline, 5);
+        let mint = quick(MitigationScheme::Mint, 5).normalize(&base);
+        let rfm16 = quick(MitigationScheme::MintRfm { rfm_th: 16 }, 5).normalize(&base);
+        assert!((mint.normalized - 1.0).abs() < 1e-9, "{}", mint.normalized);
+        assert!(rfm16.normalized <= 1.0);
+        assert!(rfm16.normalized > 0.90, "{}", rfm16.normalized);
+    }
+
+    #[test]
+    fn fig17_shape_on_mcf() {
+        let base = quick(MitigationScheme::Baseline, 6);
+        let para = quick(MitigationScheme::McPara { p: MC_PARA_P }, 6).normalize(&base);
+        assert!(
+            (0.80..0.999).contains(&para.normalized),
+            "MC-PARA should cost percents: {}",
+            para.normalized
+        );
+    }
+
+    #[test]
+    fn mitigative_acts_present_for_mint() {
+        let mint = quick(MitigationScheme::Mint, 7);
+        assert!(mint.result.mitigative_acts > 0);
+        let ratio = 1.0
+            + mint.result.mitigative_acts as f64 / mint.result.demand_acts as f64;
+        assert!((1.0..1.6).contains(&ratio), "ACT ratio {ratio}");
+    }
+}

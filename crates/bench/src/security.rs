@@ -1,0 +1,298 @@
+//! Security experiments: Figs 3/5/6/10/11/18/21 and Tables III/IV/V/VII/IX.
+
+use crate::{default_solver, fmt_trh, titled};
+use mint_analysis::ada::AdaConfig;
+use mint_analysis::textable::TexTable;
+use mint_analysis::{comparison, maxact, para, patterns, postponement, rfm, storage, ttf};
+
+/// Fig 3: survival probability vs position (InDRAM-PARA with overwrite).
+#[must_use]
+pub fn fig3() -> String {
+    let p = 1.0 / 73.0;
+    let mut tab = TexTable::new(vec!["Position", "SurvivalProb"]);
+    for k in 1..=73 {
+        tab.row(vec![
+            k.to_string(),
+            format!("{:.4}", para::survival_probability(p, 73, k)),
+        ]);
+    }
+    titled(
+        "Fig 3: InDRAM-PARA survival probability by position (2.7x penalty at k=1)",
+        &tab.to_text(),
+    )
+}
+
+/// Fig 5: sampling probability vs position (no-overwrite variant),
+/// normalised to p.
+#[must_use]
+pub fn fig5() -> String {
+    let p = 1.0 / 73.0;
+    let mut tab = TexTable::new(vec!["Position", "SamplingProb(x 1/73)"]);
+    for k in 1..=73 {
+        tab.row(vec![
+            k.to_string(),
+            format!("{:.4}", para::sampling_probability_no_overwrite(p, 73, k) / p),
+        ]);
+    }
+    titled(
+        "Fig 5: InDRAM-PARA (No-Overwrite) sampling probability by position",
+        &tab.to_text(),
+    )
+}
+
+/// Fig 6: relative mitigation probability of both variants vs the ideal.
+#[must_use]
+pub fn fig6() -> String {
+    let p = 1.0 / 73.0;
+    let mut tab = TexTable::new(vec!["Position", "Ideal", "Overwrite", "No-Overwrite"]);
+    for k in 1..=73 {
+        tab.row(vec![
+            k.to_string(),
+            "1.0000".into(),
+            format!("{:.4}", para::relative_mitigation(p, 73, k, false)),
+            format!("{:.4}", para::relative_mitigation(p, 73, k, true)),
+        ]);
+    }
+    titled(
+        "Fig 6: relative mitigation probability (normalised to p = 1/73)",
+        &tab.to_text(),
+    )
+}
+
+/// Fig 10: MinTRH of pattern-2 vs number of attack rows.
+#[must_use]
+pub fn fig10() -> String {
+    let solver = default_solver();
+    let mut tab = TexTable::new(vec!["k (attack rows)", "MinTRH"]);
+    for (k, t) in patterns::fig10_series(&solver, 146, 73, 73) {
+        tab.row(vec![k.to_string(), t.to_string()]);
+    }
+    titled(
+        "Fig 10: pattern-2 MinTRH vs k (paper: 2461 at k=1, peak 2763 at k=73)",
+        &tab.to_text(),
+    )
+}
+
+/// Fig 11: MinTRH of pattern-3 vs copies per row.
+#[must_use]
+pub fn fig11() -> String {
+    let solver = default_solver();
+    let mut tab = TexTable::new(vec!["c (copies/row)", "MinTRH"]);
+    for (c, t) in patterns::fig11_series(&solver, 73, 73) {
+        tab.row(vec![c.to_string(), t.to_string()]);
+    }
+    titled(
+        "Fig 11: pattern-3 MinTRH vs copies (collapses for 4+ copies)",
+        &tab.to_text(),
+    )
+}
+
+/// Table III: tracker comparison.
+#[must_use]
+pub fn table3() -> String {
+    let solver = default_solver();
+    let mut tab = TexTable::new(vec![
+        "Design",
+        "Type (Centric)",
+        "MinTRH-D",
+        "Entries (Per-Bank)",
+        "Transitive Attacks",
+    ]);
+    for row in comparison::table3(&solver) {
+        tab.row(vec![
+            row.design.into(),
+            row.centricity.label().into(),
+            fmt_trh(row.min_trh_d),
+            if row.entries >= 1024 {
+                format!("{}K", row.entries / 1024)
+            } else {
+                row.entries.to_string()
+            },
+            if row.transitive_vulnerable {
+                "Vulnerable".into()
+            } else {
+                "Immune".into()
+            },
+        ]);
+    }
+    titled(
+        "Table III: comparison of in-DRAM trackers (paper: 623/1400/4096/3732/1400)",
+        &tab.to_text(),
+    )
+}
+
+/// Table IV: refresh postponement with and without DMQ.
+#[must_use]
+pub fn table4() -> String {
+    let solver = default_solver();
+    let mut tab = TexTable::new(vec![
+        "Design",
+        "Entries",
+        "MinTRH-D (NoPostpone)",
+        "MinTRH-D (No DMQ)",
+        "MinTRH-D (with DMQ)",
+    ]);
+    for row in postponement::table4(&solver) {
+        let dmq = if row.with_dmq_adaptive != row.with_dmq {
+            format!("{}/{}*", row.with_dmq, row.with_dmq_adaptive)
+        } else {
+            fmt_trh(row.with_dmq)
+        };
+        tab.row(vec![
+            row.design.into(),
+            if row.entries >= 1024 {
+                format!("{}K", row.entries / 1024)
+            } else {
+                row.entries.to_string()
+            },
+            fmt_trh(row.no_postpone),
+            fmt_trh(row.postponed_no_dmq),
+            dmq,
+        ]);
+    }
+    titled(
+        "Table IV: refresh postponement and DMQ (*: adaptive attack; paper MINT: 1400/478K/1404-1482)",
+        &tab.to_text(),
+    )
+}
+
+/// Table V: MINT+RFM scaling.
+#[must_use]
+pub fn table5() -> String {
+    let solver = default_solver();
+    let mut tab = TexTable::new(vec!["Scheme", "Relative Mitigation Rate", "MinTRH-D"]);
+    for row in rfm::table5(&solver) {
+        tab.row(vec![
+            row.scheme.into(),
+            row.rate.into(),
+            fmt_trh(row.min_trh_d),
+        ]);
+    }
+    titled(
+        "Table V: MinTRH-D of MINT and MINT+RFM (paper: 2.70K/1.48K/689/356)",
+        &tab.to_text(),
+    )
+}
+
+/// Table VII: target-TTF sensitivity.
+#[must_use]
+pub fn table7() -> String {
+    let mut tab = TexTable::new(vec![
+        "Target-TTF (Bank)",
+        "MTTF (System)",
+        "MinTRH-D MINT",
+        "(+RFM32)",
+        "(+RFM16)",
+    ]);
+    for row in ttf::table7(0.032) {
+        tab.row(vec![
+            format!("{:.0}K years", row.target_years / 1000.0),
+            format!("{:.0} years", row.system_years),
+            fmt_trh(row.mint),
+            fmt_trh(row.rfm32),
+            fmt_trh(row.rfm16),
+        ]);
+    }
+    titled(
+        "Table VII: MinTRH-D vs Target-TTF (paper 10K-row: 1.48K/689/356)",
+        &tab.to_text(),
+    )
+}
+
+/// Table IX: per-bank SRAM overhead.
+#[must_use]
+pub fn table9() -> String {
+    let mut tab = TexTable::new(vec!["Name", "Device TRH-D=3K", "Device TRH-D=300"]);
+    for row in storage::table9(598_016) {
+        let fmt = |b: u64| {
+            if b >= 1024 {
+                format!("{:.1} KB", b as f64 / 1024.0)
+            } else {
+                format!("{b} bytes")
+            }
+        };
+        tab.row(vec![
+            row.name.into(),
+            fmt(row.bytes_at_3k),
+            fmt(row.bytes_at_300),
+        ]);
+    }
+    titled(
+        "Table IX: per-bank SRAM overhead (paper: Graphene 56.5KB/565KB vs MINT+DMQ 15 bytes)",
+        &tab.to_text(),
+    )
+}
+
+/// Fig 18: MaxACT sensitivity (Appendix A).
+#[must_use]
+pub fn fig18() -> String {
+    let solver = default_solver();
+    let mut tab = TexTable::new(vec!["MaxACT", "MINT MinTRH-D", "InDRAM-PARA MinTRH-D", "Ratio"]);
+    for p in maxact::fig18_series(&solver, 65, 80) {
+        tab.row(vec![
+            p.max_act.to_string(),
+            p.mint_d.to_string(),
+            p.para_d.to_string(),
+            format!("{:.2}x", f64::from(p.para_d) / f64::from(p.mint_d)),
+        ]);
+    }
+    titled(
+        "Fig 18: MinTRH-D vs MaxACT (paper: ~2.7x gap across the DDR5 range)",
+        &tab.to_text(),
+    )
+}
+
+/// Fig 21: ADA morphing-point sweep (Appendix B).
+#[must_use]
+pub fn fig21() -> String {
+    let solver = default_solver();
+    let cfg = AdaConfig::mint_default();
+    let mps: Vec<u32> = (500..=8000).step_by(250).collect();
+    let mut tab = TexTable::new(vec!["MP (tREFI)", "MinTRH (single)", "MinTRH-D (double)"]);
+    for (mp, s, d) in cfg.fig21_series(&solver, &mps) {
+        tab.row(vec![mp.to_string(), s.to_string(), d.to_string()]);
+    }
+    titled(
+        "Fig 21: MINT+DMQ under ADA vs morphing point (paper: peak 2899 single / 1482 double)",
+        &tab.to_text(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_has_73_rows_and_penalty() {
+        let s = fig3();
+        assert_eq!(s.lines().count(), 73 + 3);
+        assert!(s.contains("0.37"), "first-position survival ≈ 0.372");
+    }
+
+    #[test]
+    fn fig6_has_four_columns() {
+        let s = fig6();
+        assert!(s.contains("No-Overwrite"));
+    }
+
+    #[test]
+    fn table3_contains_all_designs() {
+        let s = table3();
+        for d in ["PRCT", "Mithril", "PARFM", "InDRAM-PARA", "MINT"] {
+            assert!(s.contains(d), "missing {d}");
+        }
+    }
+
+    #[test]
+    fn table4_contains_478k() {
+        let s = table4();
+        assert!(s.contains("478K"));
+    }
+
+    #[test]
+    fn table9_contains_mint_dmq() {
+        let s = table9();
+        assert!(s.contains("MINT+DMQ"));
+        assert!(s.contains("bytes"));
+    }
+}

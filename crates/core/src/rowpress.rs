@@ -1,0 +1,294 @@
+//! Row-Press tolerance via ImPress-style equivalent activations
+//! (paper Appendix C).
+
+use crate::{InDramTracker, MintConfig, MitigationDecision};
+use mint_dram::RowId;
+use mint_rng::Rng64;
+
+/// Fractional bits of the fixed-point CAN register (Appendix C: "EACT can
+/// have up to 7 bits of fractional part").
+pub const EACT_FRAC_BITS: u32 = 7;
+
+/// Computes the ImPress *equivalent activation count* for an activation that
+/// kept its row open for `t_on_ns`, as a fixed-point value with
+/// [`EACT_FRAC_BITS`] fractional bits:
+///
+/// `EACT = (tON + tPRE) / tRC`   (paper Eq. 9)
+///
+/// A minimum of one full activation is enforced (a normal closed-page ACT
+/// has `tON = tRAS`, giving EACT = 1.0).
+///
+/// # Panics
+///
+/// Panics if `t_rc_ns <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use mint_core::{eact_fixed_point, EACT_FRAC_BITS};
+/// // Row held open for 3 tREFI (Row-Press): many equivalent ACTs.
+/// let e = eact_fixed_point(3.0 * 3900.0, 16.0, 48.0);
+/// assert_eq!(e >> EACT_FRAC_BITS, 244); // (11700 + 16) / 48 ≈ 244.08
+/// ```
+#[must_use]
+pub fn eact_fixed_point(t_on_ns: f64, t_pre_ns: f64, t_rc_ns: f64) -> u64 {
+    assert!(t_rc_ns > 0.0, "tRC must be positive");
+    let eact = (t_on_ns + t_pre_ns) / t_rc_ns;
+    let fp = (eact * f64::from(1u32 << EACT_FRAC_BITS)).round() as u64;
+    fp.max(1 << EACT_FRAC_BITS)
+}
+
+/// MINT with a fixed-point CAN register, tolerating Row-Press (Appendix C).
+///
+/// Rows held open for long periods leak charge from their neighbours just
+/// like extra activations would (the Row-Press effect). ImPress converts
+/// open time into an equivalent activation count, and MINT accommodates it
+/// by widening CAN to a 7+7-bit fixed-point register incremented by EACT per
+/// activation; the row is latched when CAN *crosses* SAN. Rows kept open
+/// longer are therefore proportionally more likely to be selected for
+/// mitigation, which is exactly the property the defence needs.
+///
+/// # Examples
+///
+/// ```
+/// use mint_core::{InDramTracker, MintConfig, RowPressMint};
+/// use mint_dram::RowId;
+/// use mint_rng::Xoshiro256StarStar;
+///
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(21);
+/// let mut t = RowPressMint::new(MintConfig::ddr5_default(), 48.0, 16.0, &mut rng);
+/// // A row held open for one tREFI consumes ~81 slots of the window: it is
+/// // overwhelmingly likely to be selected.
+/// let mut hits = 0;
+/// for _ in 0..1000 {
+///     t.on_activation_open(RowId(7), 3900.0, &mut rng);
+///     if t.on_refresh(&mut rng).mitigates(RowId(7)) {
+///         hits += 1;
+///     }
+/// }
+/// assert!(hits > 900);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RowPressMint {
+    config: MintConfig,
+    t_rc_ns: f64,
+    t_pre_ns: f64,
+    /// SAN in fixed point (slot number << EACT_FRAC_BITS).
+    san_fp: u64,
+    /// Whether the current window is a transitive one (SAN = 0 draw).
+    transitive_window: bool,
+    transitive_distance: u32,
+    can_fp: u64,
+    sar: Option<RowId>,
+}
+
+impl RowPressMint {
+    /// Creates the tracker. `t_rc_ns` and `t_pre_ns` are the device's row
+    /// cycle and precharge times used in the EACT conversion.
+    #[must_use]
+    pub fn new(config: MintConfig, t_rc_ns: f64, t_pre_ns: f64, rng: &mut dyn Rng64) -> Self {
+        let mut t = Self {
+            config,
+            t_rc_ns,
+            t_pre_ns,
+            san_fp: 0,
+            transitive_window: false,
+            transitive_distance: 0,
+            can_fp: 0,
+            sar: None,
+        };
+        t.begin_window(rng);
+        t
+    }
+
+    /// Observes an activation that kept the row open for `t_on_ns`
+    /// nanoseconds, charging it `EACT` window slots.
+    pub fn on_activation_open(&mut self, row: RowId, t_on_ns: f64, _rng: &mut dyn Rng64) {
+        let eact = eact_fixed_point(t_on_ns, self.t_pre_ns, self.t_rc_ns);
+        let prev = self.can_fp;
+        self.can_fp = self.can_fp.saturating_add(eact);
+        // Latch when CAN crosses SAN (Appendix C). A transitive window has
+        // SAN = 0, which no crossing can reach since CAN starts at 0 and the
+        // crossing must come from strictly below.
+        if !self.transitive_window && prev < self.san_fp && self.can_fp >= self.san_fp {
+            self.sar = Some(row);
+        }
+    }
+
+    /// Current fixed-point CAN value.
+    #[must_use]
+    pub fn can_fp(&self) -> u64 {
+        self.can_fp
+    }
+
+    /// The row currently latched for mitigation, if any.
+    #[must_use]
+    pub fn sar(&self) -> Option<RowId> {
+        self.sar
+    }
+
+    fn begin_window(&mut self, rng: &mut dyn Rng64) {
+        let span = self.config.selection_span();
+        let slot = if self.config.transitive {
+            rng.gen_range_u32(span)
+        } else {
+            1 + rng.gen_range_u32(span)
+        };
+        if slot == 0 {
+            self.transitive_window = true;
+            self.transitive_distance += 1;
+        } else {
+            self.transitive_window = false;
+            self.transitive_distance = 0;
+            self.sar = None;
+        }
+        self.san_fp = u64::from(slot) << EACT_FRAC_BITS;
+        self.can_fp = 0;
+    }
+}
+
+impl InDramTracker for RowPressMint {
+    fn on_activation(&mut self, row: RowId, rng: &mut dyn Rng64) -> Option<MitigationDecision> {
+        // A closed-page ACT: tON = tRC − tPRE, i.e. exactly one slot.
+        self.on_activation_open(row, self.t_rc_ns - self.t_pre_ns, rng);
+        None
+    }
+
+    fn on_refresh(&mut self, rng: &mut dyn Rng64) -> MitigationDecision {
+        let decision = match self.sar {
+            None => MitigationDecision::None,
+            Some(row) if self.transitive_window => MitigationDecision::Transitive {
+                around: row,
+                distance: self.transitive_distance,
+            },
+            Some(row) => MitigationDecision::Aggressor(row),
+        };
+        self.begin_window(rng);
+        decision
+    }
+
+    fn name(&self) -> &'static str {
+        "MINT+ImPress"
+    }
+
+    fn entries(&self) -> usize {
+        1
+    }
+
+    /// CAN widens from 7 to 14 bits (Appendix C): 32 + 7 = 39 bits.
+    fn storage_bits(&self) -> u64 {
+        39
+    }
+
+    fn reset(&mut self, rng: &mut dyn Rng64) {
+        self.sar = None;
+        self.transitive_distance = 0;
+        self.transitive_window = false;
+        self.begin_window(rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mint_rng::Xoshiro256StarStar;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    fn tracker(seed: u64) -> (RowPressMint, Xoshiro256StarStar) {
+        let mut r = rng(seed);
+        let cfg = MintConfig::ddr5_default().without_transitive();
+        let t = RowPressMint::new(cfg, 48.0, 16.0, &mut r);
+        (t, r)
+    }
+
+    #[test]
+    fn eact_of_normal_act_is_one() {
+        // tON = tRC − tPRE → EACT = 1.0 exactly.
+        assert_eq!(eact_fixed_point(32.0, 16.0, 48.0), 1 << EACT_FRAC_BITS);
+    }
+
+    #[test]
+    fn eact_minimum_is_one() {
+        assert_eq!(eact_fixed_point(1.0, 1.0, 48.0), 1 << EACT_FRAC_BITS);
+    }
+
+    #[test]
+    fn eact_scales_with_open_time() {
+        let one = eact_fixed_point(32.0, 16.0, 48.0);
+        let ten = eact_fixed_point(464.0, 16.0, 48.0); // (464+16)/48 = 10
+        assert_eq!(ten, 10 * one);
+    }
+
+    #[test]
+    #[should_panic(expected = "tRC must be positive")]
+    fn eact_rejects_bad_trc() {
+        let _ = eact_fixed_point(10.0, 10.0, 0.0);
+    }
+
+    #[test]
+    fn closed_page_behaviour_matches_plain_mint_statistics() {
+        // With EACT = 1 per ACT, selection probability of a full window is 1.
+        let (mut t, mut r) = tracker(1);
+        for _ in 0..200 {
+            for _ in 0..73 {
+                t.on_activation(RowId(5), &mut r);
+            }
+            assert!(t.on_refresh(&mut r).mitigates(RowId(5)));
+        }
+    }
+
+    #[test]
+    fn long_open_time_raises_selection_probability() {
+        // One activation holding the row open for half a tREFI covers ~40
+        // slots: selection probability ≈ 40/73 ≫ 1/73.
+        let (mut t, mut r) = tracker(2);
+        let trials = 4000;
+        let mut hits = 0;
+        for _ in 0..trials {
+            t.on_activation_open(RowId(9), 1950.0, &mut r); // (1950+16)/48 ≈ 41
+            if t.on_refresh(&mut r).mitigates(RowId(9)) {
+                hits += 1;
+            }
+        }
+        let rate = f64::from(hits) / f64::from(trials);
+        assert!((rate - 41.0 / 73.0).abs() < 0.04, "rate {rate}");
+    }
+
+    #[test]
+    fn crossing_latches_the_crossing_row() {
+        // Deterministic scenario: find a window with SAN >= 10, send 9 unit
+        // ACTs of decoys then one big EACT activation that crosses SAN.
+        let (mut t, mut r) = tracker(3);
+        loop {
+            if t.san_fp >> EACT_FRAC_BITS >= 10 {
+                break;
+            }
+            t.on_refresh(&mut r);
+        }
+        for i in 0..9 {
+            t.on_activation(RowId(100 + i), &mut r);
+        }
+        assert_eq!(t.sar(), None);
+        t.on_activation_open(RowId(77), 3900.0, &mut r); // crosses any SAN ≤ 82
+        assert_eq!(t.sar(), Some(RowId(77)));
+    }
+
+    #[test]
+    fn storage_is_39_bits() {
+        let (t, _) = tracker(4);
+        assert_eq!(t.storage_bits(), 39);
+        assert_eq!(t.entries(), 1);
+    }
+
+    #[test]
+    fn reset_clears_accumulator() {
+        let (mut t, mut r) = tracker(5);
+        t.on_activation_open(RowId(1), 3900.0, &mut r);
+        t.reset(&mut r);
+        assert_eq!(t.can_fp(), 0);
+        assert_eq!(t.sar(), None);
+    }
+}

@@ -1,0 +1,132 @@
+//! The tracker interface shared by MINT and every baseline.
+
+use mint_dram::RowId;
+use mint_rng::Rng64;
+
+/// What a tracker wants mitigated at a refresh opportunity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MitigationDecision {
+    /// Nothing selected in the elapsed window.
+    None,
+    /// Refresh the victims (blast radius) of this aggressor row.
+    Aggressor(RowId),
+    /// Transitive mitigation (paper §V-E): refresh the rows `distance`
+    /// further out than the direct victims of `around` — for blast radius 1
+    /// and `distance` 1, rows `around ± 2`.
+    Transitive {
+        /// The previously mitigated aggressor at the centre of the pattern.
+        around: RowId,
+        /// Extra reach beyond the blast radius (≥ 1; grows when consecutive
+        /// transitive selections recurse).
+        distance: u32,
+    },
+    /// Refresh exactly this row (victim-centric trackers such as ProTRR
+    /// identify the endangered row itself rather than its aggressor).
+    VictimRefresh(RowId),
+}
+
+impl MitigationDecision {
+    /// `true` if this decision directly mitigates `row` (i.e. refreshes
+    /// `row`'s neighbours because `row` was identified as the aggressor).
+    #[must_use]
+    pub fn mitigates(&self, row: RowId) -> bool {
+        matches!(self, MitigationDecision::Aggressor(r) if *r == row)
+    }
+
+    /// `true` if no mitigation will be performed.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        matches!(self, MitigationDecision::None)
+    }
+
+    /// `true` if some mitigation (aggressor or transitive) will be performed.
+    #[must_use]
+    pub fn is_some(&self) -> bool {
+        !self.is_none()
+    }
+}
+
+/// A Rowhammer mitigation tracker living inside the DRAM device.
+///
+/// The contract mirrors the constraints the paper lays out in §I–II:
+///
+/// * The device observes every demand activation
+///   ([`on_activation`](Self::on_activation)) but **not** the mitigative
+///   refreshes it performs itself (those are "silent").
+/// * Mitigation can only happen at refresh opportunities
+///   ([`on_refresh`](Self::on_refresh)), except for RFM-style designs, which
+///   may return a decision directly from `on_activation` when the memory
+///   controller issues an RFM mid-interval.
+/// * Storage is measured in tracker entries ([`entries`](Self::entries)) and
+///   bits ([`storage_bits`](Self::storage_bits)) for the Table IX
+///   comparison.
+///
+/// Implementations must be deterministic given the `Rng64` stream: the whole
+/// repository's experiments replay from seeds.
+pub trait InDramTracker {
+    /// Observes a demand activation of `row`.
+    ///
+    /// Returns `Some(decision)` only for trackers whose mitigation window is
+    /// activation-counted (RFM co-designs, [`Dmq`](crate::Dmq) wrappers);
+    /// plain REF-synchronised trackers always return `None` here.
+    fn on_activation(&mut self, row: RowId, rng: &mut dyn Rng64) -> Option<MitigationDecision>;
+
+    /// Observes a row being refreshed as part of a mitigation the device
+    /// itself performed. A victim refresh *is* an activation of the victim
+    /// row, and per-row counting trackers (PRCT, Mithril) count it — that is
+    /// precisely what makes them immune to transitive attacks (§V-G).
+    /// Probabilistic single-entry trackers cannot see these (the paper calls
+    /// them "silent"), hence the default is a no-op.
+    fn on_mitigative_refresh(&mut self, row: RowId) {
+        let _ = row;
+    }
+
+    /// A REF command arrives: report the row to mitigate during the stolen
+    /// refresh time and start a new tracking window.
+    fn on_refresh(&mut self, rng: &mut dyn Rng64) -> MitigationDecision;
+
+    /// Ends the current tracking window and reports the selection *without*
+    /// an accompanying REF (a DMQ "pseudo-mitigation", §VI-C). The default
+    /// forwards to [`on_refresh`](Self::on_refresh), which is correct for
+    /// every tracker whose refresh handler just drains the window.
+    fn pseudo_mitigate(&mut self, rng: &mut dyn Rng64) -> MitigationDecision {
+        self.on_refresh(rng)
+    }
+
+    /// Short human-readable name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Number of row-tracking entries (the paper's cost metric, Table III).
+    fn entries(&self) -> usize;
+
+    /// Total SRAM bits of tracker state (Table IX storage comparison).
+    fn storage_bits(&self) -> u64;
+
+    /// Restores the power-on state (new window, cleared registers).
+    fn reset(&mut self, rng: &mut dyn Rng64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_predicates() {
+        let none = MitigationDecision::None;
+        assert!(none.is_none());
+        assert!(!none.is_some());
+        assert!(!none.mitigates(RowId(1)));
+
+        let agg = MitigationDecision::Aggressor(RowId(5));
+        assert!(agg.is_some());
+        assert!(agg.mitigates(RowId(5)));
+        assert!(!agg.mitigates(RowId(6)));
+
+        let tr = MitigationDecision::Transitive {
+            around: RowId(5),
+            distance: 1,
+        };
+        assert!(tr.is_some());
+        assert!(!tr.mitigates(RowId(5)), "transitive is not a direct mitigation");
+    }
+}

@@ -1,0 +1,205 @@
+//! REF scheduling: timely refresh and DDR5 refresh postponement (paper §VI).
+
+/// DDR5 allows at most this many REF commands to be postponed (§VI).
+pub const MAX_POSTPONED_REFS: u32 = 4;
+
+/// How the memory controller schedules REF commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefreshPolicy {
+    /// One REF at the end of every tREFI (the paper's default until §VI).
+    Timely,
+    /// Maximum postponement: REFs are delayed as long as the standard allows
+    /// and issued in a batch of `1 + postponed` at every `(postponed + 1)`-th
+    /// boundary (paper Fig 14: batches of 5 with up to 365 ACTs between).
+    ///
+    /// `postponed` must be in `1..=MAX_POSTPONED_REFS`.
+    MaxPostpone {
+        /// Number of postponed REFs per batch (4 for the DDR5 maximum).
+        postponed: u32,
+    },
+}
+
+impl RefreshPolicy {
+    /// The DDR5 worst case: 4 postponed REFs, batches of 5.
+    #[must_use]
+    pub fn ddr5_max_postpone() -> Self {
+        RefreshPolicy::MaxPostpone {
+            postponed: MAX_POSTPONED_REFS,
+        }
+    }
+
+    /// Number of REF commands due at the end of tREFI interval `refi_index`
+    /// (0-based). Under [`Timely`](Self::Timely) this is always 1; under
+    /// maximum postponement it is 0 except at every `(postponed+1)`-th
+    /// boundary where the whole batch is issued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `postponed` is 0 or exceeds [`MAX_POSTPONED_REFS`].
+    #[must_use]
+    pub fn refs_due(&self, refi_index: u64) -> u32 {
+        match *self {
+            RefreshPolicy::Timely => 1,
+            RefreshPolicy::MaxPostpone { postponed } => {
+                assert!(
+                    (1..=MAX_POSTPONED_REFS).contains(&postponed),
+                    "postponed REFs must be 1..={MAX_POSTPONED_REFS}"
+                );
+                let batch = u64::from(postponed) + 1;
+                if (refi_index + 1) % batch == 0 {
+                    postponed + 1
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Maximum demand activations the device may observe between two
+    /// consecutive REF *opportunities* under this policy.
+    #[must_use]
+    pub fn max_acts_between_refs(&self, max_act: u32) -> u32 {
+        match *self {
+            RefreshPolicy::Timely => max_act,
+            RefreshPolicy::MaxPostpone { postponed } => (postponed + 1) * max_act,
+        }
+    }
+}
+
+impl Default for RefreshPolicy {
+    fn default() -> Self {
+        RefreshPolicy::Timely
+    }
+}
+
+/// A refresh event produced by [`RefreshSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshEvent {
+    /// The tREFI interval index after which these REFs occur.
+    pub refi_index: u64,
+    /// How many REF commands are issued back-to-back (0 if postponed).
+    pub refs: u32,
+}
+
+/// Iterator over the REF events of a run of `n_refi` tREFI intervals.
+///
+/// # Examples
+///
+/// ```
+/// use mint_dram::{RefreshPolicy, RefreshSchedule};
+///
+/// // Timely: a REF after every tREFI.
+/// let evs: Vec<_> = RefreshSchedule::new(RefreshPolicy::Timely, 3).collect();
+/// assert!(evs.iter().all(|e| e.refs == 1));
+///
+/// // Max postponement: batches of five.
+/// let evs: Vec<_> =
+///     RefreshSchedule::new(RefreshPolicy::ddr5_max_postpone(), 10).collect();
+/// let total: u32 = evs.iter().map(|e| e.refs).sum();
+/// assert_eq!(total, 10); // no REF is lost, only delayed
+/// assert_eq!(evs[4].refs, 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RefreshSchedule {
+    policy: RefreshPolicy,
+    next: u64,
+    n_refi: u64,
+}
+
+impl RefreshSchedule {
+    /// Creates a schedule covering `n_refi` tREFI intervals.
+    #[must_use]
+    pub fn new(policy: RefreshPolicy, n_refi: u64) -> Self {
+        Self {
+            policy,
+            next: 0,
+            n_refi,
+        }
+    }
+}
+
+impl Iterator for RefreshSchedule {
+    type Item = RefreshEvent;
+
+    fn next(&mut self) -> Option<RefreshEvent> {
+        if self.next >= self.n_refi {
+            return None;
+        }
+        let idx = self.next;
+        self.next += 1;
+        Some(RefreshEvent {
+            refi_index: idx,
+            refs: self.policy.refs_due(idx),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timely_one_ref_per_refi() {
+        let p = RefreshPolicy::Timely;
+        for i in 0..100 {
+            assert_eq!(p.refs_due(i), 1);
+        }
+        assert_eq!(p.max_acts_between_refs(73), 73);
+    }
+
+    #[test]
+    fn max_postpone_batches_of_five() {
+        let p = RefreshPolicy::ddr5_max_postpone();
+        let due: Vec<u32> = (0..10).map(|i| p.refs_due(i)).collect();
+        assert_eq!(due, vec![0, 0, 0, 0, 5, 0, 0, 0, 0, 5]);
+        assert_eq!(p.max_acts_between_refs(73), 365);
+    }
+
+    #[test]
+    fn partial_postponement() {
+        let p = RefreshPolicy::MaxPostpone { postponed: 2 };
+        let due: Vec<u32> = (0..6).map(|i| p.refs_due(i)).collect();
+        assert_eq!(due, vec![0, 0, 3, 0, 0, 3]);
+        assert_eq!(p.max_acts_between_refs(73), 219);
+    }
+
+    #[test]
+    #[should_panic(expected = "postponed REFs")]
+    fn zero_postponed_rejected() {
+        let _ = RefreshPolicy::MaxPostpone { postponed: 0 }.refs_due(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "postponed REFs")]
+    fn excess_postponed_rejected() {
+        let _ = RefreshPolicy::MaxPostpone { postponed: 5 }.refs_due(0);
+    }
+
+    #[test]
+    fn schedule_conserves_total_refs() {
+        for policy in [
+            RefreshPolicy::Timely,
+            RefreshPolicy::ddr5_max_postpone(),
+            RefreshPolicy::MaxPostpone { postponed: 1 },
+        ] {
+            let n = 8192;
+            let total: u64 = RefreshSchedule::new(policy, n)
+                .map(|e| u64::from(e.refs))
+                .sum();
+            // With postponement the tail of the window may still hold back
+            // fewer than `postponed` REFs.
+            let slack = match policy {
+                RefreshPolicy::Timely => 0,
+                RefreshPolicy::MaxPostpone { postponed } => u64::from(postponed),
+            };
+            assert!(n - total <= slack, "{policy:?}: total {total}");
+        }
+    }
+
+    #[test]
+    fn schedule_len_matches_n_refi() {
+        let evs: Vec<_> = RefreshSchedule::new(RefreshPolicy::Timely, 5).collect();
+        assert_eq!(evs.len(), 5);
+        assert_eq!(evs[4].refi_index, 4);
+    }
+}

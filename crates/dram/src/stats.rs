@@ -1,0 +1,50 @@
+//! Aggregate event counters for a bank.
+
+/// Counts of the disturbance-relevant events a [`Bank`](crate::Bank) has
+/// processed. All counters are cumulative since construction or the last
+/// [`reset`](crate::Bank::reset).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BankStats {
+    /// Demand (attacker/workload-visible) activations.
+    pub demand_acts: u64,
+    /// Silent activations: victim refreshes and other invisible ACTs.
+    pub silent_acts: u64,
+    /// Individual victim-row refreshes performed by mitigations.
+    pub victim_refreshes: u64,
+    /// Rows cleared by the background auto-refresh sweep.
+    pub auto_refreshes: u64,
+    /// Aggressor mitigations applied (each refreshes `2×blast_radius` rows).
+    pub mitigations: u64,
+    /// Transitive mitigations applied (paper §V-E).
+    pub transitive_mitigations: u64,
+}
+
+impl BankStats {
+    /// Total activations of any kind (demand + silent).
+    #[must_use]
+    pub fn total_acts(&self) -> u64 {
+        self.demand_acts + self.silent_acts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let s = BankStats {
+            demand_acts: 10,
+            silent_acts: 4,
+            ..BankStats::default()
+        };
+        assert_eq!(s.total_acts(), 14);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = BankStats::default();
+        assert_eq!(s.total_acts(), 0);
+        assert_eq!(s.mitigations, 0);
+    }
+}

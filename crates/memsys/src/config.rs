@@ -1,0 +1,151 @@
+//! System configuration (paper Table VI).
+
+/// Rowhammer mitigation scheme under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MitigationScheme {
+    /// No mitigation (the normalisation baseline).
+    Baseline,
+    /// MINT: mitigations ride inside the REF's tRFC — no extra bank time.
+    Mint,
+    /// MINT+RFM: an RFM command (tRFMsb = 205 ns bank block) every
+    /// `rfm_th` activations per bank.
+    MintRfm {
+        /// RFM threshold (32 or 16 in the paper).
+        rfm_th: u32,
+    },
+    /// Memory-controller PARA using blocking DRFM commands
+    /// (tDRFMsb = 410 ns) issued per activation with probability `p`.
+    McPara {
+        /// Per-activation DRFM probability.
+        p: f64,
+    },
+}
+
+impl MitigationScheme {
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            MitigationScheme::Baseline => "Baseline".to_owned(),
+            MitigationScheme::Mint => "MINT".to_owned(),
+            MitigationScheme::MintRfm { rfm_th } => format!("MINT+RFM{rfm_th}"),
+            MitigationScheme::McPara { p } => format!("MC-PARA(1/{:.0})", 1.0 / p),
+        }
+    }
+}
+
+/// The evaluated system (paper Table VI) plus DDR5 command timings.
+///
+/// All times are picoseconds (integral, so event arithmetic is exact and
+/// runs are bit-reproducible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Number of cores (4).
+    pub cores: u32,
+    /// Core clock in GHz (3).
+    pub core_ghz: u32,
+    /// Effective non-memory IPC of the 8-wide core (how fast compute
+    /// phases retire between LLC misses).
+    pub core_ipc: u32,
+    /// Memory-level parallelism: concurrent misses a core can overlap.
+    pub core_mlp: u32,
+    /// Banks in the channel (32).
+    pub banks: u32,
+    /// Row-activate latency tRCD (ps).
+    pub t_rcd_ps: u64,
+    /// Column access latency tCL (ps).
+    pub t_cl_ps: u64,
+    /// Precharge latency tRP (ps).
+    pub t_rp_ps: u64,
+    /// Row cycle time tRC (ps).
+    pub t_rc_ps: u64,
+    /// Refresh interval tREFI (ps).
+    pub t_refi_ps: u64,
+    /// Refresh duration tRFC (ps).
+    pub t_rfc_ps: u64,
+    /// RFM duration tRFMsb (ps) — half of tRFC per the paper.
+    pub t_rfm_ps: u64,
+    /// Directed-RFM duration tDRFMsb (ps) — equal to tRFC.
+    pub t_drfm_ps: u64,
+    /// Rows per bank (for address generation).
+    pub rows_per_bank: u32,
+}
+
+impl SystemConfig {
+    /// Table VI: 4 cores @ 3 GHz, 32 banks, 16-16-16-48 ns timings, with
+    /// the §VIII DRFM/RFM latencies (410 ns / 205 ns).
+    #[must_use]
+    pub fn table6() -> Self {
+        Self {
+            cores: 4,
+            core_ghz: 3,
+            core_ipc: 3,
+            core_mlp: 4,
+            banks: 32,
+            t_rcd_ps: 16_000,
+            t_cl_ps: 16_000,
+            t_rp_ps: 16_000,
+            t_rc_ps: 48_000,
+            t_refi_ps: 3_900_000,
+            t_rfc_ps: 410_000,
+            t_rfm_ps: 205_000,
+            t_drfm_ps: 410_000,
+            rows_per_bank: 128 * 1024,
+        }
+    }
+
+    /// Picoseconds per core cycle.
+    #[must_use]
+    pub fn core_cycle_ps(&self) -> u64 {
+        1_000 / u64::from(self.core_ghz)
+    }
+
+    /// Row-buffer hit latency (CAS only).
+    #[must_use]
+    pub fn hit_latency_ps(&self) -> u64 {
+        self.t_cl_ps
+    }
+
+    /// Row-buffer miss latency (precharge + activate + CAS).
+    #[must_use]
+    pub fn miss_latency_ps(&self) -> u64 {
+        self.t_rp_ps + self.t_rcd_ps + self.t_cl_ps
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::table6()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_constants() {
+        let c = SystemConfig::table6();
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.banks, 32);
+        assert_eq!(c.t_rc_ps, 48_000);
+        assert_eq!(c.core_cycle_ps(), 333);
+        assert_eq!(c.miss_latency_ps(), 48_000);
+        assert_eq!(c.hit_latency_ps(), 16_000);
+    }
+
+    #[test]
+    fn rfm_is_half_drfm() {
+        let c = SystemConfig::table6();
+        assert_eq!(c.t_drfm_ps, c.t_rfc_ps);
+        assert_eq!(c.t_rfm_ps * 2, c.t_rfc_ps);
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(MitigationScheme::Baseline.label(), "Baseline");
+        assert_eq!(MitigationScheme::Mint.label(), "MINT");
+        assert_eq!(MitigationScheme::MintRfm { rfm_th: 16 }.label(), "MINT+RFM16");
+        assert!(MitigationScheme::McPara { p: 1.0 / 64.0 }.label().contains("64"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Performance and energy substrate — the Gem5 substitute (DESIGN.md §2).
+//!
+//! The paper evaluates MINT's performance cost in Gem5 with SPEC2017 rate
+//! and mixed workloads (Fig 16, Fig 17, Table VIII). All of the *effects*
+//! it measures come from one mechanism: mitigation-related commands
+//! stealing bank time —
+//!
+//! * MINT mitigates inside the tRFC of the regular REF → zero slowdown;
+//! * MINT+RFM adds an RFM command (tRFC/2 = 205 ns of bank block) every
+//!   `RFM_TH` activations per bank;
+//! * MC-side PARA issues a blocking DRFM (410 ns) per sampled activation.
+//!
+//! This crate reproduces exactly those mechanisms in a trace-driven
+//! simulator: a 4-core model generating LLC-miss streams parameterised by
+//! MPKI and row-buffer locality ([`workload`]), an FR-FCFS-ish memory
+//! controller with DDR5 bank timing, REF/RFM/DRFM scheduling
+//! ([`controller`]), per-bank MINT trackers counting mitigative activations,
+//! and a DRAMPower-style energy model ([`energy`]). Absolute IPC differs
+//! from the authors' testbed; the normalized slowdown and energy *shape* is
+//! what the Fig 16 / Fig 17 / Table VIII regeneration targets check.
+
+pub mod config;
+pub mod controller;
+pub mod energy;
+pub mod runner;
+pub mod workload;
+
+pub use config::{MitigationScheme, SystemConfig};
+pub use controller::{MemoryController, SimResult};
+pub use energy::{EnergyModel, EnergyReport};
+pub use runner::{run_workload, NormalizedPerf};
+pub use workload::{mixes, spec_rate_workloads, CoreStream, WorkloadSpec};

@@ -1,0 +1,231 @@
+//! End-to-end workload runs: cores + controller → normalized performance.
+
+use crate::config::{MitigationScheme, SystemConfig};
+use crate::controller::{MemoryController, SimResult};
+use crate::workload::{CoreStream, WorkloadSpec};
+use mint_rng::derive_seed;
+
+/// Outcome of running one multi-core workload under one scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalizedPerf {
+    /// Total simulated time (ps) — lower is faster.
+    pub duration_ps: u64,
+    /// Controller statistics.
+    pub result: SimResult,
+    /// Weighted speedup vs. a reference duration (1.0 = baseline); filled
+    /// by [`normalize`](NormalizedPerf::normalize).
+    pub normalized: f64,
+}
+
+impl NormalizedPerf {
+    /// Normalizes against the baseline run of the same workload.
+    #[must_use]
+    pub fn normalize(mut self, baseline: &NormalizedPerf) -> Self {
+        self.normalized = baseline.duration_ps as f64 / self.duration_ps as f64;
+        self
+    }
+}
+
+/// Runs a 4-core workload (one [`WorkloadSpec`] per core) for
+/// `requests_per_core` LLC misses per core under the given scheme.
+///
+/// Each core is a blocking-miss model with an MLP overlap factor: after
+/// issuing a miss at time `t` that completes at `c`, the core becomes ready
+/// for its next miss at `t + think + (c − t)/MLP`. The per-core streams and
+/// the controller are seeded deterministically from `seed`.
+///
+/// # Panics
+///
+/// Panics if `specs.len() != cfg.cores as usize` or
+/// `requests_per_core == 0`.
+#[must_use]
+pub fn run_workload(
+    cfg: &SystemConfig,
+    scheme: MitigationScheme,
+    specs: &[WorkloadSpec],
+    requests_per_core: u32,
+    seed: u64,
+) -> NormalizedPerf {
+    assert_eq!(
+        specs.len(),
+        cfg.cores as usize,
+        "one workload spec per core"
+    );
+    assert!(requests_per_core > 0, "need at least one request per core");
+    let mut controller = MemoryController::new(*cfg, scheme, derive_seed(seed, 0xC0));
+    let cycle_ps = cfg.core_cycle_ps();
+    let mlp = u64::from(cfg.core_mlp);
+
+    struct CoreCtx {
+        stream: CoreStream,
+        ready_at: u64,
+        remaining: u32,
+        finish: u64,
+    }
+    let mut cores: Vec<CoreCtx> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            // Compute time between misses: instructions/miss ÷ IPC, in ps.
+            let think_ps = (spec.instructions_per_miss() / f64::from(cfg.core_ipc)
+                * cycle_ps as f64) as u64;
+            CoreCtx {
+                stream: CoreStream::new(
+                    *spec,
+                    cfg.banks,
+                    cfg.rows_per_bank,
+                    think_ps,
+                    derive_seed(seed, i as u64),
+                ),
+                ready_at: 0,
+                remaining: requests_per_core,
+                finish: 0,
+            }
+        })
+        .collect();
+
+    // Event loop: always advance the earliest-ready core.
+    loop {
+        let Some(idx) = cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.remaining > 0)
+            .min_by_key(|(_, c)| c.ready_at)
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        let core = &mut cores[idx];
+        let req = core.stream.next_request();
+        let issue = core.ready_at + req.think_time_ps;
+        let completion = controller.service(req, issue);
+        let stall = (completion - issue) / mlp.max(1);
+        core.ready_at = issue + stall;
+        core.remaining -= 1;
+        if core.remaining == 0 {
+            core.finish = completion;
+        }
+    }
+
+    let duration = cores.iter().map(|c| c.finish).max().unwrap_or(0);
+    controller.finish(duration);
+    NormalizedPerf {
+        duration_ps: duration,
+        result: controller.result(),
+        normalized: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::spec_rate_workloads;
+
+    fn rate4(spec: WorkloadSpec) -> Vec<WorkloadSpec> {
+        vec![spec; 4]
+    }
+
+    fn run(scheme: MitigationScheme, spec: WorkloadSpec) -> NormalizedPerf {
+        run_workload(&SystemConfig::table6(), scheme, &rate4(spec), 30_000, 11)
+    }
+
+    fn lbm() -> WorkloadSpec {
+        spec_rate_workloads()
+            .into_iter()
+            .find(|w| w.name == "lbm")
+            .unwrap()
+    }
+
+    #[test]
+    fn mint_has_zero_slowdown() {
+        let spec = lbm();
+        let base = run(MitigationScheme::Baseline, spec);
+        let mint = run(MitigationScheme::Mint, spec).normalize(&base);
+        assert!(
+            (mint.normalized - 1.0).abs() < 1e-9,
+            "MINT normalized perf {}",
+            mint.normalized
+        );
+        assert!(mint.result.mitigative_acts > 0);
+    }
+
+    #[test]
+    fn rfm16_slowdown_is_small() {
+        // With the per-REF RAA decrement, RFM16 only fires on banks that
+        // exceed 16 ACTs per tREFI — slowdown stays within a few percent
+        // even for the most memory-intensive workload (paper avg: 1.6%).
+        let spec = lbm();
+        let base = run(MitigationScheme::Baseline, spec);
+        let rfm = run(MitigationScheme::MintRfm { rfm_th: 16 }, spec).normalize(&base);
+        assert!(rfm.normalized <= 1.0);
+        assert!(
+            rfm.normalized > 0.90,
+            "RFM16 slowdown should be a few percent, got {}",
+            rfm.normalized
+        );
+    }
+
+    #[test]
+    fn rfm32_costs_less_than_rfm16() {
+        let spec = lbm();
+        let base = run(MitigationScheme::Baseline, spec);
+        let rfm32 = run(MitigationScheme::MintRfm { rfm_th: 32 }, spec).normalize(&base);
+        let rfm16 = run(MitigationScheme::MintRfm { rfm_th: 16 }, spec).normalize(&base);
+        assert!(
+            rfm32.normalized >= rfm16.normalized,
+            "RFM32 {} vs RFM16 {}",
+            rfm32.normalized,
+            rfm16.normalized
+        );
+    }
+
+    #[test]
+    fn mc_para_is_worse_than_mint_rfm() {
+        let spec = lbm();
+        let base = run(MitigationScheme::Baseline, spec);
+        let rfm16 = run(MitigationScheme::MintRfm { rfm_th: 16 }, spec).normalize(&base);
+        let para = run(MitigationScheme::McPara { p: 1.0 / 64.0 }, spec).normalize(&base);
+        assert!(
+            para.normalized < rfm16.normalized - 0.005,
+            "MC-PARA {} should clearly lose to MINT+RFM16 {}",
+            para.normalized,
+            rfm16.normalized
+        );
+    }
+
+    #[test]
+    fn compute_bound_workload_barely_notices() {
+        let povray = spec_rate_workloads()
+            .into_iter()
+            .find(|w| w.name == "povray")
+            .unwrap();
+        let base = run(MitigationScheme::Baseline, povray);
+        let para = run(MitigationScheme::McPara { p: 1.0 / 64.0 }, povray).normalize(&base);
+        assert!(
+            para.normalized > 0.97,
+            "compute-bound slowdown should be tiny, got {}",
+            para.normalized
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let spec = lbm();
+        let a = run(MitigationScheme::Mint, spec);
+        let b = run(MitigationScheme::Mint, spec);
+        assert_eq!(a.duration_ps, b.duration_ps);
+        assert_eq!(a.result, b.result);
+    }
+
+    #[test]
+    #[should_panic(expected = "one workload spec per core")]
+    fn wrong_core_count_rejected() {
+        let _ = run_workload(
+            &SystemConfig::table6(),
+            MitigationScheme::Baseline,
+            &[lbm()],
+            10,
+            1,
+        );
+    }
+}

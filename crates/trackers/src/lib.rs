@@ -1,0 +1,41 @@
+//! Baseline in-DRAM Rowhammer trackers (paper §V-G comparison set and §IX
+//! related work).
+//!
+//! Every tracker here implements
+//! [`InDramTracker`](mint_core::InDramTracker), so the Monte-Carlo engine in
+//! `mint-sim` and the benchmarks in `mint-bench` can drive MINT and its
+//! baselines interchangeably. The set matches the paper's Table III plus the
+//! related-work designs it quantifies:
+//!
+//! | Tracker | Type (paper taxonomy) | Entries | Transitive attacks |
+//! |---|---|---|---|
+//! | [`InDramPara`] | present-centric, overwrite (§III-A) | 1 | immune* |
+//! | [`InDramParaNoOverwrite`] | present-centric, no-overwrite (§III-B) | 1 | immune* |
+//! | [`Parfm`] | past-centric, buffered random (§V-G) | 73 | vulnerable |
+//! | [`Prct`] | past-centric, per-row counters (§II-H) | 128K | immune |
+//! | [`Mithril`] | past-centric, counter-based summary (§II-G) | ~677 | immune |
+//! | [`ProTrr`] | past-centric, Misra-Gries victims (§II-G) | ~hundreds | immune |
+//! | [`SimpleTrr`] | vendor-TRR-like, few entries (§II-F) | 1–30 | broken anyway |
+//! | [`Pride`] | present-centric + 4-FIFO (§IX) | 4 | immune* |
+//! | [`Graphene`] | MC-side Misra-Gries (Table IX) | thousands | n/a |
+//!
+//! \*immune because their direct-attack MinTRH already exceeds what a
+//! transitive attack can deliver (§V-G).
+
+mod graphene;
+mod mithril;
+mod para;
+mod parfm;
+mod prct;
+mod pride;
+mod protrr;
+mod trr;
+
+pub use graphene::{Graphene, GrapheneConfig};
+pub use mithril::{Mithril, MithrilConfig};
+pub use para::{InDramPara, InDramParaNoOverwrite};
+pub use parfm::Parfm;
+pub use prct::Prct;
+pub use pride::Pride;
+pub use protrr::{ProTrr, ProTrrConfig};
+pub use trr::SimpleTrr;

@@ -1,0 +1,79 @@
+//! The attack gauntlet: every pattern in the paper against every tracker.
+//!
+//! ```bash
+//! cargo run --release --example attack_gauntlet
+//! ```
+//!
+//! Prints a (tracker × attack) matrix of the *maximum unmitigated hammer
+//! count* any row reached in one tREFW — the quantity a Rowhammer threshold
+//! is compared against. Reproduces the qualitative claims of Table III:
+//! vendor-TRR breaks under many-sided patterns, PARFM and transitive-less
+//! MINT break under Half-Double, full MINT holds everywhere.
+
+use mint_rh::attacks::{
+    AccessPattern, Blacksmith, BlacksmithConfig, DoubleSided, HalfDouble, ManySided, Pattern2,
+    SingleSided,
+};
+use mint_rh::core::{InDramTracker, Mint, MintConfig};
+use mint_rh::dram::RowId;
+use mint_rh::rng::Xoshiro256StarStar;
+use mint_rh::sim::{Engine, SimConfig};
+use mint_rh::trackers::{InDramPara, Parfm, Prct, SimpleTrr};
+
+fn attacks() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn AccessPattern>>)> {
+    vec![
+        ("single-sided", Box::new(|| Box::new(SingleSided::new(RowId(10_000))))),
+        ("double-sided", Box::new(|| Box::new(DoubleSided::new(RowId(10_000))))),
+        ("many-sided-40", Box::new(|| Box::new(ManySided::new(RowId(10_000), 40)))),
+        ("blacksmith", Box::new(|| Box::new(Blacksmith::new(BlacksmithConfig::default())))),
+        ("half-double", Box::new(|| Box::new(HalfDouble::new(RowId(10_000))))),
+        ("pattern-2 (k=73)", Box::new(|| Box::new(Pattern2::new(RowId(10_000), 73, 73)))),
+    ]
+}
+
+fn run(tracker: &mut dyn InDramTracker, make: &dyn Fn() -> Box<dyn AccessPattern>, seed: u64) -> u32 {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut pattern = make();
+    let mut engine = Engine::new(SimConfig::small());
+    engine.run(tracker, pattern.as_mut(), &mut rng).max_hammers
+}
+
+fn main() {
+    let attack_list = attacks();
+    print!("{:<24}", "tracker \\ attack");
+    for (name, _) in &attack_list {
+        print!("{name:>18}");
+    }
+    println!();
+
+    let trackers: Vec<(&str, Box<dyn Fn(&mut Xoshiro256StarStar) -> Box<dyn InDramTracker>>)> = vec![
+        ("MINT", Box::new(|r: &mut Xoshiro256StarStar| {
+            Box::new(Mint::new(MintConfig::ddr5_default(), r)) as Box<dyn InDramTracker>
+        })),
+        ("MINT (no transitive)", Box::new(|r: &mut Xoshiro256StarStar| {
+            Box::new(Mint::new(MintConfig::ddr5_default().without_transitive(), r))
+        })),
+        ("InDRAM-PARA", Box::new(|_r| Box::new(InDramPara::new(1.0 / 73.0)))),
+        ("PARFM", Box::new(|_r| Box::new(Parfm::new(73)))),
+        ("PRCT", Box::new(|_r| Box::new(Prct::new(64 * 1024)))),
+        ("TRR-16", Box::new(|_r| Box::new(SimpleTrr::new(16)))),
+    ];
+
+    for (tname, make_tracker) in &trackers {
+        print!("{tname:<24}");
+        for (i, (_, make_attack)) in attack_list.iter().enumerate() {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(900 + i as u64);
+            let mut tracker = make_tracker(&mut rng);
+            let max = run(tracker.as_mut(), make_attack.as_ref(), 900 + i as u64);
+            print!("{max:>18}");
+        }
+        println!();
+    }
+
+    println!(
+        "\nReading: each cell is the max unmitigated hammers in one tREFW \
+         (32 ms).\nMINT stays bounded everywhere; removing the transitive \
+         slot loses to half-double;\nTRR loses to many-sided/blacksmith \
+         (TRRespass-style); PARFM loses to half-double (Table III)."
+    );
+}

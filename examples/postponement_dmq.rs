@@ -1,0 +1,74 @@
+//! Refresh postponement and the Delayed Mitigation Queue (paper §VI).
+//!
+//! ```bash
+//! cargo run --release --example postponement_dmq
+//! ```
+//!
+//! Demonstrates the paper's §VI-B headline end to end:
+//!
+//! 1. Under DDR5's maximum refresh postponement (4 postponed REFs), the
+//!    deterministic decoy attack performs ≈478K activations per tREFW on a
+//!    row that bare MINT *never sees* — a total collapse.
+//! 2. Wrapping the same tracker in the 4-entry DMQ (15 bytes total)
+//!    restores the bound to the low thousands.
+//! 3. The adaptive attack of Appendix B buys back only ≈365 activations.
+
+use mint_rh::attacks::{AccessPattern, AdaptiveAttack, PostponementDecoy};
+use mint_rh::core::{Dmq, InDramTracker, Mint, MintConfig};
+use mint_rh::dram::{RefreshPolicy, RowId};
+use mint_rh::rng::Xoshiro256StarStar;
+use mint_rh::sim::{Engine, SimConfig};
+
+fn run(tracker: &mut dyn InDramTracker, pattern: &mut dyn AccessPattern, seed: u64) -> u32 {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let cfg = SimConfig::small().with_policy(RefreshPolicy::ddr5_max_postpone());
+    Engine::new(cfg).run(tracker, pattern, &mut rng).max_hammers
+}
+
+fn main() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(99);
+    let attack_row = RowId(10_000);
+
+    println!("DDR5 refresh postponement: 4 REFs postponed, batches of 5,");
+    println!("up to 5 x 73 = 365 activations between refresh opportunities.\n");
+
+    // 1. Bare MINT vs the decoy attack: catastrophic.
+    let mut bare = Mint::new(MintConfig::ddr5_default(), &mut rng);
+    let mut decoy = PostponementDecoy::new(attack_row, RowId(50_000), 73, 5);
+    let unprotected = run(&mut bare, &mut decoy, 1);
+    println!(
+        "bare MINT  vs decoy attack : max unmitigated hammers = {unprotected:>7}  \
+         (paper: ~478K deterministic)"
+    );
+
+    // 2. MINT+DMQ vs the same attack: bounded.
+    let inner = Mint::new(MintConfig::ddr5_default(), &mut rng);
+    let mut dmq = Dmq::new(inner, 73);
+    let mut decoy = PostponementDecoy::new(attack_row, RowId(50_000), 73, 5);
+    let protected = run(&mut dmq, &mut decoy, 2);
+    println!(
+        "MINT+DMQ   vs decoy attack : max unmitigated hammers = {protected:>7}  \
+         (bounded by window+flood)"
+    );
+
+    // 3. MINT+DMQ vs the adaptive (morphing) attack of Appendix B.
+    let inner = Mint::new(MintConfig::ddr5_default(), &mut rng);
+    let mut dmq = Dmq::new(inner, 73);
+    let mut ada = AdaptiveAttack::paper_default(RowId(10_000), 1400);
+    let adaptive = run(&mut dmq, &mut ada, 3);
+    println!(
+        "MINT+DMQ   vs ADA (MP=1400): max unmitigated hammers = {adaptive:>7}  \
+         (morph buys ≤365 extra)"
+    );
+
+    let improvement = f64::from(unprotected) / f64::from(protected.max(1));
+    println!(
+        "\nDMQ reduces the attacker's best result by {improvement:.0}x, at a \
+         cost of 9.5 bytes per bank."
+    );
+    println!(
+        "Analytical MinTRH-D (mint-analysis): 1400 timely, 1404 DMQ-simple, \
+         ~1482 under ADA (paper Table IV)."
+    );
+    assert!(unprotected > 100 * protected);
+}

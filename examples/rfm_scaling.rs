@@ -1,0 +1,60 @@
+//! Scaling MINT to low thresholds with RFM (paper §VII + Fig 16).
+//!
+//! ```bash
+//! cargo run --release --example rfm_scaling
+//! ```
+//!
+//! Computes the Table V security scaling analytically and then runs the
+//! memory-system simulator to show what each rate costs in performance —
+//! the paper's central trade-off: 4x the mitigation rate buys a 4x lower
+//! tolerated threshold for ~1.6% slowdown.
+
+use mint_rh::analysis::ada::AdaConfig;
+use mint_rh::analysis::{MinTrhSolver, TargetMttf};
+use mint_rh::memsys::{
+    run_workload, spec_rate_workloads, MitigationScheme, SystemConfig,
+};
+
+fn main() {
+    let solver = MinTrhSolver::new(TargetMttf::paper_default(), 0.032);
+
+    println!("Security scaling (MinTRH-D, with DMQ, adaptive attacks):");
+    let configs = [
+        ("MINT 0.5x", AdaConfig::half_rate()),
+        ("MINT 1x  ", AdaConfig::mint_default()),
+        ("MINT+RFM32", AdaConfig::rfm(32)),
+        ("MINT+RFM16", AdaConfig::rfm(16)),
+    ];
+    for (name, cfg) in configs {
+        println!(
+            "  {name}: window {:>3} ACTs -> MinTRH-D {:>5}",
+            cfg.window_acts,
+            cfg.ada_min_trh_d(&solver)
+        );
+    }
+    println!("  (paper Table V: 2.70K / 1.48K / 689 / 356)\n");
+
+    println!("Performance cost (4-core mcf rate, 30K misses/core):");
+    let sys = SystemConfig::table6();
+    let mcf = spec_rate_workloads()
+        .into_iter()
+        .find(|w| w.name == "mcf")
+        .expect("mcf in the suite");
+    let specs = [mcf; 4];
+    let base = run_workload(&sys, MitigationScheme::Baseline, &specs, 30_000, 42);
+    for scheme in [
+        MitigationScheme::Mint,
+        MitigationScheme::MintRfm { rfm_th: 32 },
+        MitigationScheme::MintRfm { rfm_th: 16 },
+    ] {
+        let r = run_workload(&sys, scheme, &specs, 30_000, 42).normalize(&base);
+        println!(
+            "  {:<12} normalized perf {:.4}  (RFMs: {:>6}, mitigative ACTs: {:>6})",
+            scheme.label(),
+            r.normalized,
+            r.result.rfm_commands,
+            r.result.mitigative_acts
+        );
+    }
+    println!("  (paper Fig 16: MINT 0%, RFM32 ~0.2%, RFM16 ~1.6% slowdown)");
+}

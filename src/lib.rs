@@ -1,0 +1,52 @@
+//! # mint-rh — a reproduction of MINT (MICRO 2024)
+//!
+//! This is the facade crate for a full Rust reproduction of
+//! *"MINT: Securely Mitigating Rowhammer with a Minimalist In-DRAM Tracker"*
+//! (Qureshi, Qazi, Jaleel — MICRO 2024, arXiv:2407.16038).
+//!
+//! It re-exports the workspace crates under stable module names:
+//!
+//! * [`rng`] — deterministic PRNG substrate (models the in-DRAM TRNG).
+//! * [`dram`] — DDR5 parameters, bank/row hammer model, refresh engine.
+//! * [`core`] — **the paper's contribution**: the [`core::Mint`] tracker,
+//!   the [`core::Dmq`] delayed-mitigation queue and RFM co-design.
+//! * [`trackers`] — baseline trackers (InDRAM-PARA, PARFM, PRCT, Mithril,
+//!   ProTRR, TRR, PrIDE).
+//! * [`attacks`] — Rowhammer attack pattern generators.
+//! * [`analysis`] — the analytical security models (Sariou–Wolman, MTTF,
+//!   MinTRH, Markov-chain adaptive attacks).
+//! * [`sim`] — the Monte-Carlo attack simulator.
+//! * [`memsys`] — the performance/energy substrate (Gem5 substitute).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mint_rh::core::{InDramTracker, Mint, MintConfig};
+//! use mint_rh::dram::RowId;
+//! use mint_rh::rng::Xoshiro256StarStar;
+//!
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+//! // The plain §V-B design (no transitive slot) for a deterministic demo.
+//! let config = MintConfig::ddr5_default().without_transitive();
+//! let mut mint = Mint::new(config, &mut rng);
+//!
+//! // One tREFI worth of a classic single-sided attack: MINT is guaranteed
+//! // to select the aggressor because it occupies every activation slot.
+//! for _ in 0..73 {
+//!     mint.on_activation(RowId(1000), &mut rng);
+//! }
+//! let decision = mint.on_refresh(&mut rng);
+//! assert!(decision.mitigates(RowId(1000)));
+//! ```
+//!
+//! See `DESIGN.md` for the complete system inventory and `EXPERIMENTS.md`
+//! for the paper-vs-measured record of every table and figure.
+
+pub use mint_analysis as analysis;
+pub use mint_attacks as attacks;
+pub use mint_core as core;
+pub use mint_dram as dram;
+pub use mint_memsys as memsys;
+pub use mint_rng as rng;
+pub use mint_sim as sim;
+pub use mint_trackers as trackers;

@@ -1,0 +1,75 @@
+//! Cross-validation: the Sariou–Wolman analytical model against the
+//! Monte-Carlo simulator, at thresholds low enough to measure empirically.
+
+use mint_rh::analysis::SwModel;
+use mint_rh::attacks::Pattern1;
+use mint_rh::core::{Mint, MintConfig};
+use mint_rh::dram::RowId;
+use mint_rh::sim::{estimate_failure_prob, SimConfig};
+
+/// Analytic failure probability for pattern-1 at threshold `t`, against the
+/// full-MINT span of 74 (the simulator runs real MINT with the transitive
+/// slot enabled).
+fn analytic_p(t: u32) -> f64 {
+    SwModel {
+        p_mitigation: 1.0 / 74.0,
+        threshold_events: t,
+        events_per_refw: 8192,
+        refi_per_event: 1.0,
+        row_multiplier: 1.0,
+    }
+    .failure_prob_refw()
+}
+
+fn empirical_p(trh: u32, trials: u32, seed: u64) -> f64 {
+    let cfg = SimConfig {
+        bank_rows: 4096,
+        ..SimConfig::small()
+    }
+    .with_trh(trh);
+    let (fails, total) = estimate_failure_prob(
+        cfg,
+        trials,
+        seed,
+        &mut |r| Box::new(Mint::new(MintConfig::ddr5_default(), r)),
+        &mut || Box::new(Pattern1::new(RowId(2000))),
+    );
+    f64::from(fails) / f64::from(total)
+}
+
+#[test]
+fn pattern1_failure_rate_matches_model_at_t600() {
+    let t = 600;
+    let analytic = analytic_p(t);
+    let trials = 2_000;
+    let empirical = empirical_p(t, trials, 0xAB);
+    // Binomial 3-sigma band around the analytic prediction.
+    let sigma = (analytic * (1.0 - analytic) / f64::from(trials)).sqrt();
+    assert!(
+        (empirical - analytic).abs() < 4.0 * sigma + 0.01,
+        "empirical {empirical} vs analytic {analytic} (sigma {sigma})"
+    );
+}
+
+#[test]
+fn pattern1_failure_rate_matches_model_at_t450() {
+    let t = 450;
+    let analytic = analytic_p(t);
+    let trials = 1_000;
+    let empirical = empirical_p(t, trials, 0xCD);
+    let sigma = (analytic * (1.0 - analytic) / f64::from(trials)).sqrt();
+    assert!(
+        (empirical - analytic).abs() < 4.0 * sigma + 0.02,
+        "empirical {empirical} vs analytic {analytic} (sigma {sigma})"
+    );
+}
+
+#[test]
+fn failure_rate_decreases_with_threshold() {
+    let lo = empirical_p(400, 400, 0xEF);
+    let hi = empirical_p(800, 400, 0xEF);
+    assert!(
+        lo > hi,
+        "T=400 rate {lo} must exceed T=800 rate {hi}"
+    );
+}

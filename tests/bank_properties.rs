@@ -1,0 +1,117 @@
+//! Property-based tests of the DRAM bank hammer model: conservation laws
+//! the whole security analysis rests on.
+
+use mint_rh::dram::{Bank, BankConfig, RowId};
+use proptest::prelude::*;
+
+fn total_hammers(bank: &Bank, rows: u32) -> u64 {
+    (0..rows).map(|r| u64::from(bank.hammers(RowId(r)))).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Without refreshes, total hammers equal activations × neighbours
+    /// reached, minus what self-restores erase — never more than
+    /// 2 × blast × ACTs.
+    #[test]
+    fn hammer_conservation_upper_bound(
+        acts in proptest::collection::vec(1u32..62, 1..300),
+        blast in 1u32..3,
+    ) {
+        let rows = 64;
+        let mut bank = Bank::new(BankConfig { rows, blast_radius: blast, trh: None });
+        for &a in &acts {
+            bank.demand_activate(RowId(a));
+        }
+        let total = total_hammers(&bank, rows);
+        prop_assert!(total <= acts.len() as u64 * u64::from(2 * blast));
+    }
+
+    /// Hammering distinct, well-separated rows conserves exactly
+    /// (no self-restore interference).
+    #[test]
+    fn hammer_conservation_exact_when_separated(n_rows in 1u32..10) {
+        let rows = 64;
+        let mut bank = Bank::new(BankConfig { rows, blast_radius: 1, trh: None });
+        for i in 0..n_rows {
+            bank.demand_activate(RowId(4 + i * 5)); // stride 5 > 2×blast+1
+        }
+        prop_assert_eq!(total_hammers(&bank, rows), u64::from(n_rows) * 2);
+    }
+
+    /// A full auto-refresh sweep restores a pristine bank no matter what
+    /// preceded it.
+    #[test]
+    fn full_sweep_clears_everything(
+        acts in proptest::collection::vec(1u32..62, 0..200),
+    ) {
+        let rows = 64;
+        let mut bank = Bank::new(BankConfig { rows, blast_radius: 1, trh: None });
+        for &a in &acts {
+            bank.demand_activate(RowId(a));
+        }
+        bank.auto_refresh_step(rows);
+        prop_assert_eq!(total_hammers(&bank, rows), 0);
+    }
+
+    /// Mitigating an aggressor always zeroes its direct victims,
+    /// regardless of prior state.
+    #[test]
+    fn mitigation_zeroes_direct_victims(
+        acts in proptest::collection::vec(1u32..62, 0..200),
+        aggressor in 2u32..61,
+    ) {
+        let rows = 64;
+        let mut bank = Bank::new(BankConfig { rows, blast_radius: 1, trh: None });
+        for &a in &acts {
+            bank.demand_activate(RowId(a));
+        }
+        bank.mitigate_aggressor(RowId(aggressor));
+        // The two victim refreshes happen in order (low then high): the
+        // high victim's refresh can re-hammer... only rows at distance 2,
+        // never the victims themselves.
+        prop_assert_eq!(bank.hammers(RowId(aggressor - 1)), 0);
+        prop_assert_eq!(bank.hammers(RowId(aggressor + 1)), 0);
+    }
+
+    /// Failure records appear exactly when a TRH is configured and some
+    /// row reaches it; max_hammers_ever is an upper bound for every row.
+    #[test]
+    fn failure_detection_consistent(
+        reps in 1u32..120,
+        trh in 5u32..200,
+    ) {
+        let rows = 64;
+        let mut bank = Bank::new(BankConfig { rows, blast_radius: 1, trh: Some(trh) });
+        for _ in 0..reps {
+            bank.demand_activate(RowId(30));
+        }
+        let expect_failure = reps >= trh;
+        prop_assert_eq!(!bank.failures().is_empty(), expect_failure);
+        for r in 0..rows {
+            prop_assert!(bank.hammers(RowId(r)) <= bank.max_hammers_ever());
+        }
+        if expect_failure {
+            // Both victims crossed at exactly the threshold.
+            prop_assert!(bank.failures().iter().all(|f| f.hammers == trh));
+        }
+    }
+
+    /// Reset always restores the pristine state.
+    #[test]
+    fn reset_is_pristine(
+        acts in proptest::collection::vec(1u32..62, 0..100),
+    ) {
+        let rows = 64;
+        let mut bank = Bank::new(BankConfig { rows, blast_radius: 1, trh: Some(3) });
+        for &a in &acts {
+            bank.demand_activate(RowId(a));
+        }
+        bank.reset();
+        prop_assert_eq!(total_hammers(&bank, rows), 0);
+        prop_assert!(bank.failures().is_empty());
+        prop_assert_eq!(bank.max_hammers_ever(), 0);
+        prop_assert_eq!(bank.stats().demand_acts, 0);
+    }
+}

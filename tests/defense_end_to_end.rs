@@ -1,0 +1,102 @@
+//! End-to-end defence validation: MINT+DMQ against the complete attack
+//! suite under both refresh policies, checked at the analytical MinTRH-D.
+
+use mint_rh::attacks::{
+    AccessPattern, AdaptiveAttack, Blacksmith, BlacksmithConfig, DoubleSided, HalfDouble,
+    ManySided, Pattern1, Pattern2, Pattern3, PostponementDecoy, SingleSided,
+};
+use mint_rh::core::{Dmq, Mint, MintConfig};
+use mint_rh::dram::{RefreshPolicy, RowId};
+use mint_rh::rng::Xoshiro256StarStar;
+use mint_rh::sim::{Engine, SimConfig};
+
+fn full_suite() -> Vec<(&'static str, Box<dyn AccessPattern>)> {
+    vec![
+        ("single-sided", Box::new(SingleSided::new(RowId(10_000)))),
+        ("double-sided", Box::new(DoubleSided::new(RowId(10_000)))),
+        ("pattern-1", Box::new(Pattern1::new(RowId(10_000)))),
+        ("pattern-2", Box::new(Pattern2::new(RowId(10_000), 73, 73))),
+        ("pattern-2-multi", Box::new(Pattern2::new(RowId(10_000), 146, 73))),
+        ("pattern-3", Box::new(Pattern3::new(RowId(10_000), 24, 3, 73))),
+        ("many-sided", Box::new(ManySided::new(RowId(10_000), 40))),
+        ("blacksmith", Box::new(Blacksmith::new(BlacksmithConfig::default()))),
+        ("half-double", Box::new(HalfDouble::new(RowId(10_000)))),
+        ("ada", Box::new(AdaptiveAttack::paper_default(RowId(10_000), 1400))),
+        (
+            "postponement-decoy",
+            Box::new(PostponementDecoy::new(RowId(10_000), RowId(60_000), 73, 5)),
+        ),
+    ]
+}
+
+/// One tREFW of each attack against MINT+DMQ under maximum postponement.
+/// No single tREFW run should exceed the MinTRH-D band by a wide margin —
+/// the analytical 1482 is a 10,000-year statement; a single window staying
+/// under ~3000 hammers is a (loose but meaningful) sanity bound.
+#[test]
+fn mint_dmq_bounds_every_attack_under_postponement() {
+    for (name, mut attack) in full_suite() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xD0D0);
+        let mut tracker = Dmq::new(Mint::new(MintConfig::ddr5_default(), &mut rng), 73);
+        let cfg = SimConfig::small().with_policy(RefreshPolicy::ddr5_max_postpone());
+        let report = Engine::new(cfg).run(&mut tracker, attack.as_mut(), &mut rng);
+        assert!(
+            report.max_hammers < 3000,
+            "{name}: {} unmitigated hammers exceeds the sanity bound",
+            report.max_hammers
+        );
+    }
+}
+
+/// Same suite under timely refresh with bare MINT.
+#[test]
+fn bare_mint_bounds_every_attack_with_timely_refresh() {
+    for (name, mut attack) in full_suite() {
+        if name == "postponement-decoy" {
+            continue; // that attack requires postponement to mean anything
+        }
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xBEEF);
+        let mut tracker = Mint::new(MintConfig::ddr5_default(), &mut rng);
+        let report =
+            Engine::new(SimConfig::small()).run(&mut tracker, attack.as_mut(), &mut rng);
+        assert!(
+            report.max_hammers < 3000,
+            "{name}: {} unmitigated hammers exceeds the sanity bound",
+            report.max_hammers
+        );
+    }
+}
+
+/// The mitigations MINT performs are frugal: at most one per REF plus the
+/// RFM-free baseline — i.e. the engine never applies more mitigations than
+/// refresh opportunities.
+#[test]
+fn mitigation_budget_never_exceeds_refresh_opportunities() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xF00D);
+    let mut tracker = Mint::new(MintConfig::ddr5_default(), &mut rng);
+    let mut attack = Pattern2::new(RowId(10_000), 73, 73);
+    let report = Engine::new(SimConfig::small()).run(&mut tracker, &mut attack, &mut rng);
+    assert!(
+        report.mitigations + report.empty_mitigations <= report.refs,
+        "mitigations {} + skipped {} exceed REFs {}",
+        report.mitigations,
+        report.empty_mitigations,
+        report.refs
+    );
+}
+
+/// Multi-window stability: three consecutive tREFW of the worst-case
+/// pattern do not accumulate damage across windows (auto-refresh sweeps).
+#[test]
+fn no_cross_window_accumulation() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xACE);
+    let mut tracker = Mint::new(MintConfig::ddr5_default(), &mut rng);
+    let mut attack = Pattern2::new(RowId(10_000), 73, 73);
+    let cfg = SimConfig::small().with_windows(3);
+    let report = Engine::new(cfg).run(&mut tracker, &mut attack, &mut rng);
+    assert!(
+        report.max_hammers < 3500,
+        "3-window max {} should stay near the 1-window bound",
+        report.max_hammers
+    );
+}

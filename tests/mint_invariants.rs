@@ -1,0 +1,121 @@
+//! Property-based tests of the MINT-specific invariants from §V-B and the
+//! DMQ contract from §VI-C.
+
+use mint_rh::core::{Dmq, InDramTracker, Mint, MintConfig, MitigationDecision};
+use mint_rh::dram::RowId;
+use mint_rh::rng::Xoshiro256StarStar;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SAR is latched exactly when CAN reaches SAN, holds the row activated
+    /// at that sequence number, and is never overwritten within the window.
+    #[test]
+    fn sar_latches_exactly_at_san(
+        seed in 0u64..10_000,
+        rows in proptest::collection::vec(1u32..100_000, 73),
+    ) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let cfg = MintConfig::ddr5_default().without_transitive();
+        let mut mint = Mint::new(cfg, &mut rng);
+        let san = mint.san();
+        prop_assert!((1..=73).contains(&san));
+        for (i, &row) in rows.iter().enumerate() {
+            mint.on_activation(RowId(row), &mut rng);
+            let can = i as u32 + 1;
+            prop_assert_eq!(mint.can(), can);
+            if can < san {
+                prop_assert_eq!(mint.sar(), None);
+            } else {
+                // Latched at the SAN position and immutable afterwards.
+                prop_assert_eq!(mint.sar(), Some(RowId(rows[(san - 1) as usize])));
+            }
+        }
+        let d = mint.on_refresh(&mut rng);
+        prop_assert_eq!(d, MitigationDecision::Aggressor(RowId(rows[(san - 1) as usize])));
+    }
+
+    /// Over many windows, every slot position is selected with frequency
+    /// ~1/span — the uniformity property InDRAM-PARA lacks.
+    #[test]
+    fn selection_position_is_uniform(seed in 0u64..500) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let cfg = MintConfig::ddr5_default().without_transitive();
+        let mut mint = Mint::new(cfg, &mut rng);
+        let mut counts = [0u32; 73];
+        let windows = 7300;
+        for _ in 0..windows {
+            counts[(mint.san() - 1) as usize] += 1;
+            mint.on_refresh(&mut rng);
+        }
+        // Each slot expects 100 hits; allow a generous band (binomial).
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                (40..200).contains(&c),
+                "slot {i} selected {c} times in {windows} windows"
+            );
+        }
+    }
+
+    /// DMQ FIFO order: decisions drain in the order the windows completed.
+    #[test]
+    fn dmq_preserves_window_order(
+        seed in 0u64..10_000,
+        n_windows in 2usize..5,
+    ) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let cfg = MintConfig::ddr5_default().without_transitive();
+        let mut dmq = Dmq::new(Mint::new(cfg, &mut rng), 73);
+        // Window w hammers row 1000+w exclusively → guaranteed selection.
+        for w in 0..n_windows {
+            for _ in 0..73 {
+                let _ = dmq.on_activation(RowId(1000 + w as u32), &mut rng);
+            }
+        }
+        // Drain: queued windows first (all but the live one), in order.
+        for w in 0..n_windows - 1 {
+            let d = dmq.on_refresh(&mut rng);
+            prop_assert_eq!(
+                d,
+                MitigationDecision::Aggressor(RowId(1000 + w as u32)),
+                "window {} out of order", w
+            );
+        }
+        let last = dmq.on_refresh(&mut rng);
+        prop_assert!(last.mitigates(RowId(1000 + (n_windows - 1) as u32)));
+    }
+
+    /// A row occupying every slot of a window is always mitigated within
+    /// the window + DMQ bound, regardless of interleaving with refreshes.
+    #[test]
+    fn full_occupancy_guarantees_mitigation(
+        seed in 0u64..10_000,
+        refs_between in 0u32..3,
+    ) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let cfg = MintConfig::ddr5_default().without_transitive();
+        let mut dmq = Dmq::new(Mint::new(cfg, &mut rng), 73);
+        let row = RowId(31_337);
+        let mut mitigated = false;
+        // Up to 5 windows of full occupancy with sporadic refreshes: the
+        // row must be mitigated within the DMQ bound.
+        'outer: for _ in 0..5 {
+            for _ in 0..73 {
+                if let Some(d) = dmq.on_activation(row, &mut rng) {
+                    if d.mitigates(row) {
+                        mitigated = true;
+                        break 'outer;
+                    }
+                }
+            }
+            for _ in 0..=refs_between {
+                if dmq.on_refresh(&mut rng).mitigates(row) {
+                    mitigated = true;
+                    break 'outer;
+                }
+            }
+        }
+        prop_assert!(mitigated, "full-occupancy row escaped mitigation");
+    }
+}

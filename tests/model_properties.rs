@@ -1,0 +1,136 @@
+//! Property-based tests of the analytical core: the Sariou–Wolman model's
+//! structural properties and the MinTRH solver's correctness.
+
+use mint_rh::analysis::{MinTrhSolver, SwModel, TargetMttf};
+use proptest::prelude::*;
+
+fn model(p: f64, t: u32, k: u32) -> SwModel {
+    SwModel {
+        p_mitigation: p,
+        threshold_events: t,
+        events_per_refw: k,
+        refi_per_event: 1.0,
+        row_multiplier: 1.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Failure probability is a probability.
+    #[test]
+    fn probability_in_unit_interval(
+        p in 0.001f64..1.0,
+        t in 1u32..500,
+        k in 1u32..2000,
+    ) {
+        let v = model(p, t, k).failure_prob_refw();
+        prop_assert!((0.0..=1.0).contains(&v), "{v}");
+    }
+
+    /// Raising the threshold can only reduce the failure probability.
+    #[test]
+    fn monotone_in_threshold(
+        p in 0.01f64..0.5,
+        t in 2u32..300,
+        k in 1u32..1500,
+    ) {
+        let lo = model(p, t, k).failure_prob_refw();
+        let hi = model(p, t + 1, k).failure_prob_refw();
+        prop_assert!(hi <= lo + 1e-15, "T {t}: {hi} > {lo}");
+    }
+
+    /// A higher mitigation probability can only help the defender.
+    #[test]
+    fn monotone_in_mitigation_probability(
+        p in 0.01f64..0.45,
+        t in 2u32..200,
+        k in 10u32..1000,
+    ) {
+        let weak = model(p, t, k).failure_prob_refw();
+        let strong = model((p * 1.5).min(0.99), t, k).failure_prob_refw();
+        prop_assert!(strong <= weak + 1e-15, "{strong} > {weak}");
+    }
+
+    /// More events in the window can only increase failure probability.
+    #[test]
+    fn monotone_in_events(
+        p in 0.01f64..0.5,
+        t in 2u32..100,
+        k in 10u32..500,
+    ) {
+        let few = model(p, t, k).failure_prob_refw();
+        let many = model(p, t, k + 50).failure_prob_refw();
+        prop_assert!(many + 1e-15 >= few, "{many} < {few}");
+    }
+
+    /// The row multiplier is exactly linear (until clamped).
+    #[test]
+    fn row_multiplier_linear(
+        p in 0.05f64..0.5,
+        t in 30u32..100,
+        mult in 2u32..100,
+    ) {
+        let base = model(p, t, 8192);
+        let single = base.failure_prob_refw();
+        prop_assume!(single * f64::from(mult) < 0.5);
+        let multi = SwModel { row_multiplier: f64::from(mult), ..base }
+            .failure_prob_refw();
+        prop_assert!((multi - single * f64::from(mult)).abs() < 1e-12 * f64::from(mult));
+    }
+
+    /// The binary search returns the same boundary as a linear scan.
+    #[test]
+    fn solver_matches_linear_scan(
+        p in 0.05f64..0.5,
+        k in 50u32..300,
+    ) {
+        let solver = MinTrhSolver::new(TargetMttf { years_per_bank: 1e-4 }, 0.032);
+        let budget = solver.prob_budget();
+        let f = |t: u32| model(p, t, k).failure_prob_refw();
+        let fast = solver.min_threshold(1, k, &f);
+        let slow = (1..=k).find(|&t| f(t) <= budget).unwrap_or(k);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// The recurrence agrees with brute-force enumeration on any small
+    /// instance (exhaustive over mitigation outcomes).
+    #[test]
+    fn matches_brute_force(
+        p in 0.05f64..0.95,
+        t in 1u32..5,
+        k in 1u32..12,
+    ) {
+        prop_assume!(t <= k);
+        let mut exact = 0.0;
+        for mask in 0u32..(1 << k) {
+            let mut run = 0;
+            let mut failed = false;
+            for i in 0..k {
+                if mask >> i & 1 == 0 {
+                    run += 1;
+                    if run >= t {
+                        failed = true;
+                    }
+                } else {
+                    run = 0;
+                }
+            }
+            if failed {
+                let mut prob = 1.0;
+                for i in 0..k {
+                    prob *= if mask >> i & 1 == 1 { p } else { 1.0 - p };
+                }
+                exact += prob;
+            }
+        }
+        let m = SwModel {
+            p_mitigation: p,
+            threshold_events: t,
+            events_per_refw: k,
+            refi_per_event: 0.0, // isolate the recurrence from the auto term
+            row_multiplier: 1.0,
+        };
+        prop_assert!((m.failure_prob_refw() - exact).abs() < 1e-9);
+    }
+}
