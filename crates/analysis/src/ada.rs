@@ -156,12 +156,7 @@ impl AdaConfig {
 
     /// MinTRH (total victim activations) at a fixed morphing point.
     #[must_use]
-    pub fn min_trh_at_mp(
-        &self,
-        solver: &MinTrhSolver,
-        mp_windows: u32,
-        double_sided: bool,
-    ) -> u32 {
+    pub fn min_trh_at_mp(&self, solver: &MinTrhSolver, mp_windows: u32, double_sided: bool) -> u32 {
         let hi = self
             .windows_per_refw()
             .saturating_mul(if double_sided { 2 } else { 1 })
@@ -190,17 +185,20 @@ impl AdaConfig {
         worst
     }
 
-    /// Fig 21 series: `(MP, MinTRH-single, MinTRH-D-per-row)` for the given
-    /// morphing points (in windows = tREFI at the 1× rate).
+    /// One Fig 21 point: `(MP, MinTRH-single, MinTRH-D-per-row)` at the
+    /// morphing point `mp` (in windows = tREFI at the 1× rate).
+    #[must_use]
+    pub fn fig21_point(&self, solver: &MinTrhSolver, mp: u32) -> (u32, u32, u32) {
+        let single = self.min_trh_at_mp(solver, mp, false);
+        let double = self.min_trh_at_mp(solver, mp, true) / 2;
+        (mp, single, double)
+    }
+
+    /// Fig 21 series: one [`fig21_point`](Self::fig21_point) per morphing
+    /// point.
     #[must_use]
     pub fn fig21_series(&self, solver: &MinTrhSolver, mps: &[u32]) -> Vec<(u32, u32, u32)> {
-        mps.iter()
-            .map(|&mp| {
-                let s = self.min_trh_at_mp(solver, mp, false);
-                let d = self.min_trh_at_mp(solver, mp, true) / 2;
-                (mp, s, d)
-            })
-            .collect()
+        mps.iter().map(|&mp| self.fig21_point(solver, mp)).collect()
     }
 
     /// The non-adaptive MINT+DMQ MinTRH-D (Table IV's "1404"): the best

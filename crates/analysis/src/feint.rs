@@ -71,9 +71,7 @@ pub fn feinting_attack(start_rows: u32, acts_per_refi: u32, refis: u32) -> Feint
         }
         // Defender mitigates the max-count row (one of the `high` rows if
         // any, else a `level` row) and the attacker abandons it.
-        if high > 0 {
-            high -= 1;
-        }
+        high = high.saturating_sub(1);
         n -= 1;
         refi += 1;
     }

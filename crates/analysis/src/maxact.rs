@@ -14,18 +14,27 @@ pub struct MaxActPoint {
     pub para_d: u32,
 }
 
+/// One point of the Fig 18 sweep, at MaxACT `m`.
+///
+/// # Panics
+///
+/// Panics if `m < 2`.
+#[must_use]
+pub fn fig18_point(solver: &MinTrhSolver, m: u32) -> MaxActPoint {
+    assert!(m >= 2, "MaxACT must be at least 2");
+    MaxActPoint {
+        max_act: m,
+        mint_d: patterns::pattern2_min_trh(solver, m, m, m + 1) / 2,
+        para_d: para::min_trh(solver, m) / 2,
+    }
+}
+
 /// Sweeps MaxACT over `lo..=hi` (the paper plots 65..=80; the viable DDR5
 /// range is ≈67..78).
 #[must_use]
 pub fn fig18_series(solver: &MinTrhSolver, lo: u32, hi: u32) -> Vec<MaxActPoint> {
     assert!(lo >= 2 && lo <= hi, "invalid MaxACT range");
-    (lo..=hi)
-        .map(|m| MaxActPoint {
-            max_act: m,
-            mint_d: patterns::pattern2_min_trh(solver, m, m, m + 1) / 2,
-            para_d: para::min_trh(solver, m) / 2,
-        })
-        .collect()
+    (lo..=hi).map(|m| fig18_point(solver, m)).collect()
 }
 
 #[cfg(test)]

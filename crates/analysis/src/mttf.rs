@@ -185,7 +185,13 @@ mod tests {
         let solver = MinTrhSolver::new(TargetMttf::paper_default(), 0.032);
         let budget = solver.prob_budget();
         // Step function: above budget until 1234, below afterwards.
-        let f = |t: u32| if t < 1234 { budget * 10.0 } else { budget / 10.0 };
+        let f = |t: u32| {
+            if t < 1234 {
+                budget * 10.0
+            } else {
+                budget / 10.0
+            }
+        };
         assert_eq!(solver.min_threshold(1, 8192, &f), 1234);
     }
 

@@ -1,8 +1,8 @@
 //! InDRAM-PARA analysis: the non-uniformity curves of §III and the design's
 //! MinTRH, including the refresh-postponement regime of §VI-B.
 
-use crate::sw::SwModel;
 use crate::mttf::MinTrhSolver;
+use crate::sw::SwModel;
 
 /// Survival probability of a row sampled at position `k` (1-based) of an
 /// `m`-slot window with sampling probability `p` (Eq 2, Fig 3):
@@ -165,8 +165,16 @@ mod tests {
         let p = 1.0 / 73.0;
         let over = relative_mitigation(p, 73, 1, false);
         let nover = relative_mitigation(p, 73, 73, true);
-        assert!((1.0 / over - 2.69).abs() < 0.1, "overwrite penalty {}", 1.0 / over);
-        assert!((1.0 / nover - 2.65).abs() < 0.1, "no-overwrite penalty {}", 1.0 / nover);
+        assert!(
+            (1.0 / over - 2.69).abs() < 0.1,
+            "overwrite penalty {}",
+            1.0 / over
+        );
+        assert!(
+            (1.0 / nover - 2.65).abs() < 0.1,
+            "no-overwrite penalty {}",
+            1.0 / nover
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ use crate::sw::SwModel;
 /// ```
 #[must_use]
 pub fn pattern2_min_trh(solver: &MinTrhSolver, k: u32, max_act: u32, span: u32) -> u32 {
-    assert!(k > 0 && max_act > 0 && span > 0, "parameters must be non-zero");
+    assert!(
+        k > 0 && max_act > 0 && span > 0,
+        "parameters must be non-zero"
+    );
     let sweep_refis = k.div_ceil(max_act);
     let hammers_per_refw = 8192 / sweep_refis;
     let template = SwModel {
@@ -98,7 +101,10 @@ mod tests {
         let k73 = pattern2_min_trh(&s, 73, 73, 73);
         let k146 = pattern2_min_trh(&s, 146, 73, 73);
         assert!(k1 < k73, "{k1} !< {k73}");
-        assert!(k146 < k73, "multi-tREFI must reduce MinTRH: {k146} !< {k73}");
+        assert!(
+            k146 < k73,
+            "multi-tREFI must reduce MinTRH: {k146} !< {k73}"
+        );
         // Paper values: 2461 (k=1), 2763 (k=73).
         assert!((2400..2540).contains(&k1), "{k1}");
         assert!((2690..2840).contains(&k73), "{k73}");
@@ -108,7 +114,10 @@ mod tests {
     fn fig10_peak_at_k_73() {
         let series = fig10_series(&solver(), 100, 73, 73);
         let (peak_k, peak_v) = series.iter().copied().max_by_key(|&(_, v)| v).unwrap();
-        assert_eq!(peak_k, 73, "peak must sit at k = MaxACT, got {peak_k} ({peak_v})");
+        assert_eq!(
+            peak_k, 73,
+            "peak must sit at k = MaxACT, got {peak_k} ({peak_v})"
+        );
     }
 
     #[test]

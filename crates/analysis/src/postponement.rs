@@ -132,7 +132,11 @@ mod tests {
         let rows = rows();
         let mint = get(&rows, "MINT");
         assert_eq!(mint.postponed_no_dmq, 478_296);
-        assert!(mint.with_dmq < 1500, "DMQ must restore MINT: {}", mint.with_dmq);
+        assert!(
+            mint.with_dmq < 1500,
+            "DMQ must restore MINT: {}",
+            mint.with_dmq
+        );
     }
 
     #[test]

@@ -63,10 +63,26 @@ mod tests {
             );
         }
         // Paper anchors: 2.70K / 1.48K / 689 / 356.
-        assert!((2500..2950).contains(&rows[0].min_trh_d), "{}", rows[0].min_trh_d);
-        assert!((1420..1540).contains(&rows[1].min_trh_d), "{}", rows[1].min_trh_d);
-        assert!((620..740).contains(&rows[2].min_trh_d), "{}", rows[2].min_trh_d);
-        assert!((310..390).contains(&rows[3].min_trh_d), "{}", rows[3].min_trh_d);
+        assert!(
+            (2500..2950).contains(&rows[0].min_trh_d),
+            "{}",
+            rows[0].min_trh_d
+        );
+        assert!(
+            (1420..1540).contains(&rows[1].min_trh_d),
+            "{}",
+            rows[1].min_trh_d
+        );
+        assert!(
+            (620..740).contains(&rows[2].min_trh_d),
+            "{}",
+            rows[2].min_trh_d
+        );
+        assert!(
+            (310..390).contains(&rows[3].min_trh_d),
+            "{}",
+            rows[3].min_trh_d
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ mod tests {
         let rows = table7(0.032);
         assert_eq!(rows.len(), 4);
         for pair in rows.windows(2) {
-            assert!(pair[0].mint < pair[1].mint, "stricter target → higher MinTRH");
+            assert!(
+                pair[0].mint < pair[1].mint,
+                "stricter target → higher MinTRH"
+            );
             assert!(pair[0].rfm32 <= pair[1].rfm32);
             assert!(pair[0].rfm16 <= pair[1].rfm16);
         }

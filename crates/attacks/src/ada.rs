@@ -48,7 +48,10 @@ impl AdaptiveAttack {
         burst: u64,
         focus_index: u32,
     ) -> Self {
-        assert!(k > 0 && max_act > 0 && burst > 0, "parameters must be non-zero");
+        assert!(
+            k > 0 && max_act > 0 && burst > 0,
+            "parameters must be non-zero"
+        );
         assert!(focus_index < k, "focus row must be one of the attack rows");
         Self {
             base,

@@ -72,7 +72,10 @@ impl DoubleSided {
     /// Panics if `victim` is row 0 (no lower aggressor exists).
     #[must_use]
     pub fn new(victim: RowId) -> Self {
-        assert!(victim.0 >= 1, "double-sided needs an aggressor below the victim");
+        assert!(
+            victim.0 >= 1,
+            "double-sided needs an aggressor below the victim"
+        );
         Self { victim }
     }
 
@@ -230,8 +233,8 @@ mod tests {
     #[test]
     fn double_sided_alternates_and_balances() {
         let mut a = DoubleSided::new(RowId(50));
-        let mut lo = 0;
-        let mut hi = 0;
+        let mut lo = 0i32;
+        let mut hi = 0i32;
         for slot in 0..73 {
             match a.next_act(0, slot) {
                 Some(RowId(49)) => lo += 1,
@@ -239,7 +242,7 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             }
         }
-        assert!((lo - hi as i32).abs() <= 1, "lo {lo} hi {hi}");
+        assert!((lo - hi).abs() <= 1, "lo {lo} hi {hi}");
         assert_eq!(a.target_victims(), vec![RowId(50)]);
     }
 

@@ -74,13 +74,29 @@ mod tests {
     /// same stream.
     #[test]
     fn patterns_are_deterministic() {
-        let make: Vec<(&str, Box<dyn Fn() -> Box<dyn AccessPattern>>)> = vec![
-            ("single", Box::new(|| Box::new(SingleSided::new(RowId(100))))),
-            ("double", Box::new(|| Box::new(DoubleSided::new(RowId(100))))),
+        type MakePattern = Box<dyn Fn() -> Box<dyn AccessPattern>>;
+        let make: Vec<(&str, MakePattern)> = vec![
+            (
+                "single",
+                Box::new(|| Box::new(SingleSided::new(RowId(100)))),
+            ),
+            (
+                "double",
+                Box::new(|| Box::new(DoubleSided::new(RowId(100)))),
+            ),
             ("p1", Box::new(|| Box::new(Pattern1::new(RowId(100))))),
-            ("p2", Box::new(|| Box::new(Pattern2::new(RowId(100), 73, 73)))),
-            ("p3", Box::new(|| Box::new(Pattern3::new(RowId(100), 24, 3, 73)))),
-            ("many", Box::new(|| Box::new(ManySided::new(RowId(100), 16)))),
+            (
+                "p2",
+                Box::new(|| Box::new(Pattern2::new(RowId(100), 73, 73))),
+            ),
+            (
+                "p3",
+                Box::new(|| Box::new(Pattern3::new(RowId(100), 24, 3, 73))),
+            ),
+            (
+                "many",
+                Box::new(|| Box::new(ManySided::new(RowId(100), 16))),
+            ),
             (
                 "postpone",
                 Box::new(|| Box::new(PostponementDecoy::new(RowId(5000), RowId(100), 73, 5))),

@@ -86,8 +86,8 @@ impl AccessPattern for Pattern2 {
         // Global slot index across the sweep selects which row comes next;
         // each row is used exactly once per sweep.
         let sweep_len = u64::from(self.rounds_per_sweep()) * u64::from(self.max_act);
-        let pos_in_sweep = (refi % u64::from(self.rounds_per_sweep())) * u64::from(self.max_act)
-            + u64::from(slot);
+        let pos_in_sweep =
+            (refi % u64::from(self.rounds_per_sweep())) * u64::from(self.max_act) + u64::from(slot);
         let _ = sweep_len;
         if pos_in_sweep < u64::from(self.k) {
             Some(RowId(self.base.0 + (pos_in_sweep as u32) * ROW_STRIDE))
@@ -101,7 +101,10 @@ impl AccessPattern for Pattern2 {
     }
 
     fn target_victims(&self) -> Vec<RowId> {
-        self.rows().into_iter().flat_map(|r| r.neighbours(1)).collect()
+        self.rows()
+            .into_iter()
+            .flat_map(|r| r.neighbours(1))
+            .collect()
     }
 
     fn reset(&mut self) {}
@@ -128,7 +131,10 @@ impl Pattern3 {
     /// Panics if any parameter is zero or if `k·copies > max_act`.
     #[must_use]
     pub fn new(base: RowId, k: u32, copies: u32, max_act: u32) -> Self {
-        assert!(k > 0 && copies > 0 && max_act > 0, "parameters must be non-zero");
+        assert!(
+            k > 0 && copies > 0 && max_act > 0,
+            "parameters must be non-zero"
+        );
         assert!(
             k * copies <= max_act,
             "k×c = {} must fit in one window of {max_act}",
@@ -167,7 +173,10 @@ impl AccessPattern for Pattern3 {
     }
 
     fn target_victims(&self) -> Vec<RowId> {
-        self.rows().into_iter().flat_map(|r| r.neighbours(1)).collect()
+        self.rows()
+            .into_iter()
+            .flat_map(|r| r.neighbours(1))
+            .collect()
     }
 
     fn reset(&mut self) {}
@@ -203,7 +212,10 @@ mod tests {
         let mut p = Pattern2::new(RowId(100), 73, 73);
         let h = histogram(&mut p, 8, 73);
         assert_eq!(h.len(), 73);
-        assert!(h.values().all(|&c| c == 8), "each row exactly once per tREFI");
+        assert!(
+            h.values().all(|&c| c == 8),
+            "each row exactly once per tREFI"
+        );
     }
 
     #[test]

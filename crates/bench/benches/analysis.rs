@@ -1,49 +1,42 @@
-//! Criterion benchmarks for the analytical models: the Sariou–Wolman
+//! Micro-benchmarks for the analytical models: the Sariou–Wolman
 //! recurrence, the MinTRH binary search, the feinting simulation and the
-//! ADA sweep.
+//! ADA sweep. Timed with the dependency-free `mint_exp::stopwatch`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mint_analysis::ada::AdaConfig;
 use mint_analysis::feint::feinting_attack;
 use mint_analysis::patterns::pattern2_min_trh;
 use mint_analysis::{MinTrhSolver, SwModel, TargetMttf};
-use std::hint::black_box;
+use mint_exp::stopwatch::{black_box, Runner};
 
 fn solver() -> MinTrhSolver {
     MinTrhSolver::new(TargetMttf::paper_default(), 0.032)
 }
 
-fn bench_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis");
+fn main() {
+    let mut runner = Runner::new("analysis");
 
-    group.bench_function("sw_failure_prob_T2800", |b| {
-        let m = SwModel {
-            p_mitigation: 1.0 / 74.0,
-            threshold_events: 2800,
-            events_per_refw: 8192,
-            refi_per_event: 1.0,
-            row_multiplier: 73.0,
-        };
-        b.iter(|| black_box(m.failure_prob_refw()))
+    let m = SwModel {
+        p_mitigation: 1.0 / 74.0,
+        threshold_events: 2800,
+        events_per_refw: 8192,
+        refi_per_event: 1.0,
+        row_multiplier: 73.0,
+    };
+    runner.bench("sw_failure_prob_T2800", || {
+        black_box(m.failure_prob_refw());
     });
 
-    group.bench_function("pattern2_min_trh_k73", |b| {
-        let s = solver();
-        b.iter(|| black_box(pattern2_min_trh(&s, 73, 73, 74)))
+    let s = solver();
+    runner.bench("pattern2_min_trh_k73", || {
+        black_box(pattern2_min_trh(&s, 73, 73, 74));
     });
 
-    group.bench_function("feinting_attack_8192", |b| {
-        b.iter(|| black_box(feinting_attack(8192, 73, 8192)))
+    runner.bench("feinting_attack_8192", || {
+        black_box(feinting_attack(8192, 73, 8192));
     });
 
-    group.bench_function("ada_min_trh_at_mp", |b| {
-        let s = solver();
-        let cfg = AdaConfig::mint_default();
-        b.iter(|| black_box(cfg.min_trh_at_mp(&s, 2600, true)))
+    let cfg = AdaConfig::mint_default();
+    runner.bench("ada_min_trh_at_mp", || {
+        black_box(cfg.min_trh_at_mp(&s, 2600, true));
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_analysis);
-criterion_main!(benches);

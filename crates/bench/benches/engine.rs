@@ -1,39 +1,29 @@
-//! Criterion benchmarks for the Monte-Carlo engine: full-tREFW attack runs.
+//! Micro-benchmarks for the Monte-Carlo engine: full-tREFW attack runs.
+//! Timed with the dependency-free `mint_exp::stopwatch`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mint_attacks::{Pattern2, SingleSided};
 use mint_core::{Mint, MintConfig};
 use mint_dram::RowId;
+use mint_exp::stopwatch::{black_box, Runner};
 use mint_rng::Xoshiro256StarStar;
 use mint_sim::{Engine, SimConfig};
-use std::hint::black_box;
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_engine");
-    group.sample_size(10);
+fn main() {
+    let mut runner = Runner::new("sim_engine");
 
-    group.bench_function("mint_single_sided_one_refw", |b| {
-        b.iter(|| {
-            let mut rng = Xoshiro256StarStar::seed_from_u64(1);
-            let mut t = Mint::new(MintConfig::ddr5_default(), &mut rng);
-            let mut p = SingleSided::new(RowId(1000));
-            let mut e = Engine::new(SimConfig::small());
-            black_box(e.run(&mut t, &mut p, &mut rng))
-        })
+    runner.bench("mint_single_sided_one_refw", || {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let mut t = Mint::new(MintConfig::ddr5_default(), &mut rng);
+        let mut p = SingleSided::new(RowId(1000));
+        let mut e = Engine::new(SimConfig::small());
+        black_box(e.run(&mut t, &mut p, &mut rng));
     });
 
-    group.bench_function("mint_pattern2_one_refw", |b| {
-        b.iter(|| {
-            let mut rng = Xoshiro256StarStar::seed_from_u64(2);
-            let mut t = Mint::new(MintConfig::ddr5_default(), &mut rng);
-            let mut p = Pattern2::new(RowId(1000), 73, 73);
-            let mut e = Engine::new(SimConfig::small());
-            black_box(e.run(&mut t, &mut p, &mut rng))
-        })
+    runner.bench("mint_pattern2_one_refw", || {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let mut t = Mint::new(MintConfig::ddr5_default(), &mut rng);
+        let mut p = Pattern2::new(RowId(1000), 73, 73);
+        let mut e = Engine::new(SimConfig::small());
+        black_box(e.run(&mut t, &mut p, &mut rng));
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

@@ -1,44 +1,34 @@
-//! Criterion benchmarks for the memory-system simulator.
+//! Micro-benchmarks for the memory-system simulator.
+//! Timed with the dependency-free `mint_exp::stopwatch`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mint_exp::stopwatch::{black_box, Runner};
 use mint_memsys::{run_workload, spec_rate_workloads, MitigationScheme, SystemConfig};
-use std::hint::black_box;
 
-fn bench_memsys(c: &mut Criterion) {
-    let mut group = c.benchmark_group("memsys");
-    group.sample_size(10);
+fn main() {
+    let mut runner = Runner::new("memsys");
     let cfg = SystemConfig::table6();
     let mcf = spec_rate_workloads()
         .into_iter()
         .find(|w| w.name == "mcf")
         .unwrap();
 
-    group.bench_function("mcf_rate_baseline_40k", |b| {
-        b.iter(|| {
-            black_box(run_workload(
-                &cfg,
-                MitigationScheme::Baseline,
-                &[mcf; 4],
-                40_000,
-                1,
-            ))
-        })
+    runner.bench("mcf_rate_baseline_40k", || {
+        black_box(run_workload(
+            &cfg,
+            MitigationScheme::Baseline,
+            &[mcf; 4],
+            40_000,
+            1,
+        ));
     });
 
-    group.bench_function("mcf_rate_rfm16_40k", |b| {
-        b.iter(|| {
-            black_box(run_workload(
-                &cfg,
-                MitigationScheme::MintRfm { rfm_th: 16 },
-                &[mcf; 4],
-                40_000,
-                1,
-            ))
-        })
+    runner.bench("mcf_rate_rfm16_40k", || {
+        black_box(run_workload(
+            &cfg,
+            MitigationScheme::MintRfm { rfm_th: 16 },
+            &[mcf; 4],
+            40_000,
+            1,
+        ));
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_memsys);
-criterion_main!(benches);

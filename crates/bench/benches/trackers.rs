@@ -1,15 +1,15 @@
-//! Criterion micro-benchmarks: per-tREFI cost of every tracker
-//! (73 activations + one refresh decision).
+//! Micro-benchmarks: per-tREFI cost of every tracker (73 activations +
+//! one refresh decision). Timed with the dependency-free
+//! `mint_exp::stopwatch`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mint_core::{Dmq, InDramTracker, Mint, MintConfig, MintRfm};
 use mint_dram::RowId;
+use mint_exp::stopwatch::{black_box, Runner};
 use mint_rng::Xoshiro256StarStar;
 use mint_trackers::{
     InDramPara, InDramParaNoOverwrite, Mithril, MithrilConfig, Parfm, Prct, Pride, ProTrr,
     ProTrrConfig, SimpleTrr,
 };
-use std::hint::black_box;
 
 fn one_trefi(tracker: &mut dyn InDramTracker, rng: &mut Xoshiro256StarStar) {
     for k in 0..73u32 {
@@ -18,47 +18,36 @@ fn one_trefi(tracker: &mut dyn InDramTracker, rng: &mut Xoshiro256StarStar) {
     black_box(tracker.on_refresh(rng));
 }
 
-fn bench_trackers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tracker_per_trefi");
+fn main() {
+    let mut runner = Runner::new("tracker_per_trefi");
     let mut rng = Xoshiro256StarStar::seed_from_u64(1);
 
     let mut mint = Mint::new(MintConfig::ddr5_default(), &mut rng);
-    group.bench_function("MINT", |b| b.iter(|| one_trefi(&mut mint, &mut rng)));
-
     let mut dmq = Dmq::new(Mint::new(MintConfig::ddr5_default(), &mut rng), 73);
-    group.bench_function("MINT+DMQ", |b| b.iter(|| one_trefi(&mut dmq, &mut rng)));
-
     let mut rfm = MintRfm::new(16, &mut rng);
-    group.bench_function("MINT+RFM16", |b| b.iter(|| one_trefi(&mut rfm, &mut rng)));
-
     let mut para = InDramPara::new(1.0 / 73.0);
-    group.bench_function("InDRAM-PARA", |b| b.iter(|| one_trefi(&mut para, &mut rng)));
-
     let mut para_no = InDramParaNoOverwrite::new(1.0 / 73.0);
-    group.bench_function("InDRAM-PARA-NoOverwrite", |b| {
-        b.iter(|| one_trefi(&mut para_no, &mut rng))
-    });
-
     let mut parfm = Parfm::new(73);
-    group.bench_function("PARFM", |b| b.iter(|| one_trefi(&mut parfm, &mut rng)));
-
     let mut prct = Prct::new(128 * 1024);
-    group.bench_function("PRCT", |b| b.iter(|| one_trefi(&mut prct, &mut rng)));
-
     let mut mithril = Mithril::new(MithrilConfig::table3());
-    group.bench_function("Mithril-677", |b| b.iter(|| one_trefi(&mut mithril, &mut rng)));
-
     let mut protrr = ProTrr::new(ProTrrConfig::default());
-    group.bench_function("ProTRR-677", |b| b.iter(|| one_trefi(&mut protrr, &mut rng)));
-
     let mut trr = SimpleTrr::new(16);
-    group.bench_function("TRR-16", |b| b.iter(|| one_trefi(&mut trr, &mut rng)));
-
     let mut pride = Pride::new(1.0 / 73.0, 4);
-    group.bench_function("PrIDE", |b| b.iter(|| one_trefi(&mut pride, &mut rng)));
 
-    group.finish();
+    let mut cases: Vec<(&str, &mut dyn InDramTracker)> = vec![
+        ("MINT", &mut mint),
+        ("MINT+DMQ", &mut dmq),
+        ("MINT+RFM16", &mut rfm),
+        ("InDRAM-PARA", &mut para),
+        ("InDRAM-PARA-NoOverwrite", &mut para_no),
+        ("PARFM", &mut parfm),
+        ("PRCT", &mut prct),
+        ("Mithril-677", &mut mithril),
+        ("ProTRR-677", &mut protrr),
+        ("TRR-16", &mut trr),
+        ("PrIDE", &mut pride),
+    ];
+    for (name, tracker) in &mut cases {
+        runner.bench(name, || one_trefi(&mut **tracker, &mut rng));
+    }
 }
-
-criterion_group!(benches, bench_trackers);
-criterion_main!(benches);

@@ -7,6 +7,7 @@ use mint_analysis::textable::TexTable;
 use mint_attacks::{HalfDouble, PostponementDecoy};
 use mint_core::{Dmq, InDramTracker, Mint, MintConfig};
 use mint_dram::{RefreshPolicy, RowId};
+use mint_exp::par_map;
 use mint_rng::Xoshiro256StarStar;
 use mint_sim::{Engine, SimConfig};
 use mint_trackers::{Mithril, MithrilConfig, Pride};
@@ -22,18 +23,21 @@ pub fn dmq_depth() -> String {
         "Max unmitigated hammers",
         "Overflow drops",
     ]);
-    for depth in 1..=4usize {
+    let depths: Vec<usize> = (1..=4).collect();
+    for cells in par_map(&depths, |_, &depth| {
         let mut rng = Xoshiro256StarStar::seed_from_u64(7000 + depth as u64);
         let inner = Mint::new(MintConfig::ddr5_default(), &mut rng);
         let mut tracker = Dmq::with_depth(inner, 73, depth);
         let mut attack = PostponementDecoy::new(RowId(10_000), RowId(50_000), 73, 5);
         let cfg = SimConfig::small().with_policy(RefreshPolicy::ddr5_max_postpone());
         let report = Engine::new(cfg).run(&mut tracker, &mut attack, &mut rng);
-        tab.row(vec![
+        vec![
             depth.to_string(),
             report.max_hammers.to_string(),
             tracker.overflow_drops().to_string(),
-        ]);
+        ]
+    }) {
+        tab.row(cells);
     }
     titled(
         "Ablation: DMQ depth under max postponement (DDR5 needs 4)",
@@ -56,20 +60,35 @@ pub fn transitive_slot() -> String {
             blast_radius: blast,
             ..SimConfig::small()
         };
-        Engine::new(cfg).run(&mut tracker, &mut attack, &mut rng).max_hammers
+        Engine::new(cfg)
+            .run(&mut tracker, &mut attack, &mut rng)
+            .max_hammers
     };
-    tab.row(vec![
-        "MINT, transitive slot (paper design)".into(),
-        run(MintConfig::ddr5_default(), 1, 1).to_string(),
-    ]);
-    tab.row(vec![
-        "MINT, no transitive slot".into(),
-        run(MintConfig::ddr5_default().without_transitive(), 1, 2).to_string(),
-    ]);
-    tab.row(vec![
-        "MINT, no transitive slot, blast radius 2".into(),
-        run(MintConfig::ddr5_default().without_transitive(), 2, 3).to_string(),
-    ]);
+    let configs: Vec<(&str, MintConfig, u32, u64)> = vec![
+        (
+            "MINT, transitive slot (paper design)",
+            MintConfig::ddr5_default(),
+            1,
+            1,
+        ),
+        (
+            "MINT, no transitive slot",
+            MintConfig::ddr5_default().without_transitive(),
+            1,
+            2,
+        ),
+        (
+            "MINT, no transitive slot, blast radius 2",
+            MintConfig::ddr5_default().without_transitive(),
+            2,
+            3,
+        ),
+    ];
+    for cells in par_map(&configs, |_, &(label, cfg_t, blast, seed)| {
+        vec![label.into(), run(cfg_t, blast, seed).to_string()]
+    }) {
+        tab.row(cells);
+    }
     titled(
         "Ablation: Half-Double vs the transitive slot (blast-2 does not fix it, SS V-E)",
         &tab.to_text(),
@@ -82,18 +101,20 @@ pub fn transitive_slot() -> String {
 #[must_use]
 pub fn mithril_entries() -> String {
     let mut tab = TexTable::new(vec!["Entries", "Attack rows", "Max unmitigated hammers"]);
-    for entries in [32usize, 64, 128, 256, 677] {
+    let entry_counts = [32usize, 64, 128, 256, 677];
+    for cells in par_map(&entry_counts, |_, &entries| {
         let attack_rows = (entries * 2) as u32; // overflow the table 2:1
         let mut rng = Xoshiro256StarStar::seed_from_u64(8000 + entries as u64);
         let mut tracker = Mithril::new(MithrilConfig { entries });
         let mut attack = mint_attacks::ManySided::new(RowId(10_000), attack_rows);
-        let report =
-            Engine::new(SimConfig::small()).run(&mut tracker, &mut attack, &mut rng);
-        tab.row(vec![
+        let report = Engine::new(SimConfig::small()).run(&mut tracker, &mut attack, &mut rng);
+        vec![
             entries.to_string(),
             attack_rows.to_string(),
             report.max_hammers.to_string(),
-        ]);
+        ]
+    }) {
+        tab.row(cells);
     }
     titled(
         "Ablation: Mithril counter-based summary vs entry count (2:1 row overflow)",
@@ -110,7 +131,13 @@ pub fn mithril_entries() -> String {
 #[must_use]
 pub fn pride_fifo() -> String {
     let mut tab = TexTable::new(vec!["FIFO depth", "Loss rate", "Paper"]);
-    for (depth, paper) in [(1usize, "63% (overwrite acct.)"), (2, "-"), (4, "~10%"), (8, "-")] {
+    let points = [
+        (1usize, "63% (overwrite acct.)"),
+        (2, "-"),
+        (4, "~10%"),
+        (8, "-"),
+    ];
+    for cells in par_map(&points, |_, &(depth, paper)| {
         let mut rng = Xoshiro256StarStar::seed_from_u64(9000 + depth as u64);
         let mut pride = Pride::new(1.0 / 73.0, depth);
         let mut sampled = 0u64;
@@ -126,11 +153,13 @@ pub fn pride_fifo() -> String {
         }
         let total = sampled + pride.lost();
         let loss = pride.lost() as f64 / total as f64;
-        tab.row(vec![
+        vec![
             depth.to_string(),
             format!("{:.1}%", loss * 100.0),
             paper.into(),
-        ]);
+        ]
+    }) {
+        tab.row(cells);
     }
     titled(
         "Ablation: PrIDE FIFO depth vs sample-loss rate (SS IX)",

@@ -1,4 +1,5 @@
 //! Regenerates paper Fig 10 (pattern-2 sweep).
 fn main() {
+    mint_exp::init_jobs_from_args();
     println!("{}", mint_bench::security::fig10());
 }

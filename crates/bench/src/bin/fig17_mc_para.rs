@@ -1,4 +1,5 @@
 //! Regenerates paper Fig 17 (MINT vs MC-PARA).
 fn main() {
+    mint_exp::init_jobs_from_args();
     println!("{}", mint_bench::perf::fig17());
 }

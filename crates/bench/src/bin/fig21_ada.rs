@@ -1,4 +1,5 @@
 //! Regenerates paper Fig 21 (adaptive-attack morphing sweep).
 fn main() {
+    mint_exp::init_jobs_from_args();
     println!("{}", mint_bench::security::fig21());
 }

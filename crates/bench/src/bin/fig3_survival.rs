@@ -1,4 +1,5 @@
 //! Regenerates paper Fig 3 (InDRAM-PARA survival probability).
 fn main() {
+    mint_exp::init_jobs_from_args();
     println!("{}", mint_bench::security::fig3());
 }

@@ -3,10 +3,22 @@
 //! ```bash
 //! cargo run --release -p mint-bench --bin repro_all > results.txt
 //! ```
+//!
+//! Each experiment fans its sweep points / Monte-Carlo trials out through
+//! the `mint-exp` harness. Worker count defaults to
+//! `available_parallelism`; pin it with `--jobs N` (also `-j N`) or the
+//! `MINT_JOBS` environment variable — results are identical either way:
+//!
+//! ```bash
+//! cargo run --release -p mint-bench --bin repro_all -- --jobs 2
+//! MINT_JOBS=1 cargo run --release -p mint-bench --bin repro_all
+//! ```
 
 fn main() {
-    let experiments: Vec<(&str, fn() -> String)> = vec![
-        ("table1", mint_bench::params::table1 as fn() -> String),
+    mint_exp::init_jobs_from_args();
+    type Render = fn() -> String;
+    let experiments: Vec<(&str, Render)> = vec![
+        ("table1", mint_bench::params::table1 as Render),
         ("table2", mint_bench::params::table2),
         ("fig3", mint_bench::security::fig3),
         ("fig5", mint_bench::security::fig5),

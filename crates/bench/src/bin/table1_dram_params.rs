@@ -1,4 +1,5 @@
 //! Regenerates paper Table I (DRAM parameters).
 fn main() {
+    mint_exp::init_jobs_from_args();
     println!("{}", mint_bench::params::table1());
 }

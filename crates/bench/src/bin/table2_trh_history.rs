@@ -1,4 +1,5 @@
 //! Regenerates paper Table II (TRH over time).
 fn main() {
+    mint_exp::init_jobs_from_args();
     println!("{}", mint_bench::params::table2());
 }

@@ -1,4 +1,5 @@
 //! Regenerates paper Table III (tracker comparison).
 fn main() {
+    mint_exp::init_jobs_from_args();
     println!("{}", mint_bench::security::table3());
 }

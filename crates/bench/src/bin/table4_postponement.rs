@@ -1,4 +1,5 @@
 //! Regenerates paper Table IV (refresh postponement and DMQ).
 fn main() {
+    mint_exp::init_jobs_from_args();
     println!("{}", mint_bench::security::table4());
 }

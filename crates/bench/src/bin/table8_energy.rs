@@ -1,4 +1,5 @@
 //! Regenerates paper Table VIII (energy overheads).
 fn main() {
+    mint_exp::init_jobs_from_args();
     println!("{}", mint_bench::perf::table8());
 }

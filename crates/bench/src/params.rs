@@ -36,7 +36,10 @@ pub fn table1() -> String {
         "M = (tREFI - tRFC) / tRC".into(),
         t.max_act().to_string(),
     ]);
-    titled("Table I: DRAM parameters (DDR5-5200B, 32 Gb)", &tab.to_text())
+    titled(
+        "Table I: DRAM parameters (DDR5-5200B, 32 Gb)",
+        &tab.to_text(),
+    )
 }
 
 /// Table II: the Rowhammer threshold across DRAM generations.
@@ -50,7 +53,10 @@ pub fn table2() -> String {
             row.trh_d.unwrap_or("-").into(),
         ]);
     }
-    titled("Table II: Rowhammer threshold over time (literature)", &tab.to_text())
+    titled(
+        "Table II: Rowhammer threshold over time (literature)",
+        &tab.to_text(),
+    )
 }
 
 /// Table VI: the evaluated system configuration.

@@ -1,10 +1,15 @@
 //! Performance/energy experiments: Fig 16, Fig 17 and Table VIII.
+//!
+//! Every (workload, scheme) cell is an independent seeded run, so the full
+//! grids fan out through [`mint_memsys::run_workload_grid`] (which rides the
+//! `mint-exp` sweep harness). Rows are assembled and averaged in workload
+//! order, so the rendered tables are byte-identical for any worker count.
 
 use crate::titled;
 use mint_analysis::textable::TexTable;
 use mint_memsys::{
-    mixes, run_workload, spec_rate_workloads, EnergyModel, MitigationScheme, NormalizedPerf,
-    SystemConfig, WorkloadSpec,
+    mixes, run_workload_grid, spec_rate_workloads, EnergyModel, MitigationScheme, SystemConfig,
+    WorkloadSpec,
 };
 
 /// Requests per core per run — enough for stable averages, small enough
@@ -24,17 +29,6 @@ fn schemes_fig16() -> Vec<MitigationScheme> {
     ]
 }
 
-/// Runs one 4-core workload under every scheme in `schemes`; returns
-/// results normalized to the first (baseline).
-fn run_all(specs: &[WorkloadSpec; 4], schemes: &[MitigationScheme], seed: u64) -> Vec<NormalizedPerf> {
-    let cfg = SystemConfig::table6();
-    let base = run_workload(&cfg, schemes[0], specs, REQUESTS_PER_CORE, seed);
-    schemes
-        .iter()
-        .map(|&s| run_workload(&cfg, s, specs, REQUESTS_PER_CORE, seed).normalize(&base))
-        .collect()
-}
-
 fn workload_suite() -> Vec<(String, [WorkloadSpec; 4])> {
     let mut suite: Vec<(String, [WorkloadSpec; 4])> = spec_rate_workloads()
         .into_iter()
@@ -46,17 +40,34 @@ fn workload_suite() -> Vec<(String, [WorkloadSpec; 4])> {
     suite
 }
 
+/// Runs the whole suite under `schemes` with per-workload seeds
+/// `seed_base + index`; returns one normalized row per workload.
+fn run_suite(
+    suite: &[(String, [WorkloadSpec; 4])],
+    schemes: &[MitigationScheme],
+    seed_base: u64,
+) -> Vec<Vec<mint_memsys::NormalizedPerf>> {
+    let specs: Vec<[WorkloadSpec; 4]> = suite.iter().map(|(_, s)| *s).collect();
+    let seeds: Vec<u64> = (0..suite.len() as u64).map(|i| seed_base + i).collect();
+    run_workload_grid(
+        &SystemConfig::table6(),
+        schemes,
+        &specs,
+        REQUESTS_PER_CORE,
+        &seeds,
+    )
+}
+
 /// Fig 16: normalized performance of MINT, MINT+RFM32 and MINT+RFM16 over
 /// the 17 rate + 17 mixed workloads.
 #[must_use]
 pub fn fig16() -> String {
-    let schemes = schemes_fig16();
+    let suite = workload_suite();
+    let grid = run_suite(&suite, &schemes_fig16(), 1000);
     let mut tab = TexTable::new(vec!["Workload", "MINT", "MINT+RFM32", "MINT+RFM16"]);
     let mut sums = [0.0f64; 3];
-    let suite = workload_suite();
-    for (i, (name, specs)) in suite.iter().enumerate() {
-        let res = run_all(specs, &schemes, 1000 + i as u64);
-        let vals = [res[1].normalized, res[2].normalized, res[3].normalized];
+    for ((name, _), row) in suite.iter().zip(&grid) {
+        let vals = [row[1].normalized, row[2].normalized, row[3].normalized];
         for (s, v) in sums.iter_mut().zip(vals) {
             *s += v;
         }
@@ -88,12 +99,12 @@ pub fn fig17() -> String {
         MitigationScheme::Mint,
         MitigationScheme::McPara { p: MC_PARA_P },
     ];
+    let suite = workload_suite();
+    let grid = run_suite(&suite, &schemes, 2000);
     let mut tab = TexTable::new(vec!["Workload", "MINT", "MC-PARA"]);
     let mut sums = [0.0f64; 2];
-    let suite = workload_suite();
-    for (i, (name, specs)) in suite.iter().enumerate() {
-        let res = run_all(specs, &schemes, 2000 + i as u64);
-        let vals = [res[1].normalized, res[2].normalized];
+    for ((name, _), row) in suite.iter().zip(&grid) {
+        let vals = [row[1].normalized, row[2].normalized];
         for (s, v) in sums.iter_mut().zip(vals) {
             *s += v;
         }
@@ -118,26 +129,28 @@ pub fn fig17() -> String {
 /// Table VIII: memory energy overheads, averaged over the rate workloads.
 #[must_use]
 pub fn table8() -> String {
-    let cfg = SystemConfig::table6();
     let model = EnergyModel::ddr5_default();
     let schemes = schemes_fig16();
+    let suite: Vec<(String, [WorkloadSpec; 4])> = spec_rate_workloads()
+        .into_iter()
+        .map(|w| (w.name.to_owned(), [w; 4]))
+        .collect();
+    let grid = run_suite(&suite, &schemes, 3000);
     let mut act = [0.0f64; 4];
     let mut non_act = [0.0f64; 4];
     let mut total = [0.0f64; 4];
-    let rate: Vec<[WorkloadSpec; 4]> = spec_rate_workloads().into_iter().map(|w| [w; 4]).collect();
-    for (i, specs) in rate.iter().enumerate() {
-        let base = run_workload(&cfg, schemes[0], specs, REQUESTS_PER_CORE, 3000 + i as u64);
+    for row in &grid {
+        let base = &row[0];
         let base_e = model.energy(&base.result, base.duration_ps, false);
-        for (j, &scheme) in schemes.iter().enumerate() {
-            let r = run_workload(&cfg, scheme, specs, REQUESTS_PER_CORE, 3000 + i as u64);
+        for (j, (&scheme, cell)) in schemes.iter().zip(row).enumerate() {
             let with_hw = !matches!(scheme, MitigationScheme::Baseline);
-            let e = model.energy(&r.result, r.duration_ps, with_hw);
+            let e = model.energy(&cell.result, cell.duration_ps, with_hw);
             act[j] += e.act_j / base_e.act_j;
             non_act[j] += e.non_act_j / base_e.non_act_j;
             total[j] += e.total_j() / base_e.total_j();
         }
     }
-    let n = rate.len() as f64;
+    let n = grid.len() as f64;
     let mut tab = TexTable::new(vec!["Config", "ACT Energy", "Non-ACT Energy", "Total"]);
     let names = ["Base (No Mitig)", "MINT", "MINT+RFM32", "MINT+RFM16"];
     for j in 0..4 {
@@ -157,6 +170,7 @@ pub fn table8() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mint_memsys::{run_workload, NormalizedPerf};
 
     /// One reduced-size smoke run shared by the tests (the full suite runs
     /// in the binaries).
@@ -192,8 +206,24 @@ mod tests {
     fn mitigative_acts_present_for_mint() {
         let mint = quick(MitigationScheme::Mint, 7);
         assert!(mint.result.mitigative_acts > 0);
-        let ratio = 1.0
-            + mint.result.mitigative_acts as f64 / mint.result.demand_acts as f64;
+        let ratio = 1.0 + mint.result.mitigative_acts as f64 / mint.result.demand_acts as f64;
         assert!((1.0..1.6).contains(&ratio), "ACT ratio {ratio}");
+    }
+
+    #[test]
+    fn suite_grid_matches_direct_runs() {
+        // One workload through the grid == the same runs done by hand.
+        let w = spec_rate_workloads();
+        let mcf = w.iter().find(|s| s.name == "mcf").copied().unwrap();
+        let schemes = vec![MitigationScheme::Baseline, MitigationScheme::Mint];
+        let grid = {
+            let specs: Vec<[WorkloadSpec; 4]> = vec![[mcf; 4]];
+            run_workload_grid(&SystemConfig::table6(), &schemes, &specs, 10_000, &[9])
+        };
+        let base = run_workload(&SystemConfig::table6(), schemes[0], &[mcf; 4], 10_000, 9);
+        let mint = run_workload(&SystemConfig::table6(), schemes[1], &[mcf; 4], 10_000, 9)
+            .normalize(&base);
+        assert_eq!(grid[0][1].duration_ps, mint.duration_ps);
+        assert_eq!(grid[0][1].normalized.to_bits(), mint.normalized.to_bits());
     }
 }

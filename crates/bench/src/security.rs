@@ -1,20 +1,25 @@
 //! Security experiments: Figs 3/5/6/10/11/18/21 and Tables III/IV/V/VII/IX.
+//!
+//! Every figure sweep fans its points out through
+//! [`mint_exp::par_map`], which preserves point order, so the rendered
+//! tables are byte-identical for any worker count.
 
 use crate::{default_solver, fmt_trh, titled};
 use mint_analysis::ada::AdaConfig;
 use mint_analysis::textable::TexTable;
 use mint_analysis::{comparison, maxact, para, patterns, postponement, rfm, storage, ttf};
+use mint_exp::par_map;
 
 /// Fig 3: survival probability vs position (InDRAM-PARA with overwrite).
 #[must_use]
 pub fn fig3() -> String {
     let p = 1.0 / 73.0;
+    let positions: Vec<u32> = (1..=73).collect();
     let mut tab = TexTable::new(vec!["Position", "SurvivalProb"]);
-    for k in 1..=73 {
-        tab.row(vec![
-            k.to_string(),
-            format!("{:.4}", para::survival_probability(p, 73, k)),
-        ]);
+    for (k, s) in positions.iter().zip(par_map(&positions, |_, &k| {
+        para::survival_probability(p, 73, k)
+    })) {
+        tab.row(vec![k.to_string(), format!("{s:.4}")]);
     }
     titled(
         "Fig 3: InDRAM-PARA survival probability by position (2.7x penalty at k=1)",
@@ -27,12 +32,12 @@ pub fn fig3() -> String {
 #[must_use]
 pub fn fig5() -> String {
     let p = 1.0 / 73.0;
+    let positions: Vec<u32> = (1..=73).collect();
     let mut tab = TexTable::new(vec!["Position", "SamplingProb(x 1/73)"]);
-    for k in 1..=73 {
-        tab.row(vec![
-            k.to_string(),
-            format!("{:.4}", para::sampling_probability_no_overwrite(p, 73, k) / p),
-        ]);
+    for (k, s) in positions.iter().zip(par_map(&positions, |_, &k| {
+        para::sampling_probability_no_overwrite(p, 73, k) / p
+    })) {
+        tab.row(vec![k.to_string(), format!("{s:.4}")]);
     }
     titled(
         "Fig 5: InDRAM-PARA (No-Overwrite) sampling probability by position",
@@ -44,13 +49,20 @@ pub fn fig5() -> String {
 #[must_use]
 pub fn fig6() -> String {
     let p = 1.0 / 73.0;
+    let positions: Vec<u32> = (1..=73).collect();
+    let rows = par_map(&positions, |_, &k| {
+        (
+            para::relative_mitigation(p, 73, k, false),
+            para::relative_mitigation(p, 73, k, true),
+        )
+    });
     let mut tab = TexTable::new(vec!["Position", "Ideal", "Overwrite", "No-Overwrite"]);
-    for k in 1..=73 {
+    for (k, (with_ow, no_ow)) in positions.iter().zip(rows) {
         tab.row(vec![
             k.to_string(),
             "1.0000".into(),
-            format!("{:.4}", para::relative_mitigation(p, 73, k, false)),
-            format!("{:.4}", para::relative_mitigation(p, 73, k, true)),
+            format!("{with_ow:.4}"),
+            format!("{no_ow:.4}"),
         ]);
     }
     titled(
@@ -63,8 +75,10 @@ pub fn fig6() -> String {
 #[must_use]
 pub fn fig10() -> String {
     let solver = default_solver();
+    let ks: Vec<u32> = (1..=146).collect();
+    let trhs = par_map(&ks, |_, &k| patterns::pattern2_min_trh(&solver, k, 73, 73));
     let mut tab = TexTable::new(vec!["k (attack rows)", "MinTRH"]);
-    for (k, t) in patterns::fig10_series(&solver, 146, 73, 73) {
+    for (k, t) in ks.iter().zip(trhs) {
         tab.row(vec![k.to_string(), t.to_string()]);
     }
     titled(
@@ -77,8 +91,12 @@ pub fn fig10() -> String {
 #[must_use]
 pub fn fig11() -> String {
     let solver = default_solver();
+    let copies: Vec<u32> = (1..=73).collect();
+    let trhs = par_map(&copies, |_, &c| {
+        patterns::pattern3_min_trh(&solver, c, 73, 73)
+    });
     let mut tab = TexTable::new(vec!["c (copies/row)", "MinTRH"]);
-    for (c, t) in patterns::fig11_series(&solver, 73, 73) {
+    for (c, t) in copies.iter().zip(trhs) {
         tab.row(vec![c.to_string(), t.to_string()]);
     }
     titled(
@@ -227,8 +245,15 @@ pub fn table9() -> String {
 #[must_use]
 pub fn fig18() -> String {
     let solver = default_solver();
-    let mut tab = TexTable::new(vec!["MaxACT", "MINT MinTRH-D", "InDRAM-PARA MinTRH-D", "Ratio"]);
-    for p in maxact::fig18_series(&solver, 65, 80) {
+    let max_acts: Vec<u32> = (65..=80).collect();
+    let points = par_map(&max_acts, |_, &m| maxact::fig18_point(&solver, m));
+    let mut tab = TexTable::new(vec![
+        "MaxACT",
+        "MINT MinTRH-D",
+        "InDRAM-PARA MinTRH-D",
+        "Ratio",
+    ]);
+    for p in points {
         tab.row(vec![
             p.max_act.to_string(),
             p.mint_d.to_string(),
@@ -248,9 +273,10 @@ pub fn fig21() -> String {
     let solver = default_solver();
     let cfg = AdaConfig::mint_default();
     let mps: Vec<u32> = (500..=8000).step_by(250).collect();
+    let rows = par_map(&mps, |_, &mp| cfg.fig21_point(&solver, mp));
     let mut tab = TexTable::new(vec!["MP (tREFI)", "MinTRH (single)", "MinTRH-D (double)"]);
-    for (mp, s, d) in cfg.fig21_series(&solver, &mps) {
-        tab.row(vec![mp.to_string(), s.to_string(), d.to_string()]);
+    for (mp, single, double) in rows {
+        tab.row(vec![mp.to_string(), single.to_string(), double.to_string()]);
     }
     titled(
         "Fig 21: MINT+DMQ under ADA vs morphing point (paper: peak 2899 single / 1482 double)",
@@ -273,6 +299,28 @@ mod tests {
     fn fig6_has_four_columns() {
         let s = fig6();
         assert!(s.contains("No-Overwrite"));
+    }
+
+    #[test]
+    fn fig10_fanout_matches_series_helper() {
+        // The par_map fan-out must reproduce mint-analysis's own series.
+        let solver = default_solver();
+        let ks: Vec<u32> = (1..=146).collect();
+        let fanned: Vec<(u32, u32)> = ks
+            .iter()
+            .map(|&k| (k, patterns::pattern2_min_trh(&solver, k, 73, 73)))
+            .collect();
+        assert_eq!(fanned, patterns::fig10_series(&solver, 146, 73, 73));
+    }
+
+    #[test]
+    fn fig21_fanout_matches_series_helper() {
+        let solver = default_solver();
+        let cfg = AdaConfig::mint_default();
+        let mps: Vec<u32> = (500..=8000).step_by(250).collect();
+        let fanned: Vec<(u32, u32, u32)> =
+            mps.iter().map(|&mp| cfg.fig21_point(&solver, mp)).collect();
+        assert_eq!(fanned, cfg.fig21_series(&solver, &mps));
     }
 
     #[test]

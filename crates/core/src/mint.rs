@@ -153,9 +153,7 @@ impl InDramTracker for Mint {
         // (possible only under refresh postponement without a DMQ) are
         // invisible to the selection logic — exactly the weakness §VI-B
         // demonstrates and the DMQ wrapper repairs.
-        if self.can < u32::MAX {
-            self.can += 1;
-        }
+        self.can = self.can.saturating_add(1);
         if self.can == self.san {
             self.sar = Some(row);
         }
@@ -286,7 +284,11 @@ mod tests {
             let mut hits = 0;
             for _ in 0..trials {
                 for slot in 1..=73 {
-                    let row = if slot == k { RowId(5) } else { RowId(1_000 + slot) };
+                    let row = if slot == k {
+                        RowId(5)
+                    } else {
+                        RowId(1_000 + slot)
+                    };
                     mint.on_activation(row, &mut r);
                 }
                 if mint.on_refresh(&mut r).mitigates(RowId(5)) {
@@ -348,7 +350,10 @@ mod tests {
                 }
             }
         }
-        assert!(seen_transitive, "never saw a transitive window in 20k tries");
+        assert!(
+            seen_transitive,
+            "never saw a transitive window in 20k tries"
+        );
     }
 
     #[test]

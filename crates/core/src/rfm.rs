@@ -92,7 +92,9 @@ impl MintRfm {
         }
         self.delay_queue.push_back(fresh);
         if self.delay_queue.len() > self.delay_windows {
-            self.delay_queue.pop_front().unwrap_or(MitigationDecision::None)
+            self.delay_queue
+                .pop_front()
+                .unwrap_or(MitigationDecision::None)
         } else {
             MitigationDecision::None
         }

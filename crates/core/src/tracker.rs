@@ -127,6 +127,9 @@ mod tests {
             distance: 1,
         };
         assert!(tr.is_some());
-        assert!(!tr.mitigates(RowId(5)), "transitive is not a direct mitigation");
+        assert!(
+            !tr.mitigates(RowId(5)),
+            "transitive is not a direct mitigation"
+        );
     }
 }

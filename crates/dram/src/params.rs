@@ -88,9 +88,10 @@ impl Default for DdrTimings {
 /// The paper's default is one mitigation per tREFI (§II-E); Table V also
 /// evaluates one per two tREFI and RFM-boosted rates where a mitigation
 /// opportunity arises every `N` activations (RFM32, RFM16).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MitigationRate {
     /// One mitigation at every REF (1× in Table V).
+    #[default]
     OnePerRefi,
     /// One mitigation every two REFs (0.5× in Table V).
     OnePerTwoRefi,
@@ -126,12 +127,6 @@ impl MitigationRate {
                 format!("{:.0}x (RFM{})", max_act as f64 / n as f64, n)
             }
         }
-    }
-}
-
-impl Default for MitigationRate {
-    fn default() -> Self {
-        MitigationRate::OnePerRefi
     }
 }
 
@@ -305,7 +300,9 @@ mod tests {
     fn rate_labels() {
         assert!(MitigationRate::OnePerRefi.label(73).starts_with("1x"));
         assert!(MitigationRate::OnePerTwoRefi.label(73).starts_with("0.5x"));
-        assert!(MitigationRate::PerActivations(32).label(73).contains("RFM32"));
+        assert!(MitigationRate::PerActivations(32)
+            .label(73)
+            .contains("RFM32"));
     }
 
     #[test]

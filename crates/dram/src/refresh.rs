@@ -4,9 +4,10 @@
 pub const MAX_POSTPONED_REFS: u32 = 4;
 
 /// How the memory controller schedules REF commands.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RefreshPolicy {
     /// One REF at the end of every tREFI (the paper's default until §VI).
+    #[default]
     Timely,
     /// Maximum postponement: REFs are delayed as long as the standard allows
     /// and issued in a batch of `1 + postponed` at every `(postponed + 1)`-th
@@ -63,12 +64,6 @@ impl RefreshPolicy {
             RefreshPolicy::Timely => max_act,
             RefreshPolicy::MaxPostpone { postponed } => (postponed + 1) * max_act,
         }
-    }
-}
-
-impl Default for RefreshPolicy {
-    fn default() -> Self {
-        RefreshPolicy::Timely
     }
 }
 

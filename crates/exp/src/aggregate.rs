@@ -1,0 +1,447 @@
+//! Composable streaming aggregators: memory stays O(1) in the trial count.
+//!
+//! Aggregators consume outcomes one at a time ([`Aggregator::push`]) and
+//! combine partial results ([`Aggregator::merge`]) when the harness folds
+//! chunk aggregates together. Projections are plain `fn` pointers so every
+//! aggregator is `Send` and trivially cheap to construct per chunk.
+//!
+//! Tuples of aggregators are aggregators, so experiments compose their
+//! statistics without custom types:
+//!
+//! ```
+//! use mint_exp::aggregate::{Aggregator, MeanVar, MinMax, Tally};
+//!
+//! let mut agg = (
+//!     Tally::new(|x: &f64| *x < 0.0),
+//!     MeanVar::new(|x: &f64| *x),
+//!     MinMax::new(|x: &f64| *x),
+//! );
+//! for (i, x) in [1.0f64, -2.0, 3.5].into_iter().enumerate() {
+//!     agg.push(i as u64, &x);
+//! }
+//! assert_eq!(agg.0.hits, 1);
+//! assert!((agg.1.mean - 2.5 / 3.0).abs() < 1e-12);
+//! assert_eq!(agg.2.max, 3.5);
+//! ```
+
+/// A streaming reduction over trial outcomes.
+///
+/// `merge` consumes a sibling aggregate built over a *later* contiguous
+/// range of trials; the harness guarantees merges happen in ascending trial
+/// order, so order-sensitive statistics (floating-point sums) stay
+/// deterministic for any worker count.
+pub trait Aggregator<O>: Send {
+    /// Folds one outcome in.
+    fn push(&mut self, trial_idx: u64, outcome: &O);
+
+    /// Folds a sibling aggregate (covering the trials right after this
+    /// one's) in.
+    fn merge(&mut self, other: Self)
+    where
+        Self: Sized;
+}
+
+/// Counts trials.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrialCount {
+    /// Trials observed.
+    pub trials: u64,
+}
+
+impl TrialCount {
+    /// A zero count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<O> Aggregator<O> for TrialCount {
+    fn push(&mut self, _trial_idx: u64, _outcome: &O) {
+        self.trials += 1;
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.trials += other.trials;
+    }
+}
+
+/// Counts outcomes satisfying a predicate (failure/survival tallies).
+///
+/// ```
+/// use mint_exp::aggregate::{Aggregator, Tally};
+/// let mut t = Tally::new(|failed: &bool| *failed);
+/// t.push(0, &true);
+/// t.push(1, &false);
+/// assert_eq!((t.hits, t.total), (1, 2));
+/// assert_eq!(t.rate(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Tally<O> {
+    predicate: fn(&O) -> bool,
+    /// Outcomes satisfying the predicate.
+    pub hits: u64,
+    /// All outcomes observed.
+    pub total: u64,
+}
+
+impl<O> Tally<O> {
+    /// A tally of outcomes satisfying `predicate`.
+    #[must_use]
+    pub fn new(predicate: fn(&O) -> bool) -> Self {
+        Self {
+            predicate,
+            hits: 0,
+            total: 0,
+        }
+    }
+
+    /// `hits / total` (0 when empty).
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+impl<O> Aggregator<O> for Tally<O> {
+    fn push(&mut self, _trial_idx: u64, outcome: &O) {
+        self.total += 1;
+        if (self.predicate)(outcome) {
+            self.hits += 1;
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.hits += other.hits;
+        self.total += other.total;
+    }
+}
+
+/// Streaming mean and variance of a projection, via Welford's algorithm
+/// (single-pass) and the Chan et al. pairwise formula (merge).
+#[derive(Debug, Clone, Copy)]
+pub struct MeanVar<O> {
+    projection: fn(&O) -> f64,
+    /// Samples observed.
+    pub count: u64,
+    /// Running mean (0 when empty).
+    pub mean: f64,
+    m2: f64,
+}
+
+impl<O> MeanVar<O> {
+    /// Mean/variance of `projection` over the outcomes.
+    #[must_use]
+    pub fn new(projection: fn(&O) -> f64) -> Self {
+        Self {
+            projection,
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+        }
+    }
+
+    /// Unbiased sample variance (NaN below two samples).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation (NaN below two samples).
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+}
+
+impl<O> Aggregator<O> for MeanVar<O> {
+    fn push(&mut self, _trial_idx: u64, outcome: &O) {
+        let x = (self.projection)(outcome);
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    fn merge(&mut self, other: Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.count = other.count;
+            self.mean = other.mean;
+            self.m2 = other.m2;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (other.count as f64 / total as f64);
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64 / total as f64);
+        self.count = total;
+    }
+}
+
+/// Minimum and maximum of a projection.
+#[derive(Debug, Clone, Copy)]
+pub struct MinMax<O> {
+    projection: fn(&O) -> f64,
+    /// Samples observed.
+    pub count: u64,
+    /// Smallest projection seen (`+inf` when empty).
+    pub min: f64,
+    /// Largest projection seen (`-inf` when empty).
+    pub max: f64,
+}
+
+impl<O> MinMax<O> {
+    /// Min/max of `projection` over the outcomes.
+    #[must_use]
+    pub fn new(projection: fn(&O) -> f64) -> Self {
+        Self {
+            projection,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl<O> Aggregator<O> for MinMax<O> {
+    fn push(&mut self, _trial_idx: u64, outcome: &O) {
+        let x = (self.projection)(outcome);
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-bin histogram of a projection over `[lo, hi)`; samples outside the
+/// range land in `underflow`/`overflow`, NaN projections in `nan`.
+#[derive(Debug, Clone)]
+pub struct Histogram<O> {
+    projection: fn(&O) -> f64,
+    lo: f64,
+    width: f64,
+    /// Per-bin sample counts.
+    pub bins: Vec<u64>,
+    /// Samples below `lo`.
+    pub underflow: u64,
+    /// Samples at or above `hi`.
+    pub overflow: u64,
+    /// Samples whose projection was NaN (they belong to no bin).
+    pub nan: u64,
+}
+
+impl<O> Histogram<O> {
+    /// A histogram of `projection` with `bins` equal-width bins over
+    /// `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    #[must_use]
+    pub fn new(projection: fn(&O) -> f64, lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Self {
+            projection,
+            lo,
+            width: (hi - lo) / bins as f64,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            nan: 0,
+        }
+    }
+
+    /// The inclusive-lo, exclusive-hi edges of bin `i`.
+    #[must_use]
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let lo = self.lo + self.width * i as f64;
+        (lo, lo + self.width)
+    }
+
+    /// Total samples observed, including under/overflow and NaN.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow + self.nan
+    }
+}
+
+impl<O> Aggregator<O> for Histogram<O> {
+    fn push(&mut self, _trial_idx: u64, outcome: &O) {
+        let x = (self.projection)(outcome);
+        if x.is_nan() {
+            // `(NaN / width) as usize` would saturate to bin 0 — count it
+            // apart instead of fabricating a sample at the low edge.
+            self.nan += 1;
+            return;
+        }
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.width) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.bins.len(),
+            other.bins.len(),
+            "cannot merge differently-shaped histograms"
+        );
+        for (b, o) in self.bins.iter_mut().zip(other.bins) {
+            *b += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.nan += other.nan;
+    }
+}
+
+macro_rules! tuple_aggregator {
+    ($($name:ident . $idx:tt),+) => {
+        impl<O, $($name: Aggregator<O>),+> Aggregator<O> for ($($name,)+) {
+            fn push(&mut self, trial_idx: u64, outcome: &O) {
+                $(self.$idx.push(trial_idx, outcome);)+
+            }
+
+            fn merge(&mut self, other: Self) {
+                $(self.$idx.merge(other.$idx);)+
+            }
+        }
+    };
+}
+
+tuple_aggregator!(A.0);
+tuple_aggregator!(A.0, B.1);
+tuple_aggregator!(A.0, B.1, C.2);
+tuple_aggregator!(A.0, B.1, C.2, D.3);
+tuple_aggregator!(A.0, B.1, C.2, D.3, E.4);
+tuple_aggregator!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(x: &f64) -> f64 {
+        *x
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut mv = MeanVar::new(id);
+        for (i, x) in xs.iter().enumerate() {
+            mv.push(i as u64, x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((mv.mean - mean).abs() < 1e-12);
+        assert!((mv.sample_variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meanvar_merge_matches_streaming_statistically() {
+        let xs: Vec<f64> = (0..64).map(|i| f64::from(i) * 1.5 - 10.0).collect();
+        let mut whole = MeanVar::new(id);
+        let mut left = MeanVar::new(id);
+        let mut right = MeanVar::new(id);
+        for (i, x) in xs.iter().enumerate() {
+            whole.push(i as u64, x);
+            if i < 20 {
+                left.push(i as u64, x);
+            } else {
+                right.push(i as u64, x);
+            }
+        }
+        left.merge(right);
+        assert_eq!(left.count, whole.count);
+        assert!((left.mean - whole.mean).abs() < 1e-12);
+        assert!((left.sample_variance() - whole.sample_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meanvar_merge_handles_empty_sides() {
+        let mut a = MeanVar::new(id);
+        let mut b = MeanVar::new(id);
+        b.push(0, &4.0);
+        a.merge(b); // empty ← non-empty
+        assert_eq!(a.count, 1);
+        assert_eq!(a.mean, 4.0);
+        a.merge(MeanVar::new(id)); // non-empty ← empty
+        assert_eq!(a.count, 1);
+    }
+
+    #[test]
+    fn minmax_tracks_extremes() {
+        let mut mm = MinMax::new(id);
+        for (i, x) in [3.0f64, -1.0, 7.5, 2.0].iter().enumerate() {
+            mm.push(i as u64, x);
+        }
+        assert_eq!((mm.min, mm.max, mm.count), (-1.0, 7.5, 4));
+    }
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let mut h = Histogram::new(id, 0.0, 10.0, 10);
+        for x in [-0.5, 0.0, 0.99, 5.5, 9.999, 10.0, 42.0] {
+            h.push(0, &x);
+        }
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.bins[0], 2);
+        assert_eq!(h.bins[5], 1);
+        assert_eq!(h.bins[9], 1);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bin_edges(5), (5.0, 6.0));
+    }
+
+    #[test]
+    fn histogram_nan_is_counted_apart() {
+        let mut h = Histogram::new(id, 0.0, 10.0, 10);
+        h.push(0, &f64::NAN);
+        h.push(1, &0.5);
+        assert_eq!(h.nan, 1);
+        assert_eq!(h.bins[0], 1, "NaN must not land in the first bin");
+        assert_eq!(h.total(), 2);
+        let mut other = Histogram::new(id, 0.0, 10.0, 10);
+        other.push(2, &f64::NAN);
+        h.merge(other);
+        assert_eq!(h.nan, 2);
+    }
+
+    #[test]
+    fn tally_rate_empty_is_zero() {
+        let t: Tally<f64> = Tally::new(|x| *x > 0.0);
+        assert_eq!(t.rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "differently-shaped")]
+    fn histogram_shape_mismatch_rejected() {
+        let mut a: Histogram<f64> = Histogram::new(id, 0.0, 1.0, 4);
+        let b: Histogram<f64> = Histogram::new(id, 0.0, 1.0, 8);
+        a.merge(b);
+    }
+}

@@ -1,0 +1,303 @@
+//! The [`Experiment`] trait and the parallel trial [`Harness`].
+
+use crate::aggregate::Aggregator;
+use crate::jobs::resolve_jobs;
+use mint_rng::{derive_seed, Rng64, Xoshiro256StarStar};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A trial-indexed deterministic computation.
+///
+/// Trial `i` receives an RNG seeded with `derive_seed(master_seed, i)` — the
+/// seed depends on the trial index only, never on which worker thread runs
+/// it, preserving the replay-from-seed contract stated in
+/// `mint_core::InDramTracker`.
+pub trait Experiment: Sync {
+    /// What one trial produces (kept small: aggregation is streaming).
+    type Outcome: Send;
+
+    /// Runs trial `trial_idx` on its private deterministic RNG stream.
+    fn trial(&self, trial_idx: u64, rng: &mut dyn Rng64) -> Self::Outcome;
+}
+
+/// Every `Fn(u64, &mut dyn Rng64) -> O` closure is an experiment, so ad-hoc
+/// sweeps don't need a named type.
+impl<O: Send, F: Fn(u64, &mut dyn Rng64) -> O + Sync> Experiment for F {
+    type Outcome = O;
+
+    fn trial(&self, trial_idx: u64, rng: &mut dyn Rng64) -> O {
+        self(trial_idx, rng)
+    }
+}
+
+/// Runs the trials of an [`Experiment`] across worker threads and reduces
+/// their outcomes through an [`Aggregator`].
+///
+/// # Determinism
+///
+/// Trials are grouped into fixed-size chunks whose boundaries depend only on
+/// `trials` and `chunk_size` — not on the worker count. Each chunk is
+/// aggregated into a fresh aggregator and the chunk aggregates are merged in
+/// ascending chunk order. A 1-job run takes exactly the same chunk/merge
+/// path, so for any job count the result is **bit-identical** (including
+/// floating-point aggregates, whose rounding is order-sensitive).
+///
+/// # Examples
+///
+/// ```
+/// use mint_exp::{Harness, Tally};
+/// use mint_rng::Rng64;
+///
+/// // Closures are experiments too: tally how often a fair coin lands heads.
+/// let coin = |_idx: u64, rng: &mut dyn Rng64| rng.gen_bool(0.5);
+/// let t = Harness::new(4096, 7).run(&coin, || Tally::new(|h: &bool| *h));
+/// assert_eq!(t.total, 4096);
+/// assert!((t.rate() - 0.5).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Harness {
+    trials: u64,
+    master_seed: u64,
+    jobs: Option<usize>,
+    chunk_size: u64,
+}
+
+/// Default trials per chunk: large enough to amortise the merge lock, small
+/// enough to load-balance short runs.
+const DEFAULT_CHUNK: u64 = 16;
+
+impl Harness {
+    /// A harness for `trials` trials fanned out from `master_seed`.
+    ///
+    /// Worker count defaults to [`resolve_jobs`]`(None)` (the `--jobs` /
+    /// `MINT_JOBS` override, else `available_parallelism`).
+    #[must_use]
+    pub fn new(trials: u64, master_seed: u64) -> Self {
+        Self {
+            trials,
+            master_seed,
+            jobs: None,
+            chunk_size: DEFAULT_CHUNK,
+        }
+    }
+
+    /// Pins the worker count (1 forces sequential execution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs == 0`.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        assert!(jobs > 0, "need at least one worker");
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Overrides the trials-per-chunk granularity.
+    ///
+    /// Results for the same `(trials, master_seed, chunk_size)` are
+    /// identical across job counts; changing `chunk_size` may change
+    /// floating-point aggregates in the last few bits (different merge
+    /// boundaries), never counts or tallies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    #[must_use]
+    pub fn chunk_size(mut self, chunk_size: u64) -> Self {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// The number of trials this harness will run.
+    #[must_use]
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Runs all trials and returns the merged aggregate.
+    ///
+    /// `make_aggregator` constructs one fresh aggregator per chunk (plus the
+    /// root accumulator), so it must return a pristine zero state each call.
+    pub fn run<E, A>(&self, experiment: &E, make_aggregator: impl Fn() -> A + Sync) -> A
+    where
+        E: Experiment,
+        A: Aggregator<E::Outcome>,
+    {
+        let mut acc = make_aggregator();
+        if self.trials == 0 {
+            return acc;
+        }
+        let n_chunks = self.trials.div_ceil(self.chunk_size);
+        let jobs = resolve_jobs(self.jobs).min(usize::try_from(n_chunks).unwrap_or(usize::MAX));
+        if jobs <= 1 {
+            for chunk in 0..n_chunks {
+                acc.merge(self.run_chunk(experiment, &make_aggregator, chunk));
+            }
+            return acc;
+        }
+
+        struct MergeState<A> {
+            next: u64,
+            pending: BTreeMap<u64, A>,
+            acc: Option<A>,
+        }
+        let claim = AtomicU64::new(0);
+        let state = Mutex::new(MergeState {
+            next: 0,
+            pending: BTreeMap::new(),
+            acc: Some(acc),
+        });
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let chunk = claim.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= n_chunks {
+                        break;
+                    }
+                    let part = self.run_chunk(experiment, &make_aggregator, chunk);
+                    let mut st = state.lock().expect("merge state poisoned");
+                    st.pending.insert(chunk, part);
+                    // Fold every contiguously-completed chunk, in order.
+                    loop {
+                        let next = st.next;
+                        let Some(ready) = st.pending.remove(&next) else {
+                            break;
+                        };
+                        st.acc
+                            .as_mut()
+                            .expect("accumulator present until scope ends")
+                            .merge(ready);
+                        st.next += 1;
+                    }
+                });
+            }
+        });
+        state
+            .into_inner()
+            .expect("merge state poisoned")
+            .acc
+            .take()
+            .expect("all chunks merged")
+    }
+
+    /// Runs one chunk sequentially into a fresh aggregator.
+    fn run_chunk<E, A>(&self, experiment: &E, make_aggregator: &impl Fn() -> A, chunk: u64) -> A
+    where
+        E: Experiment,
+        A: Aggregator<E::Outcome>,
+    {
+        let mut agg = make_aggregator();
+        let lo = chunk * self.chunk_size;
+        let hi = (lo + self.chunk_size).min(self.trials);
+        for trial in lo..hi {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(derive_seed(self.master_seed, trial));
+            let outcome = experiment.trial(trial, &mut rng);
+            agg.push(trial, &outcome);
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{Histogram, MeanVar, MinMax, Tally, TrialCount};
+
+    /// A trial whose outcome depends on both the index and the RNG stream,
+    /// with an index-dependent number of draws (so any cross-trial stream
+    /// leakage would corrupt results).
+    struct Toy;
+
+    impl Experiment for Toy {
+        type Outcome = f64;
+
+        fn trial(&self, trial_idx: u64, rng: &mut dyn Rng64) -> f64 {
+            let mut x = 0.0;
+            for _ in 0..=(trial_idx % 5) {
+                x += rng.gen_f64();
+            }
+            x
+        }
+    }
+
+    type FullAgg = (
+        TrialCount,
+        Tally<f64>,
+        MeanVar<f64>,
+        MinMax<f64>,
+        Histogram<f64>,
+    );
+
+    fn full_agg() -> FullAgg {
+        (
+            TrialCount::new(),
+            Tally::new(|x: &f64| *x > 1.0),
+            MeanVar::new(|x: &f64| *x),
+            MinMax::new(|x: &f64| *x),
+            Histogram::new(|x: &f64| *x, 0.0, 5.0, 25),
+        )
+    }
+
+    fn assert_bit_identical(a: &FullAgg, b: &FullAgg) {
+        assert_eq!(a.0, b.0);
+        assert_eq!((a.1.hits, a.1.total), (b.1.hits, b.1.total));
+        assert_eq!(a.2.count, b.2.count);
+        assert_eq!(a.2.mean.to_bits(), b.2.mean.to_bits());
+        assert_eq!(
+            a.2.sample_variance().to_bits(),
+            b.2.sample_variance().to_bits()
+        );
+        assert_eq!(a.3.min.to_bits(), b.3.min.to_bits());
+        assert_eq!(a.3.max.to_bits(), b.3.max.to_bits());
+        assert_eq!(a.4.bins, b.4.bins);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        for trials in [1u64, 15, 16, 17, 160, 1000] {
+            let seq = Harness::new(trials, 99).jobs(1).run(&Toy, full_agg);
+            for jobs in [2usize, 3, 8] {
+                let par = Harness::new(trials, 99).jobs(jobs).run(&Toy, full_agg);
+                assert_bit_identical(&seq, &par);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_trials_returns_pristine_aggregate() {
+        let a = Harness::new(0, 1).run(&Toy, full_agg);
+        assert_eq!(a.0.trials, 0);
+        assert_eq!(a.2.count, 0);
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_counts() {
+        let a = Harness::new(333, 5).chunk_size(1).run(&Toy, full_agg);
+        let b = Harness::new(333, 5).chunk_size(1000).run(&Toy, full_agg);
+        assert_eq!(a.0.trials, b.0.trials);
+        assert_eq!(a.1.hits, b.1.hits);
+        assert_eq!(a.4.bins, b.4.bins);
+    }
+
+    #[test]
+    fn closure_experiments_work() {
+        let exp = |idx: u64, _rng: &mut dyn Rng64| idx;
+        let n = Harness::new(100, 0).run(&exp, || Tally::new(|i: &u64| *i % 2 == 0));
+        assert_eq!(n.hits, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_jobs_rejected() {
+        let _ = Harness::new(1, 1).jobs(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be non-zero")]
+    fn zero_chunk_rejected() {
+        let _ = Harness::new(1, 1).chunk_size(0);
+    }
+}

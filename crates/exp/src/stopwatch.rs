@@ -1,0 +1,80 @@
+//! Dependency-free micro-benchmark timing for the `mint-bench` bench
+//! targets (`cargo bench` runs them; `harness = false`).
+//!
+//! Not a statistics suite: one warm-up call, then the iteration count is
+//! doubled until the measured batch exceeds the target wall time, and the
+//! per-iteration mean is reported. Good enough to spot order-of-magnitude
+//! regressions in the simulator hot paths without external dependencies.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum measured batch duration before a result is reported.
+const TARGET: Duration = Duration::from_millis(200);
+
+/// Iteration cap for very slow benchmarks.
+const MAX_ITERS: u64 = 1 << 24;
+
+/// Prints `group/name  <mean> ns/iter (<iters> iters)` lines to stdout.
+pub struct Runner {
+    group: String,
+}
+
+impl Runner {
+    /// A runner labelling every result with `group`.
+    #[must_use]
+    pub fn new(group: &str) -> Self {
+        println!("benchmark group: {group}");
+        Self {
+            group: group.to_owned(),
+        }
+    }
+
+    /// Times `f`, printing the per-iteration mean.
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
+        f(); // warm-up (page in code and data)
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET || iters >= MAX_ITERS {
+                let per_iter = elapsed.as_nanos() / u128::from(iters);
+                println!(
+                    "{}/{name}  {per_iter} ns/iter ({iters} iters, {:.3} s)",
+                    self.group,
+                    elapsed.as_secs_f64(),
+                );
+                return;
+            }
+            // Aim straight for the target from the observed rate (at least
+            // doubling to converge when early measurements are noisy).
+            let scaled = if elapsed.is_zero() {
+                iters.saturating_mul(16)
+            } else {
+                (iters as f64 * TARGET.as_secs_f64() / elapsed.as_secs_f64()).ceil() as u64
+            };
+            iters = scaled.max(iters.saturating_mul(2)).min(MAX_ITERS);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_and_terminates() {
+        let mut calls = 0u64;
+        let mut runner = Runner::new("test");
+        runner.bench("busy", || {
+            calls += 1;
+            std::hint::spin_loop();
+            black_box(());
+        });
+        assert!(calls > 1, "benchmark body should run many iterations");
+    }
+}

@@ -1,0 +1,92 @@
+//! Order-preserving parallel map for deterministic sweep points.
+
+use crate::jobs::resolve_jobs;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `items` in parallel, returning results in item order.
+///
+/// The worker count comes from [`resolve_jobs`](crate::resolve_jobs)`(None)`.
+/// Output depends only on `items` and `f` — items are claimed dynamically
+/// for load balance, but each result lands in its input's slot, so any
+/// worker count produces the identical `Vec`.
+///
+/// ```
+/// let squares = mint_exp::par_map(&[1u32, 2, 3, 4], |_i, x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_jobs(None, items, f)
+}
+
+/// [`par_map`] with an explicit worker count (`None` = resolve as usual).
+pub fn par_map_jobs<T, R, F>(jobs: Option<usize>, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = resolve_jobs(jobs).min(n.max(1));
+    if jobs <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let claim = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = claim.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled by a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_for_any_job_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for jobs in [1usize, 2, 5, 16] {
+            let got = par_map_jobs(Some(jobs), &items, |_i, x| x * 3 + 1);
+            assert_eq!(got, expect, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn passes_the_index() {
+        let got = par_map_jobs(Some(4), &["a", "b", "c"], |i, s| format!("{i}{s}"));
+        assert_eq!(got, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let got: Vec<u32> = par_map(&[] as &[u32], |_i, x| *x);
+        assert!(got.is_empty());
+    }
+}

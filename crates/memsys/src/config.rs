@@ -145,7 +145,12 @@ mod tests {
     fn scheme_labels() {
         assert_eq!(MitigationScheme::Baseline.label(), "Baseline");
         assert_eq!(MitigationScheme::Mint.label(), "MINT");
-        assert_eq!(MitigationScheme::MintRfm { rfm_th: 16 }.label(), "MINT+RFM16");
-        assert!(MitigationScheme::McPara { p: 1.0 / 64.0 }.label().contains("64"));
+        assert_eq!(
+            MitigationScheme::MintRfm { rfm_th: 16 }.label(),
+            "MINT+RFM16"
+        );
+        assert!(MitigationScheme::McPara { p: 1.0 / 64.0 }
+            .label()
+            .contains("64"));
     }
 }

@@ -28,5 +28,5 @@ pub mod workload;
 pub use config::{MitigationScheme, SystemConfig};
 pub use controller::{MemoryController, SimResult};
 pub use energy::{EnergyModel, EnergyReport};
-pub use runner::{run_workload, NormalizedPerf};
+pub use runner::{run_workload, run_workload_grid, NormalizedPerf};
 pub use workload::{mixes, spec_rate_workloads, CoreStream, WorkloadSpec};

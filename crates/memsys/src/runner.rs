@@ -67,8 +67,8 @@ pub fn run_workload(
         .enumerate()
         .map(|(i, spec)| {
             // Compute time between misses: instructions/miss ÷ IPC, in ps.
-            let think_ps = (spec.instructions_per_miss() / f64::from(cfg.core_ipc)
-                * cycle_ps as f64) as u64;
+            let think_ps =
+                (spec.instructions_per_miss() / f64::from(cfg.core_ipc) * cycle_ps as f64) as u64;
             CoreCtx {
                 stream: CoreStream::new(
                     *spec,
@@ -85,16 +85,13 @@ pub fn run_workload(
         .collect();
 
     // Event loop: always advance the earliest-ready core.
-    loop {
-        let Some(idx) = cores
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.remaining > 0)
-            .min_by_key(|(_, c)| c.ready_at)
-            .map(|(i, _)| i)
-        else {
-            break;
-        };
+    while let Some(idx) = cores
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.remaining > 0)
+        .min_by_key(|(_, c)| c.ready_at)
+        .map(|(i, _)| i)
+    {
         let core = &mut cores[idx];
         let req = core.stream.next_request();
         let issue = core.ready_at + req.think_time_ps;
@@ -114,6 +111,53 @@ pub fn run_workload(
         result: controller.result(),
         normalized: 1.0,
     }
+}
+
+/// Runs every `(workload, scheme)` pair through the `mint-exp` sweep
+/// harness and returns, per workload, the per-scheme results normalized
+/// against the **first** scheme in `schemes` (the baseline) for that
+/// workload.
+///
+/// Workload `w` always runs with `seeds[w]` regardless of scheme, so every
+/// scheme faces identical traffic and the baseline normalizes to exactly
+/// 1.0. Cells are independent seeded runs, so the grid parallelises freely;
+/// results are identical for any worker count.
+///
+/// # Panics
+///
+/// Panics if `schemes` is empty or `workloads.len() != seeds.len()` (the
+/// per-cell panics of [`run_workload`] also apply).
+#[must_use]
+pub fn run_workload_grid<W>(
+    cfg: &SystemConfig,
+    schemes: &[MitigationScheme],
+    workloads: &[W],
+    requests_per_core: u32,
+    seeds: &[u64],
+) -> Vec<Vec<NormalizedPerf>>
+where
+    W: AsRef<[WorkloadSpec]> + Sync,
+{
+    assert!(!schemes.is_empty(), "need at least one scheme");
+    assert_eq!(workloads.len(), seeds.len(), "one seed per workload");
+    let cells: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..schemes.len()).map(move |s| (w, s)))
+        .collect();
+    let flat = mint_exp::par_map(&cells, |_, &(w, s)| {
+        run_workload(
+            cfg,
+            schemes[s],
+            workloads[w].as_ref(),
+            requests_per_core,
+            seeds[w],
+        )
+    });
+    flat.chunks(schemes.len())
+        .map(|row| {
+            let base = row[0];
+            row.iter().map(|cell| cell.normalize(&base)).collect()
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -215,6 +259,40 @@ mod tests {
         let b = run(MitigationScheme::Mint, spec);
         assert_eq!(a.duration_ps, b.duration_ps);
         assert_eq!(a.result, b.result);
+    }
+
+    #[test]
+    fn grid_matches_individual_runs() {
+        let cfg = SystemConfig::table6();
+        let schemes = [
+            MitigationScheme::Baseline,
+            MitigationScheme::Mint,
+            MitigationScheme::MintRfm { rfm_th: 16 },
+        ];
+        let workloads: Vec<Vec<WorkloadSpec>> = vec![rate4(lbm())];
+        let grid = run_workload_grid(&cfg, &schemes, &workloads, 10_000, &[44]);
+        assert_eq!(grid.len(), 1);
+        assert_eq!(grid[0].len(), 3);
+        assert!(
+            (grid[0][0].normalized - 1.0).abs() < 1e-12,
+            "baseline is 1.0"
+        );
+        let base = run_workload(&cfg, schemes[0], &workloads[0], 10_000, 44);
+        let rfm = run_workload(&cfg, schemes[2], &workloads[0], 10_000, 44).normalize(&base);
+        assert_eq!(grid[0][2].duration_ps, rfm.duration_ps);
+        assert_eq!(grid[0][2].normalized.to_bits(), rfm.normalized.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "one seed per workload")]
+    fn grid_seed_mismatch_rejected() {
+        let _ = run_workload_grid(
+            &SystemConfig::table6(),
+            &[MitigationScheme::Baseline],
+            &[rate4(lbm())],
+            10,
+            &[1, 2],
+        );
     }
 
     #[test]

@@ -193,7 +193,10 @@ mod tests {
             seen_lo |= v == 0;
             seen_hi |= v == 73;
         }
-        assert!(seen_lo && seen_hi, "both endpoints should appear in 10k draws");
+        assert!(
+            seen_lo && seen_hi,
+            "both endpoints should appear in 10k draws"
+        );
     }
 
     #[test]

@@ -36,7 +36,9 @@ impl Xoshiro256StarStar {
         // SplitMix64 output is never all-zero across four consecutive draws,
         // but guard anyway: the all-zero state is the one invalid state.
         if s == [0, 0, 0, 0] {
-            return Self { s: [0xDEAD_BEEF, 1, 2, 3] };
+            return Self {
+                s: [0xDEAD_BEEF, 1, 2, 3],
+            };
         }
         Self { s }
     }
@@ -89,10 +91,7 @@ impl Xoshiro256StarStar {
 impl Rng64 for Xoshiro256StarStar {
     #[inline]
     fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

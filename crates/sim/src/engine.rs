@@ -3,7 +3,8 @@
 use mint_attacks::AccessPattern;
 use mint_core::{InDramTracker, MitigationDecision};
 use mint_dram::{Bank, BankConfig, FailureRecord, RefreshPolicy, RowId};
-use mint_rng::{derive_seed, Rng64, Xoshiro256StarStar};
+use mint_exp::{Experiment, Harness, Tally};
+use mint_rng::Rng64;
 
 /// Configuration of a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,7 +41,7 @@ impl SimConfig {
     }
 
     /// A reduced bank (64K rows) — identical dynamics for attacks that touch
-    /// a few hundred rows, much cheaper to reset between Monte-Carlo trials.
+    /// a few hundred rows, much cheaper to allocate per Monte-Carlo trial.
     #[must_use]
     pub fn small() -> Self {
         Self {
@@ -193,7 +194,8 @@ impl Engine {
             empty_mitigations: 0,
             refs: 0,
         };
-        let total_refis = u64::from(self.config.refi_per_refw) * u64::from(self.config.refw_windows);
+        let total_refis =
+            u64::from(self.config.refi_per_refw) * u64::from(self.config.refw_windows);
         // Auto-refresh pacing: `bank_rows` rows must be swept per
         // `refi_per_refw` tREFI; accumulate credit to handle non-divisible
         // configurations exactly.
@@ -230,39 +232,61 @@ impl Engine {
         report.max_hammers = self.bank.max_hammers_ever();
         report
     }
+}
 
-    /// Resets the bank for a fresh trial.
-    pub fn reset(&mut self) {
-        self.bank.reset();
+/// A Monte-Carlo simulation as a `mint-exp` [`Experiment`]: each trial
+/// builds a fresh tracker and pattern from the shared factories, runs one
+/// engine over `config` and yields the [`SimReport`].
+///
+/// Trial `i` draws from the substream `derive_seed(master_seed, i)` — the
+/// factories receive that trial's RNG, so a trial's entire history replays
+/// from its index regardless of which worker thread executes it.
+pub struct MonteCarlo<'a> {
+    /// Per-trial simulation configuration.
+    pub config: SimConfig,
+    /// Builds the tracker under test (seeded from the trial's RNG).
+    pub make_tracker: &'a (dyn Fn(&mut dyn Rng64) -> Box<dyn InDramTracker> + Sync),
+    /// Builds the attack pattern.
+    pub make_pattern: &'a (dyn Fn() -> Box<dyn AccessPattern> + Sync),
+}
+
+impl Experiment for MonteCarlo<'_> {
+    type Outcome = SimReport;
+
+    fn trial(&self, _trial_idx: u64, rng: &mut dyn Rng64) -> SimReport {
+        let mut tracker = (self.make_tracker)(rng);
+        let mut pattern = (self.make_pattern)();
+        Engine::new(self.config).run(tracker.as_mut(), pattern.as_mut(), rng)
     }
 }
 
 /// Monte-Carlo estimate of the per-tREFW failure probability: runs `trials`
-/// independent single-tREFW simulations and returns the number that failed.
+/// independent single-tREFW simulations through the `mint-exp` harness (in
+/// parallel; bit-identical to a 1-thread run) and returns the number that
+/// failed.
 ///
 /// `make_tracker` and `make_pattern` construct fresh instances per trial;
 /// trial `i` uses the deterministic sub-seed `derive_seed(seed, i)`.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
 pub fn estimate_failure_prob(
     config: SimConfig,
     trials: u32,
     seed: u64,
-    make_tracker: &mut dyn FnMut(&mut dyn Rng64) -> Box<dyn InDramTracker>,
-    make_pattern: &mut dyn FnMut() -> Box<dyn AccessPattern>,
+    make_tracker: &(dyn Fn(&mut dyn Rng64) -> Box<dyn InDramTracker> + Sync),
+    make_pattern: &(dyn Fn() -> Box<dyn AccessPattern> + Sync),
 ) -> (u32, u32) {
     assert!(trials > 0, "need at least one trial");
-    let mut engine = Engine::new(config);
-    let mut failures = 0;
-    for trial in 0..trials {
-        let mut rng = Xoshiro256StarStar::seed_from_u64(derive_seed(seed, u64::from(trial)));
-        let mut tracker = make_tracker(&mut rng);
-        let mut pattern = make_pattern();
-        engine.reset();
-        let report = engine.run(tracker.as_mut(), pattern.as_mut(), &mut rng);
-        if report.failed() {
-            failures += 1;
-        }
-    }
-    (failures, trials)
+    let experiment = MonteCarlo {
+        config,
+        make_tracker,
+        make_pattern,
+    };
+    let tally =
+        Harness::new(u64::from(trials), seed).run(&experiment, || Tally::new(SimReport::failed));
+    (u32::try_from(tally.hits).expect("hits <= trials"), trials)
 }
 
 #[cfg(test)]
@@ -273,7 +297,8 @@ mod tests {
         SingleSided,
     };
     use mint_core::{Dmq, Mint, MintConfig};
-    use mint_trackers::{InDramPara, Prct, SimpleTrr};
+    use mint_rng::Xoshiro256StarStar;
+    use mint_trackers::{Prct, SimpleTrr};
 
     fn rng(seed: u64) -> Xoshiro256StarStar {
         Xoshiro256StarStar::seed_from_u64(seed)
@@ -458,8 +483,8 @@ mod tests {
             cfg,
             600,
             777,
-            &mut |r| Box::new(Mint::new(MintConfig::ddr5_default(), r)),
-            &mut || Box::new(Pattern1::new(RowId(2000))),
+            &|r| Box::new(Mint::new(MintConfig::ddr5_default(), r)),
+            &|| Box::new(Pattern1::new(RowId(2000))),
         );
         let rate = f64::from(fails) / f64::from(trials);
         assert!(
@@ -517,8 +542,8 @@ mod tests {
             SimConfig::small(),
             0,
             1,
-            &mut |r| Box::new(Mint::new(MintConfig::ddr5_default(), r)),
-            &mut || Box::new(Pattern1::new(RowId(1))),
+            &|r| Box::new(Mint::new(MintConfig::ddr5_default(), r)),
+            &|| Box::new(Pattern1::new(RowId(1))),
         );
     }
 }

@@ -24,8 +24,12 @@
 //!   478K of §VI-B).
 //! * **Failure-rate runs** ([`estimate_failure_prob`]) — Monte-Carlo
 //!   estimates of the per-tREFW failure probability at a small threshold,
-//!   cross-validating the Sariou–Wolman analytical model.
+//!   cross-validating the Sariou–Wolman analytical model. Trials fan out
+//!   through the `mint-exp` harness ([`MonteCarlo`] is the [`Experiment`]
+//!   impl), run on all cores, and are bit-identical to a 1-thread run.
+//!
+//! [`Experiment`]: mint_exp::Experiment
 
 mod engine;
 
-pub use engine::{estimate_failure_prob, Engine, SimConfig, SimReport};
+pub use engine::{estimate_failure_prob, Engine, MonteCarlo, SimConfig, SimReport};

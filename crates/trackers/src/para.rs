@@ -45,7 +45,10 @@ impl InDramPara {
     /// Panics unless `0 < p <= 1`.
     #[must_use]
     pub fn new(p: f64) -> Self {
-        assert!(p > 0.0 && p <= 1.0, "sampling probability must be in (0, 1]");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "sampling probability must be in (0, 1]"
+        );
         Self { p, sar: None }
     }
 
@@ -115,7 +118,10 @@ impl InDramParaNoOverwrite {
     /// Panics unless `0 < p <= 1`.
     #[must_use]
     pub fn new(p: f64) -> Self {
-        assert!(p > 0.0 && p <= 1.0, "sampling probability must be in (0, 1]");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "sampling probability must be in (0, 1]"
+        );
         Self { p, sar: None }
     }
 
@@ -178,7 +184,11 @@ mod tests {
         attack: RowId,
     ) -> bool {
         for k in 1..=73 {
-            let row = if k == position { attack } else { RowId(50_000 + k) };
+            let row = if k == position {
+                attack
+            } else {
+                RowId(50_000 + k)
+            };
             t.on_activation(row, r);
         }
         t.on_refresh(r).mitigates(attack)
@@ -206,10 +216,16 @@ mod tests {
         let p_first = f64::from(first) / f64::from(trials);
         let p_last = f64::from(last) / f64::from(trials);
         let expect_first = P * (1.0 - P).powi(72);
-        assert!((p_first - expect_first).abs() < 1.5e-3, "{p_first} vs {expect_first}");
+        assert!(
+            (p_first - expect_first).abs() < 1.5e-3,
+            "{p_first} vs {expect_first}"
+        );
         assert!((p_last - P).abs() < 1.5e-3, "{p_last} vs {P}");
         let ratio = p_last / p_first;
-        assert!((2.2..3.4).contains(&ratio), "expected ≈2.7x penalty, got {ratio}");
+        assert!(
+            (2.2..3.4).contains(&ratio),
+            "expected ≈2.7x penalty, got {ratio}"
+        );
     }
 
     #[test]
@@ -234,7 +250,10 @@ mod tests {
         let p_last = f64::from(last) / f64::from(trials);
         assert!((p_first - P).abs() < 1.5e-3);
         let ratio = p_first / p_last;
-        assert!((2.2..3.4).contains(&ratio), "expected ≈2.7x penalty, got {ratio}");
+        assert!(
+            (2.2..3.4).contains(&ratio),
+            "expected ≈2.7x penalty, got {ratio}"
+        );
     }
 
     #[test]

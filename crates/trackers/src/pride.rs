@@ -49,7 +49,10 @@ impl Pride {
     /// Panics unless `0 < p <= 1` and `capacity > 0`.
     #[must_use]
     pub fn new(p: f64, capacity: usize) -> Self {
-        assert!(p > 0.0 && p <= 1.0, "sampling probability must be in (0, 1]");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "sampling probability must be in (0, 1]"
+        );
         assert!(capacity > 0, "PrIDE FIFO needs at least one entry");
         Self {
             p,

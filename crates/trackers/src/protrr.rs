@@ -216,7 +216,7 @@ mod tests {
 
     #[test]
     fn mitigative_refresh_counts_next_tier_victims() {
-        let mut r = rng(4);
+        let _r = rng(4);
         let mut t = tracker(16);
         // Refreshing row 20 endangers 19 and 21.
         t.on_mitigative_refresh(RowId(20));

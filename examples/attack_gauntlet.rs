@@ -20,18 +20,43 @@ use mint_rh::rng::Xoshiro256StarStar;
 use mint_rh::sim::{Engine, SimConfig};
 use mint_rh::trackers::{InDramPara, Parfm, Prct, SimpleTrr};
 
-fn attacks() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn AccessPattern>>)> {
+type MakeAttack = Box<dyn Fn() -> Box<dyn AccessPattern>>;
+type MakeTracker = Box<dyn Fn(&mut Xoshiro256StarStar) -> Box<dyn InDramTracker>>;
+
+fn attacks() -> Vec<(&'static str, MakeAttack)> {
     vec![
-        ("single-sided", Box::new(|| Box::new(SingleSided::new(RowId(10_000))))),
-        ("double-sided", Box::new(|| Box::new(DoubleSided::new(RowId(10_000))))),
-        ("many-sided-40", Box::new(|| Box::new(ManySided::new(RowId(10_000), 40)))),
-        ("blacksmith", Box::new(|| Box::new(Blacksmith::new(BlacksmithConfig::default())))),
-        ("half-double", Box::new(|| Box::new(HalfDouble::new(RowId(10_000))))),
-        ("pattern-2 (k=73)", Box::new(|| Box::new(Pattern2::new(RowId(10_000), 73, 73)))),
+        (
+            "single-sided",
+            Box::new(|| Box::new(SingleSided::new(RowId(10_000)))),
+        ),
+        (
+            "double-sided",
+            Box::new(|| Box::new(DoubleSided::new(RowId(10_000)))),
+        ),
+        (
+            "many-sided-40",
+            Box::new(|| Box::new(ManySided::new(RowId(10_000), 40))),
+        ),
+        (
+            "blacksmith",
+            Box::new(|| Box::new(Blacksmith::new(BlacksmithConfig::default()))),
+        ),
+        (
+            "half-double",
+            Box::new(|| Box::new(HalfDouble::new(RowId(10_000)))),
+        ),
+        (
+            "pattern-2 (k=73)",
+            Box::new(|| Box::new(Pattern2::new(RowId(10_000), 73, 73))),
+        ),
     ]
 }
 
-fn run(tracker: &mut dyn InDramTracker, make: &dyn Fn() -> Box<dyn AccessPattern>, seed: u64) -> u32 {
+fn run(
+    tracker: &mut dyn InDramTracker,
+    make: &dyn Fn() -> Box<dyn AccessPattern>,
+    seed: u64,
+) -> u32 {
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     let mut pattern = make();
     let mut engine = Engine::new(SimConfig::small());
@@ -46,14 +71,26 @@ fn main() {
     }
     println!();
 
-    let trackers: Vec<(&str, Box<dyn Fn(&mut Xoshiro256StarStar) -> Box<dyn InDramTracker>>)> = vec![
-        ("MINT", Box::new(|r: &mut Xoshiro256StarStar| {
-            Box::new(Mint::new(MintConfig::ddr5_default(), r)) as Box<dyn InDramTracker>
-        })),
-        ("MINT (no transitive)", Box::new(|r: &mut Xoshiro256StarStar| {
-            Box::new(Mint::new(MintConfig::ddr5_default().without_transitive(), r))
-        })),
-        ("InDRAM-PARA", Box::new(|_r| Box::new(InDramPara::new(1.0 / 73.0)))),
+    let trackers: Vec<(&str, MakeTracker)> = vec![
+        (
+            "MINT",
+            Box::new(|r: &mut Xoshiro256StarStar| {
+                Box::new(Mint::new(MintConfig::ddr5_default(), r)) as Box<dyn InDramTracker>
+            }),
+        ),
+        (
+            "MINT (no transitive)",
+            Box::new(|r: &mut Xoshiro256StarStar| {
+                Box::new(Mint::new(
+                    MintConfig::ddr5_default().without_transitive(),
+                    r,
+                ))
+            }),
+        ),
+        (
+            "InDRAM-PARA",
+            Box::new(|_r| Box::new(InDramPara::new(1.0 / 73.0))),
+        ),
         ("PARFM", Box::new(|_r| Box::new(Parfm::new(73)))),
         ("PRCT", Box::new(|_r| Box::new(Prct::new(64 * 1024)))),
         ("TRR-16", Box::new(|_r| Box::new(SimpleTrr::new(16)))),

@@ -19,8 +19,15 @@ fn main() {
 
     // 1. Build MINT: three registers, four bytes of SRAM (§V-B, §VIII-C).
     let mut mint = Mint::new(MintConfig::ddr5_default(), &mut rng);
-    println!("MINT tracker: {} entry, {} bits of SRAM", mint.entries(), mint.storage_bits());
-    println!("This window's SAN (selected activation number): {}", mint.san());
+    println!(
+        "MINT tracker: {} entry, {} bits of SRAM",
+        mint.entries(),
+        mint.storage_bits()
+    );
+    println!(
+        "This window's SAN (selected activation number): {}",
+        mint.san()
+    );
 
     // 2. A classic single-sided attack fills every slot of the tREFI —
     //    and is therefore *guaranteed* to be selected (§V-C).

@@ -11,9 +11,7 @@
 
 use mint_rh::analysis::ada::AdaConfig;
 use mint_rh::analysis::{MinTrhSolver, TargetMttf};
-use mint_rh::memsys::{
-    run_workload, spec_rate_workloads, MitigationScheme, SystemConfig,
-};
+use mint_rh::memsys::{run_workload, spec_rate_workloads, MitigationScheme, SystemConfig};
 
 fn main() {
     let solver = MinTrhSolver::new(TargetMttf::paper_default(), 0.032);

@@ -31,8 +31,8 @@ fn empirical_p(trh: u32, trials: u32, seed: u64) -> f64 {
         cfg,
         trials,
         seed,
-        &mut |r| Box::new(Mint::new(MintConfig::ddr5_default(), r)),
-        &mut || Box::new(Pattern1::new(RowId(2000))),
+        &|r| Box::new(Mint::new(MintConfig::ddr5_default(), r)),
+        &|| Box::new(Pattern1::new(RowId(2000))),
     );
     f64::from(fails) / f64::from(total)
 }
@@ -68,8 +68,5 @@ fn pattern1_failure_rate_matches_model_at_t450() {
 fn failure_rate_decreases_with_threshold() {
     let lo = empirical_p(400, 400, 0xEF);
     let hi = empirical_p(800, 400, 0xEF);
-    assert!(
-        lo > hi,
-        "T=400 rate {lo} must exceed T=800 rate {hi}"
-    );
+    assert!(lo > hi, "T=400 rate {lo} must exceed T=800 rate {hi}");
 }

@@ -16,12 +16,24 @@ fn full_suite() -> Vec<(&'static str, Box<dyn AccessPattern>)> {
         ("double-sided", Box::new(DoubleSided::new(RowId(10_000)))),
         ("pattern-1", Box::new(Pattern1::new(RowId(10_000)))),
         ("pattern-2", Box::new(Pattern2::new(RowId(10_000), 73, 73))),
-        ("pattern-2-multi", Box::new(Pattern2::new(RowId(10_000), 146, 73))),
-        ("pattern-3", Box::new(Pattern3::new(RowId(10_000), 24, 3, 73))),
+        (
+            "pattern-2-multi",
+            Box::new(Pattern2::new(RowId(10_000), 146, 73)),
+        ),
+        (
+            "pattern-3",
+            Box::new(Pattern3::new(RowId(10_000), 24, 3, 73)),
+        ),
         ("many-sided", Box::new(ManySided::new(RowId(10_000), 40))),
-        ("blacksmith", Box::new(Blacksmith::new(BlacksmithConfig::default()))),
+        (
+            "blacksmith",
+            Box::new(Blacksmith::new(BlacksmithConfig::default())),
+        ),
         ("half-double", Box::new(HalfDouble::new(RowId(10_000)))),
-        ("ada", Box::new(AdaptiveAttack::paper_default(RowId(10_000), 1400))),
+        (
+            "ada",
+            Box::new(AdaptiveAttack::paper_default(RowId(10_000), 1400)),
+        ),
         (
             "postponement-decoy",
             Box::new(PostponementDecoy::new(RowId(10_000), RowId(60_000), 73, 5)),
@@ -57,8 +69,7 @@ fn bare_mint_bounds_every_attack_with_timely_refresh() {
         }
         let mut rng = Xoshiro256StarStar::seed_from_u64(0xBEEF);
         let mut tracker = Mint::new(MintConfig::ddr5_default(), &mut rng);
-        let report =
-            Engine::new(SimConfig::small()).run(&mut tracker, attack.as_mut(), &mut rng);
+        let report = Engine::new(SimConfig::small()).run(&mut tracker, attack.as_mut(), &mut rng);
         assert!(
             report.max_hammers < 3000,
             "{name}: {} unmitigated hammers exceeds the sanity bound",

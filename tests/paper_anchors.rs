@@ -44,13 +44,24 @@ fn headline_dmq_1482() {
 #[test]
 fn headline_rfm_scaling_689_and_356() {
     let rows = rfm::table5(&solver());
-    assert!((620..740).contains(&rows[2].min_trh_d), "{}", rows[2].min_trh_d);
-    assert!((310..390).contains(&rows[3].min_trh_d), "{}", rows[3].min_trh_d);
+    assert!(
+        (620..740).contains(&rows[2].min_trh_d),
+        "{}",
+        rows[2].min_trh_d
+    );
+    assert!(
+        (310..390).contains(&rows[3].min_trh_d),
+        "{}",
+        rows[3].min_trh_d
+    );
 }
 
 #[test]
 fn headline_deterministic_478k() {
-    assert_eq!(postponement::deterministic_attack_acts(73, 8192, 5), 478_296);
+    assert_eq!(
+        postponement::deterministic_attack_acts(73, 8192, 5),
+        478_296
+    );
 }
 
 #[test]
