@@ -20,7 +20,7 @@
 //! * [`comparison`] — Table III; [`postponement`] — Table IV; [`rfm`] —
 //!   Table V; [`ttf`] — Table VII; [`storage`] — Table IX;
 //!   [`maxact`] — Fig 18 (Appendix A).
-//! * [`reference`] — literature constants (Table II).
+//! * [`reference`](mod@reference) — literature constants (Table II).
 //! * [`textable`] — the plain-text/TSV table writer used by every
 //!   regeneration binary.
 

@@ -15,8 +15,8 @@ use mint_dram::RowId;
 /// `4 × MaxACT` slots, which are completely invisible.
 ///
 /// Per tREFW that is `8192/5 × 292 ≈ 478K` deterministic, unmitigated
-/// activations (the paper's headline 478K). The [`Dmq`](mint_core::Dmq)
-/// wrapper defeats it by rolling the tracker's window every `MaxACT`
+/// activations (the paper's headline 478K). The `Dmq` wrapper in
+/// `mint-core` defeats it by rolling the tracker's window every `MaxACT`
 /// activations regardless of REF arrival.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PostponementDecoy {

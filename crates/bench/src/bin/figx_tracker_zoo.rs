@@ -1,0 +1,6 @@
+//! Regenerates the tracker-zoo comparison (Table-IX-style storage vs
+//! performance across every `MitigationScheme` in the memory system).
+fn main() {
+    mint_exp::init_jobs_from_args();
+    println!("{}", mint_bench::perf::tracker_zoo());
+}

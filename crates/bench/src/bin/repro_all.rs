@@ -34,12 +34,14 @@ fn main() {
         ("table8", mint_bench::perf::table8),
         ("fig17", mint_bench::perf::fig17),
         ("table9", mint_bench::security::table9),
+        ("tracker_zoo", mint_bench::perf::tracker_zoo),
         ("fig18", mint_bench::security::fig18),
         ("fig21", mint_bench::security::fig21),
     ];
+    let count = experiments.len();
     for (name, run) in experiments {
         eprintln!("[repro_all] running {name} ...");
         println!("{}\n", run());
     }
-    eprintln!("[repro_all] done: 18 experiments regenerated");
+    eprintln!("[repro_all] done: {count} experiments regenerated");
 }

@@ -44,6 +44,56 @@ impl MitigationDecision {
     pub fn is_some(&self) -> bool {
         !self.is_none()
     }
+
+    /// The rows this decision refreshes for a device with the given blast
+    /// radius, in the order the device issues them (for [`Aggressor`]:
+    /// `−1, +1, −2, +2, …`; for [`Transitive`]: `−reach, +reach`).
+    ///
+    /// Rows that would fall below row 0 are dropped (banks clip at the
+    /// edge); callers with an upper bound filter against it themselves.
+    /// This is the **single source of truth** for mitigation cost: the
+    /// Monte-Carlo engine applies exactly these refreshes and the memory
+    /// system charges one victim ACT per returned row — they can never
+    /// disagree on what a decision costs.
+    ///
+    /// [`Aggressor`]: MitigationDecision::Aggressor
+    /// [`Transitive`]: MitigationDecision::Transitive
+    #[must_use]
+    pub fn victim_rows(&self, blast_radius: u32) -> Vec<RowId> {
+        if self.is_none() {
+            return Vec::new(); // allocation-free: None is the common case
+        }
+        let mut rows = Vec::with_capacity(2 * blast_radius as usize);
+        match *self {
+            MitigationDecision::None => {}
+            MitigationDecision::Aggressor(r) => {
+                for d in 1..=i64::from(blast_radius) {
+                    rows.extend(r.offset(-d));
+                    rows.extend(r.offset(d));
+                }
+            }
+            MitigationDecision::Transitive { around, distance } => {
+                let reach = i64::from(blast_radius) + i64::from(distance);
+                rows.extend(around.offset(-reach));
+                rows.extend(around.offset(reach));
+            }
+            MitigationDecision::VictimRefresh(v) => rows.push(v),
+        }
+        rows
+    }
+
+    /// Number of victim-refresh activations this decision performs for the
+    /// given blast radius: 0 for [`None`](MitigationDecision::None),
+    /// `2 × blast_radius` for an aggressor mitigation, 2 for a transitive
+    /// one and exactly 1 for a [`VictimRefresh`] (victim-centric trackers
+    /// such as ProTRR refresh the endangered row itself) — minus any rows
+    /// clipped at the row-0 edge.
+    ///
+    /// [`VictimRefresh`]: MitigationDecision::VictimRefresh
+    #[must_use]
+    pub fn victim_act_count(&self, blast_radius: u32) -> u64 {
+        self.victim_rows(blast_radius).len() as u64
+    }
 }
 
 /// A Rowhammer mitigation tracker living inside the DRAM device.
@@ -131,5 +181,57 @@ mod tests {
             !tr.mitigates(RowId(5)),
             "transitive is not a direct mitigation"
         );
+    }
+
+    #[test]
+    fn victim_act_counts_per_variant() {
+        assert_eq!(MitigationDecision::None.victim_act_count(1), 0);
+        assert_eq!(
+            MitigationDecision::Aggressor(RowId(10)).victim_act_count(1),
+            2
+        );
+        assert_eq!(
+            MitigationDecision::Aggressor(RowId(10)).victim_act_count(2),
+            4
+        );
+        assert_eq!(
+            MitigationDecision::Transitive {
+                around: RowId(10),
+                distance: 1,
+            }
+            .victim_act_count(1),
+            2
+        );
+        assert_eq!(
+            MitigationDecision::VictimRefresh(RowId(10)).victim_act_count(1),
+            1,
+            "a victim refresh is exactly one activation, not a pair"
+        );
+    }
+
+    #[test]
+    fn victim_rows_order_and_edge_clipping() {
+        assert_eq!(
+            MitigationDecision::Aggressor(RowId(10)).victim_rows(2),
+            vec![RowId(9), RowId(11), RowId(8), RowId(12)]
+        );
+        // Row 0 has no lower neighbour: the pair clips to one victim.
+        assert_eq!(
+            MitigationDecision::Aggressor(RowId(0)).victim_rows(1),
+            vec![RowId(1)]
+        );
+        assert_eq!(
+            MitigationDecision::Aggressor(RowId(0)).victim_act_count(1),
+            1
+        );
+        assert_eq!(
+            MitigationDecision::Transitive {
+                around: RowId(10),
+                distance: 2,
+            }
+            .victim_rows(1),
+            vec![RowId(7), RowId(13)]
+        );
+        assert!(MitigationDecision::None.victim_rows(1).is_empty());
     }
 }

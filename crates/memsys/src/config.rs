@@ -1,6 +1,12 @@
 //! System configuration (paper Table VI).
 
 /// Rowhammer mitigation scheme under evaluation.
+///
+/// Each scheme is realised per bank by a
+/// [`MitigationBackend`](crate::MitigationBackend) — see that module for
+/// where each scheme's logic lives (in-DRAM riding REF, or MC-side paying
+/// DRFM bank time) and how the trackers are sized. The full set mirrors the
+/// paper's Table IX / §V-G comparison zoo.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MitigationScheme {
     /// No mitigation (the normalisation baseline).
@@ -19,6 +25,25 @@ pub enum MitigationScheme {
         /// Per-activation DRFM probability.
         p: f64,
     },
+    /// Graphene (MICRO 2020): MC-side Misra-Gries aggressor table issuing
+    /// a DRFM-priced mitigation when a row crosses its threshold.
+    Graphene,
+    /// Mithril (HPCA 2022): in-DRAM counter-based-summary sketch,
+    /// mitigating at REF.
+    Mithril,
+    /// ProTRR (S&P 2022): in-DRAM Misra-Gries *victim* tracking; its REF
+    /// mitigation refreshes exactly one row.
+    ProTrr,
+    /// A vendor-TRR-like small table (easily defeated; here for the
+    /// performance/storage comparison).
+    SimpleTrr,
+    /// The idealized Per-Row Counter-Table (one counter per DRAM row).
+    Prct,
+    /// PrIDE (ISCA 2024): PARA sampling into a 4-entry in-DRAM FIFO.
+    Pride,
+    /// PARFM: buffer every activation of the window, mitigate one at
+    /// random at REF.
+    Parfm,
 }
 
 impl MitigationScheme {
@@ -30,7 +55,35 @@ impl MitigationScheme {
             MitigationScheme::Mint => "MINT".to_owned(),
             MitigationScheme::MintRfm { rfm_th } => format!("MINT+RFM{rfm_th}"),
             MitigationScheme::McPara { p } => format!("MC-PARA(1/{:.0})", 1.0 / p),
+            MitigationScheme::Graphene => "Graphene".to_owned(),
+            MitigationScheme::Mithril => "Mithril".to_owned(),
+            MitigationScheme::ProTrr => "ProTRR".to_owned(),
+            MitigationScheme::SimpleTrr => "TRR".to_owned(),
+            MitigationScheme::Prct => "PRCT".to_owned(),
+            MitigationScheme::Pride => "PrIDE".to_owned(),
+            MitigationScheme::Parfm => "PARFM".to_owned(),
         }
+    }
+
+    /// The canonical evaluation zoo: baseline first (the normalisation
+    /// reference for [`run_workload_grid`](crate::run_workload_grid)), then
+    /// the paper's MINT configurations, then every baseline tracker.
+    #[must_use]
+    pub fn zoo() -> Vec<MitigationScheme> {
+        vec![
+            MitigationScheme::Baseline,
+            MitigationScheme::Mint,
+            MitigationScheme::MintRfm { rfm_th: 32 },
+            MitigationScheme::MintRfm { rfm_th: 16 },
+            MitigationScheme::McPara { p: 1.0 / 40.0 },
+            MitigationScheme::Graphene,
+            MitigationScheme::Mithril,
+            MitigationScheme::ProTrr,
+            MitigationScheme::SimpleTrr,
+            MitigationScheme::Prct,
+            MitigationScheme::Pride,
+            MitigationScheme::Parfm,
+        ]
     }
 }
 
@@ -152,5 +205,18 @@ mod tests {
         assert!(MitigationScheme::McPara { p: 1.0 / 64.0 }
             .label()
             .contains("64"));
+        assert_eq!(MitigationScheme::Graphene.label(), "Graphene");
+        assert_eq!(MitigationScheme::ProTrr.label(), "ProTRR");
+        assert_eq!(MitigationScheme::Prct.label(), "PRCT");
+    }
+
+    #[test]
+    fn zoo_covers_at_least_eight_distinct_schemes() {
+        let zoo = MitigationScheme::zoo();
+        assert!(zoo.len() >= 8, "zoo has {} schemes", zoo.len());
+        assert_eq!(zoo[0], MitigationScheme::Baseline, "baseline leads");
+        let labels: std::collections::HashSet<String> =
+            zoo.iter().map(MitigationScheme::label).collect();
+        assert_eq!(labels.len(), zoo.len(), "labels must be distinct");
     }
 }

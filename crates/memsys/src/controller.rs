@@ -1,11 +1,15 @@
-//! The DDR5 memory controller: bank timing, REF/RFM/DRFM scheduling and
-//! per-bank MINT trackers.
+//! The DDR5 memory controller: bank timing, REF/RFM/DRFM scheduling and a
+//! per-bank mitigation backend (any tracker of the zoo, not just MINT).
 
+use crate::backend::{refis_per_refw, MitigationBackend};
 use crate::config::{MitigationScheme, SystemConfig};
 use crate::workload::Request;
-use mint_core::{InDramTracker, Mint, MintConfig};
+use mint_core::{InDramTracker, MitigationDecision};
 use mint_dram::RowId;
 use mint_rng::{Rng64, Xoshiro256StarStar};
+
+/// Blast radius the memory system charges mitigations with (DDR5 default).
+const BLAST_RADIUS: u32 = 1;
 
 /// Aggregate statistics of one simulation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -16,18 +20,36 @@ pub struct SimResult {
     pub row_hits: u64,
     /// Demand activations (row misses).
     pub demand_acts: u64,
-    /// Mitigative victim-refresh activations performed by the device.
+    /// Mitigative victim-refresh activations performed by the device or
+    /// the controller — one per victim row actually refreshed, per
+    /// [`MitigationDecision::victim_act_count`] (an aggressor mitigation
+    /// costs 2, a ProTRR-style victim refresh exactly 1).
     pub mitigative_acts: u64,
     /// RFM commands issued (MINT+RFM only).
     pub rfm_commands: u64,
-    /// DRFM commands issued (MC-PARA only).
+    /// DRFM commands issued (MC-PARA and Graphene).
     pub drfm_commands: u64,
     /// Reads (for the energy model).
     pub reads: u64,
     /// Writes.
     pub writes: u64,
-    /// Total REF windows elapsed (approximate, from final time).
+    /// Per-bank REF events elapsed: one per (REF command, bank) pair, for
+    /// every REF command whose tRFC window *started* by the end of the run
+    /// (including the one at t = 0 — a partial final tREFI still paid for
+    /// its REF). This is exactly what [`EnergyModel`](crate::EnergyModel)
+    /// multiplies by its per-REF-per-bank energy.
     pub refs: u64,
+}
+
+impl SimResult {
+    /// Row-buffer hit rate over all serviced requests (0 when idle).
+    #[must_use]
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.row_hits as f64 / self.requests as f64
+    }
 }
 
 #[derive(Debug)]
@@ -37,7 +59,7 @@ struct BankState {
     raa: u32,
     /// REF index this bank has processed mitigations up to.
     ref_cursor: u64,
-    tracker: Mint,
+    backend: MitigationBackend,
 }
 
 /// A single-channel DDR5 memory controller with per-bank FCFS service.
@@ -46,8 +68,9 @@ struct BankState {
 /// the three bank-time thieves the paper measures — REF (tRFC every tREFI,
 /// all banks), RFM (tRFC/2 per threshold crossing, one bank) and DRFM
 /// (tRFC per sampled activation, one bank) — plus row-buffer hit/miss
-/// latencies. Each bank carries a real [`Mint`] tracker so mitigative
-/// activations are counted with the actual selection logic, not a constant.
+/// latencies. Each bank carries a real [`MitigationBackend`] (MINT or any
+/// baseline tracker of the zoo), so mitigative activations are counted
+/// with the actual selection logic, not a constant.
 #[derive(Debug)]
 pub struct MemoryController {
     cfg: SystemConfig,
@@ -57,22 +80,51 @@ pub struct MemoryController {
     result: SimResult,
 }
 
+/// The victims of `decision` that actually exist in a bank of `rows` rows
+/// (`victim_rows` clips the row-0 edge itself; the top edge is ours to
+/// enforce, like `bank.contains` in the sim engine).
+fn in_bank_victims(decision: MitigationDecision, rows: u32) -> impl Iterator<Item = RowId> {
+    decision
+        .victim_rows(BLAST_RADIUS)
+        .into_iter()
+        .filter(move |v| v.0 < rows)
+}
+
+/// Performs a mitigation: charges one mitigative ACT per in-bank victim
+/// row and — when a tracker performs it — shows the tracker its own
+/// (otherwise silent) victim refreshes, which is what makes PRCT, Mithril
+/// and ProTRR immune to transitive attacks (§V-G). Every mitigation site
+/// (REF, RFM, in-DRAM proactive, Graphene DRFM, MC-PARA sampling) charges
+/// through here, so cost accounting cannot drift between them.
+fn apply_mitigation(
+    result: &mut SimResult,
+    mut tracker: Option<&mut dyn InDramTracker>,
+    decision: MitigationDecision,
+    rows: u32,
+) {
+    if decision.is_none() {
+        return;
+    }
+    for v in in_bank_victims(decision, rows) {
+        result.mitigative_acts += 1;
+        if let Some(t) = tracker.as_deref_mut() {
+            t.on_mitigative_refresh(v);
+        }
+    }
+}
+
 impl MemoryController {
     /// Creates a controller for the given scheme.
     #[must_use]
     pub fn new(cfg: SystemConfig, scheme: MitigationScheme, seed: u64) -> Self {
         let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
-        let tracker_cfg = match scheme {
-            MitigationScheme::MintRfm { rfm_th } => MintConfig::rfm(rfm_th),
-            _ => MintConfig::ddr5_default(),
-        };
         let banks = (0..cfg.banks)
             .map(|_| BankState {
                 ready_at_ps: 0,
                 open_row: None,
                 raa: 0,
                 ref_cursor: 0,
-                tracker: Mint::new(tracker_cfg, &mut rng),
+                backend: MitigationBackend::for_scheme(scheme, &cfg, &mut rng),
             })
             .collect();
         Self {
@@ -90,24 +142,59 @@ impl MemoryController {
         self.result
     }
 
+    /// The scheme this controller evaluates.
+    #[must_use]
+    pub fn scheme(&self) -> MitigationScheme {
+        self.scheme
+    }
+
+    /// The mitigation backend of one bank (introspection for tests and
+    /// Table-IX-style storage reports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[must_use]
+    pub fn backend(&self, bank: usize) -> &MitigationBackend {
+        &self.banks[bank].backend
+    }
+
     /// Pushes `start` past any REF window it collides with, and processes
     /// the device's per-REF mitigation for this bank (counting the victim
     /// refreshes the tracker requests).
+    ///
+    /// An all-bank REF precharges every bank, so each crossed tREFI
+    /// boundary also closes this bank's row buffer — post-REF requests to
+    /// the previously open row are genuine row misses whose ACTs the
+    /// tracker must observe.
     fn align_with_refresh(&mut self, bank: usize, mut start: u64) -> u64 {
         let refi = self.cfg.t_refi_ps;
         let rfc = self.cfg.t_rfc_ps;
+        let rows = self.cfg.rows_per_bank;
+        let refw = refis_per_refw();
         // Process REF-boundary mitigations this bank has crossed.
         let current_ref = start / refi;
+        if self.banks[bank].ref_cursor < current_ref {
+            // REF is an all-bank precharge: the row buffer does not survive.
+            self.banks[bank].open_row = None;
+        }
         while self.banks[bank].ref_cursor < current_ref {
             self.banks[bank].ref_cursor += 1;
-            match self.scheme {
-                MitigationScheme::Mint | MitigationScheme::MintRfm { .. } => {
-                    let d = self.banks[bank].tracker.on_refresh(&mut self.rng);
-                    if d.is_some() {
-                        self.result.mitigative_acts += 2; // blast radius 1
+            let b = &mut self.banks[bank];
+            match &mut b.backend {
+                MitigationBackend::None | MitigationBackend::McSample { .. } => {}
+                MitigationBackend::InDram(tracker) => {
+                    let d = tracker.on_refresh(&mut self.rng);
+                    apply_mitigation(&mut self.result, Some(tracker.as_mut()), d, rows);
+                }
+                MitigationBackend::McTracker(tracker) => {
+                    // MC-side tables (Graphene) mitigate on threshold
+                    // crossings, not at REF — but they reset their table
+                    // every tREFW.
+                    if b.ref_cursor % refw == 0 {
+                        tracker.reset(&mut self.rng);
                     }
                 }
-                _ => {}
             }
             // DDR5 RFM: each REF decrements the Rolling Accumulated ACT
             // counter by the threshold, so only banks exceeding RFM_TH
@@ -115,7 +202,6 @@ impl MemoryController {
             // why the paper's RFM overheads are small: "MINT incurs RFM
             // overheads only when ACT count is greater than RFMTH").
             if let MitigationScheme::MintRfm { rfm_th } = self.scheme {
-                let b = &mut self.banks[bank];
                 b.raa = b.raa.saturating_sub(rfm_th);
             }
         }
@@ -137,15 +223,15 @@ impl MemoryController {
         } else {
             self.result.writes += 1;
         }
-        let start0 = arrival_ps.max(self.banks[req.bank as usize].ready_at_ps);
-        let start = self.align_with_refresh(req.bank as usize, start0);
+        let bank_idx = req.bank as usize;
+        let start0 = arrival_ps.max(self.banks[bank_idx].ready_at_ps);
+        let start = self.align_with_refresh(bank_idx, start0);
 
-        let is_hit = self.banks[req.bank as usize].open_row == Some(req.row);
+        let is_hit = self.banks[bank_idx].open_row == Some(req.row);
         let (latency, busy) = if is_hit {
             self.result.row_hits += 1;
             (self.cfg.hit_latency_ps(), self.cfg.hit_latency_ps())
         } else {
-            self.on_activation(req.bank as usize, req.row);
             (
                 self.cfg.miss_latency_ps(),
                 self.cfg.t_rc_ps.max(self.cfg.miss_latency_ps()),
@@ -154,54 +240,91 @@ impl MemoryController {
         let completion = start + latency;
         let mut ready = start + busy;
 
-        // Post-ACT mitigation traffic.
+        // A mitigation command (RFM/DRFM) behind the ACT precharges the
+        // bank, so the freshly opened row does not survive it.
+        let mut row_survives = true;
+
         if !is_hit {
-            match self.scheme {
-                MitigationScheme::MintRfm { rfm_th } => {
-                    let bank = &mut self.banks[req.bank as usize];
-                    bank.raa += 1;
-                    if bank.raa >= rfm_th {
-                        bank.raa = 0;
-                        self.result.rfm_commands += 1;
-                        // The RFM gives the device a mitigation opportunity.
-                        let d = bank.tracker.on_refresh(&mut self.rng);
-                        if d.is_some() {
-                            self.result.mitigative_acts += 2;
-                        }
-                        ready += self.cfg.t_rfm_ps;
+            self.result.demand_acts += 1;
+            let rows = self.cfg.rows_per_bank;
+            let b = &mut self.banks[bank_idx];
+            match &mut b.backend {
+                MitigationBackend::None => {}
+                MitigationBackend::InDram(tracker) => {
+                    // The device sees every demand ACT. REF-synchronised
+                    // trackers return None here; if an RFM-co-designed
+                    // tracker volunteers a decision, it rides refresh time
+                    // (no extra bank block).
+                    if let Some(d) = tracker.on_activation(RowId(req.row), &mut self.rng) {
+                        apply_mitigation(&mut self.result, Some(tracker.as_mut()), d, rows);
                     }
                 }
-                MitigationScheme::McPara { p } => {
+                MitigationBackend::McSample { p } => {
+                    // MC-PARA: sampled ACTs are followed by a blocking DRFM
+                    // around the just-activated row; no tracker sees the
+                    // victim refreshes (that is PARA's whole design).
+                    let p = *p;
                     if self.rng.gen_bool(p) {
                         self.result.drfm_commands += 1;
-                        self.result.mitigative_acts += 2;
+                        apply_mitigation(
+                            &mut self.result,
+                            None,
+                            MitigationDecision::Aggressor(RowId(req.row)),
+                            rows,
+                        );
                         ready += self.cfg.t_drfm_ps;
+                        row_survives = false;
                     }
                 }
-                MitigationScheme::Baseline | MitigationScheme::Mint => {}
+                MitigationBackend::McTracker(tracker) => {
+                    // Graphene: the MC-side table counts the ACT; a
+                    // threshold crossing issues a DRFM-priced mitigation.
+                    if let Some(d) = tracker.on_activation(RowId(req.row), &mut self.rng) {
+                        self.result.drfm_commands += 1;
+                        apply_mitigation(&mut self.result, Some(tracker.as_mut()), d, rows);
+                        ready += self.cfg.t_drfm_ps;
+                        row_survives = false;
+                    }
+                }
+            }
+
+            // MINT+RFM: the MC counts per-bank activations and issues an
+            // RFM (a bank-blocking mitigation opportunity) each threshold
+            // crossing.
+            if let MitigationScheme::MintRfm { rfm_th } = self.scheme {
+                let b = &mut self.banks[bank_idx];
+                b.raa += 1;
+                if b.raa >= rfm_th {
+                    b.raa = 0;
+                    self.result.rfm_commands += 1;
+                    if let MitigationBackend::InDram(tracker) = &mut b.backend {
+                        let d = tracker.on_refresh(&mut self.rng);
+                        apply_mitigation(&mut self.result, Some(tracker.as_mut()), d, rows);
+                    }
+                    ready += self.cfg.t_rfm_ps;
+                    row_survives = false;
+                }
             }
         }
 
-        let bank = &mut self.banks[req.bank as usize];
-        bank.open_row = Some(req.row);
+        let bank = &mut self.banks[bank_idx];
+        bank.open_row = if row_survives { Some(req.row) } else { None };
         bank.ready_at_ps = ready;
         completion
     }
 
-    fn on_activation(&mut self, bank: usize, row: u32) {
-        self.result.demand_acts += 1;
-        if matches!(
-            self.scheme,
-            MitigationScheme::Mint | MitigationScheme::MintRfm { .. }
-        ) {
-            let b = &mut self.banks[bank];
-            b.tracker.on_activation(RowId(row), &mut self.rng);
-        }
-    }
-
-    /// Finalises the run at `end_ps`, recording elapsed REF count.
+    /// Finalises the run at `end_ps`, recording elapsed REF events.
+    ///
+    /// A REF command fires at every tREFI boundary starting at t = 0 (the
+    /// controller blocks `[k·tREFI, k·tREFI + tRFC)` for every `k ≥ 0`),
+    /// and each all-bank REF refreshes all `banks` banks — so the run
+    /// elapses `(⌊end/tREFI⌋ + 1) × banks` per-bank REF events. Rounding
+    /// is *up* to the REF whose window has started: a partial final tREFI
+    /// has already paid its REF energy, which keeps [`SimResult::refs`]
+    /// consistent with the per-REF-per-bank energy the
+    /// [`EnergyModel`](crate::EnergyModel) multiplies by.
     pub fn finish(&mut self, end_ps: u64) {
-        self.result.refs = end_ps / self.cfg.t_refi_ps * u64::from(self.cfg.banks);
+        self.result.refs = (end_ps / self.cfg.t_refi_ps + 1) * u64::from(self.cfg.banks);
     }
 }
 
@@ -249,6 +372,64 @@ mod tests {
     }
 
     #[test]
+    fn ref_closes_the_row_buffer() {
+        // Regression: an all-bank REF precharges every bank, so a request
+        // that crosses a tREFI boundary must re-activate even if it targets
+        // the row that was open before the REF.
+        let cfg = SystemConfig::table6();
+        let mut m = mc(MitigationScheme::Baseline);
+        let c1 = m.service(req(0, 10), cfg.t_rfc_ps);
+        assert_eq!(m.result().demand_acts, 1);
+        // Next request to the same row, but after the next REF boundary.
+        let _ = m.service(req(0, 10), cfg.t_refi_ps + cfg.t_rfc_ps);
+        assert_eq!(m.result().row_hits, 0, "post-REF access must be a miss");
+        assert_eq!(m.result().demand_acts, 2, "its ACT must be visible");
+        let _ = c1;
+    }
+
+    #[test]
+    fn ref_closes_rows_on_every_bank_independently() {
+        let cfg = SystemConfig::table6();
+        let mut m = mc(MitigationScheme::Baseline);
+        let _ = m.service(req(0, 10), cfg.t_rfc_ps);
+        let _ = m.service(req(1, 10), cfg.t_rfc_ps);
+        // Bank 0 crosses the REF; bank 1 is accessed within the same window
+        // and keeps its row open until *it* crosses one.
+        let _ = m.service(req(0, 10), cfg.t_refi_ps + cfg.t_rfc_ps);
+        let _ = m.service(req(1, 10), cfg.t_rfc_ps + 1_000_000);
+        assert_eq!(m.result().row_hits, 1, "bank 1 pre-REF access still hits");
+        let _ = m.service(req(1, 10), cfg.t_refi_ps + cfg.t_rfc_ps);
+        assert_eq!(m.result().row_hits, 1, "bank 1 post-REF access misses");
+    }
+
+    #[test]
+    fn rfm_closes_the_row_buffer() {
+        // With RFM_TH = 1 every ACT triggers an RFM, which precharges the
+        // bank: back-to-back same-row requests can never hit.
+        let cfg = SystemConfig::table6();
+        let mut m = mc(MitigationScheme::MintRfm { rfm_th: 1 });
+        let mut t = cfg.t_rfc_ps;
+        for _ in 0..4 {
+            t = m.service(req(0, 10), t);
+        }
+        assert_eq!(m.result().row_hits, 0, "RFM must close the row");
+        assert_eq!(m.result().demand_acts, 4);
+    }
+
+    #[test]
+    fn drfm_closes_the_row_buffer() {
+        // MC-PARA with p = 1: every ACT is followed by a DRFM.
+        let cfg = SystemConfig::table6();
+        let mut m = mc(MitigationScheme::McPara { p: 1.0 });
+        let mut t = cfg.t_rfc_ps;
+        for _ in 0..4 {
+            t = m.service(req(0, 10), t);
+        }
+        assert_eq!(m.result().row_hits, 0, "DRFM must close the row");
+        assert_eq!(m.result().drfm_commands, 4);
+    }
+
+    #[test]
     fn mint_adds_no_bank_time_but_counts_mitigations() {
         let cfg = SystemConfig::table6();
         let mut base = mc(MitigationScheme::Baseline);
@@ -262,6 +443,103 @@ mod tests {
         assert_eq!(t_base, t_mint, "MINT must not add bank time");
         assert!(mint.result().mitigative_acts > 0);
         assert_eq!(base.result().mitigative_acts, 0);
+    }
+
+    #[test]
+    fn in_dram_zoo_adds_no_bank_time() {
+        // Every in-DRAM tracker mitigates inside the REF's tRFC: bank
+        // timing must be bit-identical to the baseline.
+        let cfg = SystemConfig::table6();
+        for scheme in [
+            MitigationScheme::Mithril,
+            MitigationScheme::ProTrr,
+            MitigationScheme::SimpleTrr,
+            MitigationScheme::Prct,
+            MitigationScheme::Pride,
+            MitigationScheme::Parfm,
+        ] {
+            let mut base = mc(MitigationScheme::Baseline);
+            let mut zoo = mc(scheme);
+            let mut t_base = cfg.t_rfc_ps;
+            let mut t_zoo = cfg.t_rfc_ps;
+            for i in 0..2000u32 {
+                t_base = base.service(req(i % 4, i), t_base);
+                t_zoo = zoo.service(req(i % 4, i), t_zoo);
+            }
+            assert_eq!(t_base, t_zoo, "{} must not add bank time", scheme.label());
+            assert!(
+                zoo.result().mitigative_acts > 0,
+                "{} should mitigate on this hammer-y stream",
+                scheme.label()
+            );
+        }
+    }
+
+    #[test]
+    fn protrr_charges_one_act_per_victim_refresh() {
+        // ProTRR's REF mitigation is a single-row VictimRefresh; the old
+        // constant `+= 2` would double-charge it.
+        let cfg = SystemConfig::table6();
+        let mut m = mc(MitigationScheme::ProTrr);
+        let mut t = cfg.t_rfc_ps;
+        // Hammer one row on bank 0 across several tREFI windows.
+        for i in 0..2000u32 {
+            t = m.service(req(0, 1000 + (i % 2)), t);
+        }
+        let refs_crossed = t / cfg.t_refi_ps;
+        assert!(m.result().mitigative_acts > 0);
+        assert!(
+            m.result().mitigative_acts <= refs_crossed,
+            "one victim ACT per REF opportunity at most: {} acts over {} REFs",
+            m.result().mitigative_acts,
+            refs_crossed
+        );
+    }
+
+    #[test]
+    fn graphene_issues_drfm_on_threshold_crossings() {
+        let cfg = SystemConfig::table6();
+        let mut m = mc(MitigationScheme::Graphene);
+        let mut t = cfg.t_rfc_ps;
+        // Alternate two rows so every ACT misses and the table counts up to
+        // the Graphene mitigation threshold (350 for TRH 1400).
+        for i in 0..2000u32 {
+            t = m.service(req(0, 10 + (i % 2)), t);
+        }
+        assert!(
+            m.result().drfm_commands >= 2,
+            "2×1000 ACTs over threshold 350 must trigger DRFMs, got {}",
+            m.result().drfm_commands
+        );
+        assert_eq!(
+            m.result().mitigative_acts,
+            2 * m.result().drfm_commands,
+            "each Graphene DRFM refreshes the aggressor's two victims"
+        );
+    }
+
+    #[test]
+    fn victims_clip_at_both_bank_edges() {
+        // An aggressor at the top row of the bank has only one in-bank
+        // victim, exactly like row 0 — the phantom outside row must be
+        // neither charged as a mitigative ACT nor shown to any tracker.
+        let cfg = SystemConfig {
+            rows_per_bank: 64,
+            ..SystemConfig::table6()
+        };
+        let top = cfg.rows_per_bank - 1;
+        let mut m = MemoryController::new(cfg, MitigationScheme::McPara { p: 1.0 }, 3);
+        let _ = m.service(req(0, top), cfg.t_rfc_ps);
+        assert_eq!(m.result().drfm_commands, 1);
+        assert_eq!(
+            m.result().mitigative_acts,
+            1,
+            "top-row aggressor has a single in-bank victim"
+        );
+        let _ = m.service(req(0, 0), cfg.t_rfc_ps * 2);
+        assert_eq!(m.result().mitigative_acts, 2, "row 0 likewise");
+        let _ = m.service(req(0, 30), cfg.t_rfc_ps * 3);
+        assert_eq!(m.result().mitigative_acts, 4, "interior rows cost 2");
     }
 
     #[test]
@@ -313,6 +591,21 @@ mod tests {
     }
 
     #[test]
+    fn refs_count_started_windows() {
+        let cfg = SystemConfig::table6();
+        let banks = u64::from(cfg.banks);
+        let mut m = mc(MitigationScheme::Baseline);
+        m.finish(0);
+        assert_eq!(m.result().refs, banks, "the t=0 REF always elapsed");
+        m.finish(cfg.t_refi_ps - 1);
+        assert_eq!(m.result().refs, banks, "partial window: still one REF");
+        m.finish(cfg.t_refi_ps);
+        assert_eq!(m.result().refs, 2 * banks);
+        m.finish(10 * cfg.t_refi_ps + 1);
+        assert_eq!(m.result().refs, 11 * banks);
+    }
+
+    #[test]
     fn determinism() {
         let run = || {
             let mut m = mc(MitigationScheme::McPara { p: 0.1 });
@@ -323,5 +616,20 @@ mod tests {
             (t, m.result())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zoo_determinism() {
+        for scheme in MitigationScheme::zoo() {
+            let run = || {
+                let mut m = mc(scheme);
+                let mut t = 0;
+                for i in 0..500u32 {
+                    t = m.service(req(i % 8, i * 3 % 64), t);
+                }
+                (t, m.result())
+            };
+            assert_eq!(run(), run(), "{} must be deterministic", scheme.label());
+        }
     }
 }

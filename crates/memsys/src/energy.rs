@@ -13,7 +13,12 @@ pub struct EnergyModel {
     pub e_rd_pj: f64,
     /// Energy per write burst (pJ).
     pub e_wr_pj: f64,
-    /// Energy per REF command per bank (pJ).
+    /// Energy per REF command per bank (pJ) — multiplied by
+    /// [`SimResult::refs`], which counts exactly one event per
+    /// (REF command, bank) pair for every REF whose window started by the
+    /// end of the run (see [`MemoryController::finish`]).
+    ///
+    /// [`MemoryController::finish`]: crate::MemoryController::finish
     pub e_ref_pj: f64,
     /// Background power (mW) — non-IO static power of the device.
     pub p_background_mw: f64,

@@ -14,17 +14,21 @@
 //! simulator: a 4-core model generating LLC-miss streams parameterised by
 //! MPKI and row-buffer locality ([`workload`]), an FR-FCFS-ish memory
 //! controller with DDR5 bank timing, REF/RFM/DRFM scheduling
-//! ([`controller`]), per-bank MINT trackers counting mitigative activations,
+//! ([`controller`]), a per-bank [`MitigationBackend`] carrying any tracker
+//! of the `mint-trackers` zoo (so mitigative activations are counted with
+//! each scheme's real selection logic — see [`backend`]),
 //! and a DRAMPower-style energy model ([`energy`]). Absolute IPC differs
 //! from the authors' testbed; the normalized slowdown and energy *shape* is
 //! what the Fig 16 / Fig 17 / Table VIII regeneration targets check.
 
+pub mod backend;
 pub mod config;
 pub mod controller;
 pub mod energy;
 pub mod runner;
 pub mod workload;
 
+pub use backend::MitigationBackend;
 pub use config::{MitigationScheme, SystemConfig};
 pub use controller::{MemoryController, SimResult};
 pub use energy::{EnergyModel, EnergyReport};

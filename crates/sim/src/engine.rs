@@ -2,7 +2,7 @@
 
 use mint_attacks::AccessPattern;
 use mint_core::{InDramTracker, MitigationDecision};
-use mint_dram::{Bank, BankConfig, FailureRecord, RefreshPolicy, RowId};
+use mint_dram::{Bank, BankConfig, FailureRecord, RefreshPolicy};
 use mint_exp::{Experiment, Harness, Tally};
 use mint_rng::Rng64;
 
@@ -137,41 +137,26 @@ impl Engine {
 
     /// Applies a mitigation decision to the bank and notifies the tracker
     /// of every silent victim refresh it causes.
+    ///
+    /// The victim set (and hence the mitigation cost) comes from
+    /// [`MitigationDecision::victim_rows`] — the same helper the memory
+    /// system charges mitigative ACTs with, so the security and performance
+    /// layers can never disagree on what a decision does.
     fn apply(
         &mut self,
         decision: MitigationDecision,
         tracker: &mut dyn InDramTracker,
         report: &mut SimReport,
     ) {
-        let radius = i64::from(self.config.blast_radius);
-        let refresh = |engine: &mut Self, tracker: &mut dyn InDramTracker, row: Option<RowId>| {
-            if let Some(v) = row {
-                if engine.bank.contains(v) {
-                    engine.bank.victim_refresh(v);
-                    tracker.on_mitigative_refresh(v);
-                }
-            }
-        };
-        match decision {
-            MitigationDecision::None => {
-                report.empty_mitigations += 1;
-            }
-            MitigationDecision::Aggressor(r) => {
-                report.mitigations += 1;
-                for d in 1..=radius {
-                    refresh(self, tracker, r.offset(-d));
-                    refresh(self, tracker, r.offset(d));
-                }
-            }
-            MitigationDecision::Transitive { around, distance } => {
-                report.mitigations += 1;
-                let reach = radius + i64::from(distance);
-                refresh(self, tracker, around.offset(-reach));
-                refresh(self, tracker, around.offset(reach));
-            }
-            MitigationDecision::VictimRefresh(v) => {
-                report.mitigations += 1;
-                refresh(self, tracker, Some(v));
+        if decision.is_none() {
+            report.empty_mitigations += 1;
+            return;
+        }
+        report.mitigations += 1;
+        for v in decision.victim_rows(self.config.blast_radius) {
+            if self.bank.contains(v) {
+                self.bank.victim_refresh(v);
+                tracker.on_mitigative_refresh(v);
             }
         }
     }
@@ -297,6 +282,7 @@ mod tests {
         SingleSided,
     };
     use mint_core::{Dmq, Mint, MintConfig};
+    use mint_dram::RowId;
     use mint_rng::Xoshiro256StarStar;
     use mint_trackers::{Prct, SimpleTrr};
 

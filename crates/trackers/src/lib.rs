@@ -3,8 +3,10 @@
 //!
 //! Every tracker here implements
 //! [`InDramTracker`](mint_core::InDramTracker), so the Monte-Carlo engine in
-//! `mint-sim` and the benchmarks in `mint-bench` can drive MINT and its
-//! baselines interchangeably. The set matches the paper's Table III plus the
+//! `mint-sim`, the tracker-generic memory controller in `mint-memsys`
+//! (every scheme of `MitigationScheme::zoo()` is backed by a tracker from
+//! this crate via its `MitigationBackend`) and the benchmarks in
+//! `mint-bench` can drive MINT and its baselines interchangeably. The set matches the paper's Table III plus the
 //! related-work designs it quantifies:
 //!
 //! | Tracker | Type (paper taxonomy) | Entries | Transitive attacks |

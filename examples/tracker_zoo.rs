@@ -1,0 +1,42 @@
+//! Run one workload under every mitigation scheme in the zoo and print a
+//! mini performance/storage comparison (the full Table-IX-style sweep is
+//! `cargo run --release -p mint-bench --bin figx_tracker_zoo`).
+//!
+//! ```bash
+//! cargo run --release --example tracker_zoo
+//! ```
+
+use mint_rh::memsys::{
+    run_workload_grid, spec_rate_workloads, MitigationBackend, MitigationScheme, SystemConfig,
+};
+use mint_rh::rng::Xoshiro256StarStar;
+
+fn main() {
+    let cfg = SystemConfig::table6();
+    let schemes = MitigationScheme::zoo();
+    let mcf = spec_rate_workloads()
+        .into_iter()
+        .find(|w| w.name == "mcf")
+        .expect("mcf is in the rate suite");
+    let grid = run_workload_grid(&cfg, &schemes, &[[mcf; 4]], 20_000, &[7]);
+
+    println!("mcf_r under the full mitigation zoo (normalized to Baseline):");
+    println!(
+        "{:<14} {:>10} {:>14} {:>10} {:>12}",
+        "scheme", "perf", "mitig ACTs", "RFM/DRFM", "bits/bank"
+    );
+    let mut probe = Xoshiro256StarStar::seed_from_u64(0);
+    for (cell, &scheme) in grid[0].iter().zip(&schemes) {
+        let bits = MitigationBackend::for_scheme(scheme, &cfg, &mut probe)
+            .tracker()
+            .map_or(0, |t| t.storage_bits());
+        println!(
+            "{:<14} {:>10.4} {:>14} {:>10} {:>12}",
+            scheme.label(),
+            cell.normalized,
+            cell.result.mitigative_acts,
+            cell.result.rfm_commands + cell.result.drfm_commands,
+            bits,
+        );
+    }
+}
