@@ -1,0 +1,79 @@
+//! CI smoke: one tiny workload-grid cell through **both** schedulers,
+//! diffing determinism at jobs 1 vs 4.
+//!
+//! ```bash
+//! cargo run --release -p mint-bench --bin ci_smoke
+//! ```
+//!
+//! Exits non-zero (panics) if any `(policy, jobs)` combination produces a
+//! result that is not bit-identical to the single-threaded run — the
+//! contract the whole `mint-exp` fan-out rests on, checked here in
+//! seconds instead of the full test suite's minutes.
+
+use mint_memsys::{
+    run_workload_grid_with, spec_rate_workloads, AddressMapping, MitigationScheme, NormalizedPerf,
+    SchedulePolicy, SystemConfig,
+};
+
+fn tiny_grid(policy: SchedulePolicy) -> Vec<Vec<NormalizedPerf>> {
+    let cfg = SystemConfig::table6();
+    let mcf = spec_rate_workloads()
+        .into_iter()
+        .find(|w| w.name == "mcf")
+        .expect("mcf in the suite");
+    run_workload_grid_with(
+        &cfg,
+        &[
+            MitigationScheme::Baseline,
+            MitigationScheme::Mint,
+            MitigationScheme::MintRfm { rfm_th: 16 },
+        ],
+        policy,
+        AddressMapping::default(),
+        &[[mcf; 4]],
+        2_000,
+        &[77],
+    )
+}
+
+fn main() {
+    for policy in [SchedulePolicy::Fcfs, SchedulePolicy::frfcfs()] {
+        mint_exp::set_jobs(1);
+        let one = tiny_grid(policy);
+        mint_exp::set_jobs(4);
+        let four = tiny_grid(policy);
+        mint_exp::set_jobs(0); // restore default resolution
+        assert_eq!(one.len(), four.len());
+        for (ra, rb) in one.iter().zip(&four) {
+            for (ca, cb) in ra.iter().zip(rb) {
+                assert_eq!(
+                    ca.duration_ps,
+                    cb.duration_ps,
+                    "{}: duration differs between jobs 1 and 4",
+                    policy.label()
+                );
+                assert_eq!(
+                    ca.result,
+                    cb.result,
+                    "{}: SimResult differs between jobs 1 and 4",
+                    policy.label()
+                );
+                assert_eq!(
+                    ca.normalized.to_bits(),
+                    cb.normalized.to_bits(),
+                    "{}: normalized perf differs bitwise between jobs 1 and 4",
+                    policy.label()
+                );
+            }
+        }
+        let mint = &one[0][1];
+        println!(
+            "{}: jobs 1 == jobs 4 ({} requests, MINT normalized {:.6}, row-hit rate {:.4})",
+            policy.label(),
+            mint.result.requests,
+            mint.normalized,
+            mint.result.row_hit_rate(),
+        );
+    }
+    println!("ci_smoke OK: both schedulers bit-identical at jobs 1 vs 4");
+}

@@ -1,6 +1,23 @@
 //! Regenerates the tracker-zoo comparison (Table-IX-style storage vs
-//! performance across every `MitigationScheme` in the memory system).
+//! performance across every `MitigationScheme` in the memory system) and
+//! writes the machine-readable `BENCH_perf.json` (per-scheme slowdown and
+//! row-hit rate) next to it for CI and downstream tooling.
+
+use mint_bench::perf::{perf_json, tracker_zoo_table, zoo_perf_summaries, REQUESTS_PER_CORE};
+
 fn main() {
     mint_exp::init_jobs_from_args();
-    println!("{}", mint_bench::perf::tracker_zoo());
+    let summaries = zoo_perf_summaries(REQUESTS_PER_CORE);
+    println!("{}", tracker_zoo_table(&summaries));
+    let json = perf_json(&summaries, REQUESTS_PER_CORE);
+    let path = "BENCH_perf.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            // The machine-readable artifact is this binary's contract:
+            // failing to produce it must fail the run (CI consumes it).
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }

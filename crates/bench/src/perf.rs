@@ -168,6 +168,134 @@ pub fn table8() -> String {
     )
 }
 
+/// The workload subset the zoo summary averages over: a memory-intensity
+/// spread — two memory-bound, one average, one compute-bound — enough for
+/// a meaningful average at zoo scale.
+pub const ZOO_WORKLOADS: [&str; 4] = ["lbm", "mcf", "gcc", "povray"];
+
+/// Per-scheme aggregate of the tracker-zoo sweep: storage next to
+/// normalized performance, row-hit rate and mitigation traffic. One record
+/// per [`MitigationScheme::zoo`] entry, consumed by both the human table
+/// ([`tracker_zoo`]) and the machine-readable `BENCH_perf.json`
+/// ([`perf_json`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemePerfSummary {
+    /// Scheme label (e.g. `"MINT+RFM16"`).
+    pub label: String,
+    /// Tracker entries per bank (0 for stateless schemes).
+    pub entries_per_bank: u64,
+    /// Tracker SRAM bits per bank (0 for stateless schemes).
+    pub sram_bits_per_bank: u64,
+    /// Normalized performance averaged over the workload subset
+    /// (1.0 = baseline).
+    pub normalized_perf: f64,
+    /// Row-buffer hit rate over all serviced requests of the subset.
+    pub row_hit_rate: f64,
+    /// Mitigative ACTs per 1000 demand ACTs.
+    pub mitig_acts_per_1k_demand: f64,
+    /// RFM + DRFM commands issued across the subset.
+    pub rfm_drfm_commands: u64,
+}
+
+/// Runs the full zoo over [`ZOO_WORKLOADS`] at `requests_per_core` and
+/// aggregates one [`SchemePerfSummary`] per scheme.
+#[must_use]
+pub fn zoo_perf_summaries(requests_per_core: u32) -> Vec<SchemePerfSummary> {
+    let cfg = SystemConfig::table6();
+    let schemes = MitigationScheme::zoo();
+    let rate = spec_rate_workloads();
+    let suite: Vec<[WorkloadSpec; 4]> = ZOO_WORKLOADS
+        .iter()
+        .map(|n| {
+            let w = rate
+                .iter()
+                .find(|w| w.name == *n)
+                .copied()
+                .expect("known workload");
+            [w; 4]
+        })
+        .collect();
+    let seeds: Vec<u64> = (0..suite.len() as u64).map(|i| 9000 + i).collect();
+    let grid = run_workload_grid(&cfg, &schemes, &suite, requests_per_core, &seeds);
+
+    let mut probe_rng = Xoshiro256StarStar::seed_from_u64(0);
+    schemes
+        .iter()
+        .enumerate()
+        .map(|(s, &scheme)| {
+            let backend = MitigationBackend::for_scheme(scheme, &cfg, &mut probe_rng);
+            let (entries, bits) = backend
+                .tracker()
+                .map_or((0, 0), |t| (t.entries() as u64, t.storage_bits()));
+            let mut perf = 0.0;
+            let mut mitig = 0u64;
+            let mut demand = 0u64;
+            let mut hits = 0u64;
+            let mut requests = 0u64;
+            let mut cmds = 0u64;
+            for row in &grid {
+                perf += row[s].normalized;
+                mitig += row[s].result.mitigative_acts;
+                demand += row[s].result.demand_acts;
+                hits += row[s].result.row_hits;
+                requests += row[s].result.requests;
+                cmds += row[s].result.rfm_commands + row[s].result.drfm_commands;
+            }
+            SchemePerfSummary {
+                label: scheme.label(),
+                entries_per_bank: entries,
+                sram_bits_per_bank: bits,
+                normalized_perf: perf / grid.len() as f64,
+                row_hit_rate: hits as f64 / requests.max(1) as f64,
+                mitig_acts_per_1k_demand: 1000.0 * mitig as f64 / demand.max(1) as f64,
+                rfm_drfm_commands: cmds,
+            }
+        })
+        .collect()
+}
+
+/// Renders zoo summaries as the machine-readable `BENCH_perf.json`
+/// payload: per-scheme slowdown and row-hit rate (plus the storage and
+/// traffic columns), with enough run metadata to interpret the numbers.
+/// Hand-rendered JSON — the workspace is dependency-free by design.
+#[must_use]
+pub fn perf_json(summaries: &[SchemePerfSummary], requests_per_core: u32) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"source\": \"figx_tracker_zoo\",\n");
+    out.push_str(&format!("  \"requests_per_core\": {requests_per_core},\n"));
+    out.push_str(&format!(
+        "  \"workloads\": [{}],\n",
+        ZOO_WORKLOADS
+            .iter()
+            .map(|w| format!("\"{w}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("  \"schemes\": [\n");
+    let rows: Vec<String> = summaries
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"scheme\": \"{}\", \"normalized_perf\": {:.6}, \
+                 \"slowdown_pct\": {:.4}, \"row_hit_rate\": {:.6}, \
+                 \"entries_per_bank\": {}, \"sram_bits_per_bank\": {}, \
+                 \"mitig_acts_per_1k_demand\": {:.4}, \"rfm_drfm_commands\": {}}}",
+                s.label,
+                s.normalized_perf,
+                (1.0 - s.normalized_perf) * 100.0,
+                s.row_hit_rate,
+                s.entries_per_bank,
+                s.sram_bits_per_bank,
+                s.mitig_acts_per_1k_demand,
+                s.rfm_drfm_commands,
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
 /// Tracker zoo (Table-IX-style): every `MitigationScheme` backed by a
 /// `mint_trackers` implementation runs the same workload subset through the
 /// memory system; the table reports per-bank storage (entries and SRAM
@@ -180,65 +308,40 @@ pub fn table8() -> String {
 /// them with a single entry and no slowdown.
 #[must_use]
 pub fn tracker_zoo() -> String {
-    let cfg = SystemConfig::table6();
-    let schemes = MitigationScheme::zoo();
-    // A memory-intensity spread: two memory-bound, one average, one
-    // compute-bound — enough for a meaningful average at zoo scale.
-    let names = ["lbm", "mcf", "gcc", "povray"];
-    let rate = spec_rate_workloads();
-    let suite: Vec<[WorkloadSpec; 4]> = names
-        .iter()
-        .map(|n| {
-            let w = rate
-                .iter()
-                .find(|w| w.name == *n)
-                .copied()
-                .expect("known workload");
-            [w; 4]
-        })
-        .collect();
-    let seeds: Vec<u64> = (0..suite.len() as u64).map(|i| 9000 + i).collect();
-    let grid = run_workload_grid(&cfg, &schemes, &suite, REQUESTS_PER_CORE, &seeds);
+    tracker_zoo_table(&zoo_perf_summaries(REQUESTS_PER_CORE))
+}
 
+/// Renders precomputed zoo summaries as the human-readable table (see
+/// [`tracker_zoo`]; split out so `figx_tracker_zoo` can render the table
+/// and `BENCH_perf.json` from one sweep).
+#[must_use]
+pub fn tracker_zoo_table(summaries: &[SchemePerfSummary]) -> String {
     let mut tab = TexTable::new(vec![
         "Scheme",
         "Entries/bank",
         "SRAM bits/bank",
         "Norm. perf",
+        "Row-hit rate",
         "Mitig ACTs/1K demand",
         "RFM/DRFM cmds",
     ]);
-    let mut probe_rng = Xoshiro256StarStar::seed_from_u64(0);
-    for (s, &scheme) in schemes.iter().enumerate() {
-        let backend = MitigationBackend::for_scheme(scheme, &cfg, &mut probe_rng);
-        let (entries, bits) = backend
-            .tracker()
-            .map_or((0, 0), |t| (t.entries() as u64, t.storage_bits()));
-        let mut perf = 0.0;
-        let mut mitig = 0u64;
-        let mut demand = 0u64;
-        let mut cmds = 0u64;
-        for row in &grid {
-            perf += row[s].normalized;
-            mitig += row[s].result.mitigative_acts;
-            demand += row[s].result.demand_acts;
-            cmds += row[s].result.rfm_commands + row[s].result.drfm_commands;
-        }
+    for s in summaries {
         tab.row(vec![
-            scheme.label(),
-            if entries == 0 {
+            s.label.clone(),
+            if s.entries_per_bank == 0 {
                 "-".into()
             } else {
-                entries.to_string()
+                s.entries_per_bank.to_string()
             },
-            if bits == 0 {
+            if s.sram_bits_per_bank == 0 {
                 "-".into()
             } else {
-                bits.to_string()
+                s.sram_bits_per_bank.to_string()
             },
-            format!("{:.4}", perf / grid.len() as f64),
-            format!("{:.2}", 1000.0 * mitig as f64 / demand.max(1) as f64),
-            cmds.to_string(),
+            format!("{:.4}", s.normalized_perf),
+            format!("{:.4}", s.row_hit_rate),
+            format!("{:.2}", s.mitig_acts_per_1k_demand),
+            s.rfm_drfm_commands.to_string(),
         ]);
     }
     titled(
@@ -274,11 +377,15 @@ mod tests {
 
     #[test]
     fn fig17_shape_on_mcf() {
+        // mcf is the worst case: low locality → mostly misses → many DRFM
+        // samples, and the shared transaction queue propagates each DRFM
+        // stall across cores (the pre-pipeline scalar model kept stalls
+        // per-bank, which understated exactly this effect).
         let base = quick(MitigationScheme::Baseline, 6);
         let para = quick(MitigationScheme::McPara { p: MC_PARA_P }, 6).normalize(&base);
         assert!(
-            (0.80..0.999).contains(&para.normalized),
-            "MC-PARA should cost percents: {}",
+            (0.70..0.999).contains(&para.normalized),
+            "MC-PARA should cost percents-to-tens-of-percents: {}",
             para.normalized
         );
     }
@@ -289,6 +396,51 @@ mod tests {
         assert!(mint.result.mitigative_acts > 0);
         let ratio = 1.0 + mint.result.mitigative_acts as f64 / mint.result.demand_acts as f64;
         assert!((1.0..1.6).contains(&ratio), "ACT ratio {ratio}");
+    }
+
+    #[test]
+    fn perf_json_is_well_formed_and_complete() {
+        // A small sweep: the JSON must carry one record per zoo scheme
+        // with the slowdown/row-hit fields, balanced braces and no NaNs.
+        let summaries = zoo_perf_summaries(2_000);
+        assert_eq!(summaries.len(), MitigationScheme::zoo().len());
+        let json = perf_json(&summaries, 2_000);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"requests_per_core\": 2000"));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+        for scheme in MitigationScheme::zoo() {
+            assert!(
+                json.contains(&format!("\"scheme\": \"{}\"", scheme.label())),
+                "{} missing",
+                scheme.label()
+            );
+        }
+        for field in [
+            "normalized_perf",
+            "slowdown_pct",
+            "row_hit_rate",
+            "sram_bits_per_bank",
+        ] {
+            assert_eq!(
+                json.matches(field).count(),
+                summaries.len(),
+                "{field} once per scheme"
+            );
+        }
+        // Baseline leads the zoo and normalizes to exactly 1.0; every
+        // in-DRAM scheme matches its timeline.
+        assert!((summaries[0].normalized_perf - 1.0).abs() < 1e-12);
+        assert!(summaries[0].row_hit_rate > 0.0);
+        // The table renderer consumes the same records.
+        let table = tracker_zoo_table(&summaries);
+        assert!(table.contains("Row-hit rate"));
+        assert!(table.contains("MINT+RFM16"));
     }
 
     #[test]

@@ -1,0 +1,457 @@
+//! Physical-address decoding: configurable channel/rank/bank-group/bank/
+//! row/column bit slicing.
+//!
+//! Every request enters the channel as a byte address; the decoder slices
+//! it into DRAM coordinates according to a named [`AddressMapping`]. The
+//! mapping decides which locality a software access stream turns into —
+//! row-buffer hits ([`RoBaRaCoCh`](AddressMapping::RoBaRaCoCh) keeps
+//! consecutive lines in one row) or bank-level parallelism
+//! ([`RoCoRaBaCh`](AddressMapping::RoCoRaBaCh) stripes consecutive lines
+//! across banks) — which is exactly the knob command-level simulators like
+//! Ramulator and DRAMsim3 expose, and which materially shifts mitigation
+//! overheads.
+//!
+//! All field widths are powers of two, so encode→decode is a bijection on
+//! `addr_bits()`-wide addresses (pinned by property tests in
+//! `tests/address_properties.rs`).
+
+use crate::config::SystemConfig;
+
+/// The DRAM coordinates of one cache-line address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedAddr {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index.
+    pub rank: u32,
+    /// Bank group within the rank.
+    pub bank_group: u32,
+    /// Bank within the bank group.
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u32,
+    /// Cache-line column within the row.
+    pub column: u32,
+}
+
+impl DecodedAddr {
+    /// The flat bank index (`bank_group × banks_per_group + bank`) — what
+    /// the per-bank controller state is indexed by.
+    #[must_use]
+    pub fn flat_bank(&self, banks_per_group: u32) -> u32 {
+        self.bank_group * banks_per_group + self.bank
+    }
+}
+
+/// The address fields a mapping orders (channel/rank are degenerate
+/// zero-width fields in the current single-channel, single-rank org, but
+/// the slicer handles any power-of-two width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Channel,
+    Rank,
+    BankGroup,
+    Bank,
+    Row,
+    Column,
+}
+
+/// Named physical-address mappings (Ramulator-style MSB→LSB field order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AddressMapping {
+    /// Row-interleaved (MSB `Ro|Bg|Ba|Ra|Co|Ch` LSB): consecutive cache
+    /// lines walk the column bits of one row, so streaming accesses become
+    /// row-buffer hits. The default.
+    #[default]
+    RoBaRaCoCh,
+    /// Bank-interleaved (MSB `Ro|Co|Ra|Bg|Ba|Ch` LSB): consecutive cache
+    /// lines stripe across banks, trading row hits for bank-level
+    /// parallelism.
+    RoCoRaBaCh,
+    /// Sequential / row-major (MSB `Ch|Ra|Bg|Ba|Ro|Co` LSB): each bank
+    /// owns one contiguous slab of the address space.
+    ChRaBaRoCo,
+}
+
+impl AddressMapping {
+    /// Every named mapping (for sweeps and property tests).
+    #[must_use]
+    pub fn all() -> Vec<AddressMapping> {
+        vec![
+            AddressMapping::RoBaRaCoCh,
+            AddressMapping::RoCoRaBaCh,
+            AddressMapping::ChRaBaRoCo,
+        ]
+    }
+
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            AddressMapping::RoBaRaCoCh => "RoBaRaCoCh",
+            AddressMapping::RoCoRaBaCh => "RoCoRaBaCh",
+            AddressMapping::ChRaBaRoCo => "ChRaBaRoCo",
+        }
+    }
+
+    /// The field order, most-significant first.
+    fn order(self) -> [Field; 6] {
+        match self {
+            AddressMapping::RoBaRaCoCh => [
+                Field::Row,
+                Field::BankGroup,
+                Field::Bank,
+                Field::Rank,
+                Field::Column,
+                Field::Channel,
+            ],
+            AddressMapping::RoCoRaBaCh => [
+                Field::Row,
+                Field::Column,
+                Field::Rank,
+                Field::BankGroup,
+                Field::Bank,
+                Field::Channel,
+            ],
+            AddressMapping::ChRaBaRoCo => [
+                Field::Channel,
+                Field::Rank,
+                Field::BankGroup,
+                Field::Bank,
+                Field::Row,
+                Field::Column,
+            ],
+        }
+    }
+}
+
+/// The DRAM organisation the decoder slices addresses for. All counts must
+/// be powers of two (bit slicing), which the constructor asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramOrg {
+    /// Channels (1 in the evaluated system).
+    pub channels: u32,
+    /// Ranks per channel (1).
+    pub ranks: u32,
+    /// Bank groups per rank.
+    pub bank_groups: u32,
+    /// Banks per bank group.
+    pub banks_per_group: u32,
+    /// Rows per bank.
+    pub rows: u32,
+    /// Cache-line columns per row.
+    pub columns: u32,
+}
+
+impl DramOrg {
+    /// The organisation implied by a [`SystemConfig`] (single channel,
+    /// single rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field count is not a power of two.
+    #[must_use]
+    pub fn from_system(cfg: &SystemConfig) -> Self {
+        let org = Self {
+            channels: 1,
+            ranks: 1,
+            bank_groups: cfg.bank_groups,
+            banks_per_group: cfg.banks_per_group(),
+            rows: cfg.rows_per_bank,
+            columns: cfg.columns_per_row,
+        };
+        org.assert_pow2();
+        org
+    }
+
+    fn assert_pow2(&self) {
+        for (name, n) in [
+            ("channels", self.channels),
+            ("ranks", self.ranks),
+            ("bank_groups", self.bank_groups),
+            ("banks_per_group", self.banks_per_group),
+            ("rows", self.rows),
+            ("columns", self.columns),
+        ] {
+            assert!(
+                n.is_power_of_two(),
+                "{name} = {n} must be a power of two for bit slicing"
+            );
+        }
+    }
+
+    fn width(&self, f: Field) -> u32 {
+        let count = match f {
+            Field::Channel => self.channels,
+            Field::Rank => self.ranks,
+            Field::BankGroup => self.bank_groups,
+            Field::Bank => self.banks_per_group,
+            Field::Row => self.rows,
+            Field::Column => self.columns,
+        };
+        count.trailing_zeros()
+    }
+
+    /// Total cache lines addressable by this organisation.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        u64::from(self.channels)
+            * u64::from(self.ranks)
+            * u64::from(self.bank_groups)
+            * u64::from(self.banks_per_group)
+            * u64::from(self.rows)
+            * u64::from(self.columns)
+    }
+}
+
+/// Bits of the cache-line offset within an address (64-byte lines).
+pub const LINE_OFFSET_BITS: u32 = 6;
+
+/// A bidirectional physical-address ↔ DRAM-coordinate translator for one
+/// organisation and one named mapping.
+///
+/// # Examples
+///
+/// ```
+/// use mint_memsys::{AddressDecoder, AddressMapping, SystemConfig};
+/// let d = AddressDecoder::new(&SystemConfig::table6(), AddressMapping::RoBaRaCoCh);
+/// let a = d.decode(0x4000_0040);
+/// assert_eq!(d.encode(a), 0x4000_0040);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressDecoder {
+    org: DramOrg,
+    mapping: AddressMapping,
+}
+
+impl AddressDecoder {
+    /// Builds a decoder for the organisation implied by `cfg`.
+    #[must_use]
+    pub fn new(cfg: &SystemConfig, mapping: AddressMapping) -> Self {
+        Self {
+            org: DramOrg::from_system(cfg),
+            mapping,
+        }
+    }
+
+    /// Builds a decoder for an explicit organisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any organisation field count is not a power of two.
+    #[must_use]
+    pub fn with_org(org: DramOrg, mapping: AddressMapping) -> Self {
+        org.assert_pow2();
+        Self { org, mapping }
+    }
+
+    /// The organisation this decoder slices for.
+    #[must_use]
+    pub fn org(&self) -> &DramOrg {
+        &self.org
+    }
+
+    /// The mapping in force.
+    #[must_use]
+    pub fn mapping(&self) -> AddressMapping {
+        self.mapping
+    }
+
+    /// Significant byte-address bits (line offset + all field widths).
+    /// Addresses are taken modulo `2^addr_bits()`.
+    #[must_use]
+    pub fn addr_bits(&self) -> u32 {
+        LINE_OFFSET_BITS
+            + self
+                .mapping
+                .order()
+                .iter()
+                .map(|&f| self.org.width(f))
+                .sum::<u32>()
+    }
+
+    /// Slices a byte address into DRAM coordinates. Bits above
+    /// [`addr_bits`](Self::addr_bits) and the intra-line offset are
+    /// ignored, so any `u64` (e.g. from a trace) decodes to in-range
+    /// coordinates.
+    #[must_use]
+    pub fn decode(&self, addr: u64) -> DecodedAddr {
+        let mut line = addr >> LINE_OFFSET_BITS;
+        let mut out = DecodedAddr {
+            channel: 0,
+            rank: 0,
+            bank_group: 0,
+            bank: 0,
+            row: 0,
+            column: 0,
+        };
+        // Fields are laid out MSB-first, so consume from the LSB in
+        // reverse order.
+        for &f in self.mapping.order().iter().rev() {
+            let w = self.org.width(f);
+            let v = (line & ((1u64 << w) - 1)) as u32;
+            line >>= w;
+            match f {
+                Field::Channel => out.channel = v,
+                Field::Rank => out.rank = v,
+                Field::BankGroup => out.bank_group = v,
+                Field::Bank => out.bank = v,
+                Field::Row => out.row = v,
+                Field::Column => out.column = v,
+            }
+        }
+        out
+    }
+
+    /// Packs DRAM coordinates back into the byte address of the line's
+    /// first byte — the exact inverse of [`decode`](Self::decode) on
+    /// line-aligned, in-range addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range for the organisation.
+    #[must_use]
+    pub fn encode(&self, a: DecodedAddr) -> u64 {
+        let mut line = 0u64;
+        for &f in self.mapping.order().iter() {
+            let w = self.org.width(f);
+            let (v, limit) = match f {
+                Field::Channel => (a.channel, self.org.channels),
+                Field::Rank => (a.rank, self.org.ranks),
+                Field::BankGroup => (a.bank_group, self.org.bank_groups),
+                Field::Bank => (a.bank, self.org.banks_per_group),
+                Field::Row => (a.row, self.org.rows),
+                Field::Column => (a.column, self.org.columns),
+            };
+            assert!(v < limit, "{f:?} = {v} out of range (< {limit})");
+            line = (line << w) | u64::from(v);
+        }
+        line << LINE_OFFSET_BITS
+    }
+
+    /// Convenience: the address of `(flat_bank, row, column)` in the
+    /// single-channel, single-rank organisation — what the synthetic
+    /// workload generator and unit tests build requests from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    #[must_use]
+    pub fn encode_bank_row(&self, flat_bank: u32, row: u32, column: u32) -> u64 {
+        let bpg = self.org.banks_per_group;
+        self.encode(DecodedAddr {
+            channel: 0,
+            rank: 0,
+            bank_group: flat_bank / bpg,
+            bank: flat_bank % bpg,
+            row,
+            column,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decoder(mapping: AddressMapping) -> AddressDecoder {
+        AddressDecoder::new(&SystemConfig::table6(), mapping)
+    }
+
+    #[test]
+    fn addr_bits_cover_the_org() {
+        // 1 ch (0 b) × 1 rank (0 b) × 8 groups (3 b) × 4 banks (2 b)
+        // × 128K rows (17 b) × 128 cols (7 b) + 6 offset bits = 35 bits
+        // = 32 GB of lines — the evaluated 32 Gb×8 channel.
+        for m in AddressMapping::all() {
+            assert_eq!(decoder(m).addr_bits(), 35, "{}", m.label());
+        }
+    }
+
+    #[test]
+    fn round_trip_simple() {
+        for m in AddressMapping::all() {
+            let d = decoder(m);
+            let a = DecodedAddr {
+                channel: 0,
+                rank: 0,
+                bank_group: 5,
+                bank: 3,
+                row: 77_777,
+                column: 101,
+            };
+            assert_eq!(d.decode(d.encode(a)), a, "{}", m.label());
+        }
+    }
+
+    #[test]
+    fn row_interleaved_keeps_consecutive_lines_in_one_row() {
+        let d = decoder(AddressMapping::RoBaRaCoCh);
+        let a = d.decode(0x1234_0000);
+        let b = d.decode(0x1234_0000 + 64);
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.flat_bank(4), b.flat_bank(4));
+        assert_eq!(b.column, a.column + 1);
+    }
+
+    #[test]
+    fn bank_interleaved_stripes_consecutive_lines_across_banks() {
+        let d = decoder(AddressMapping::RoCoRaBaCh);
+        let a = d.decode(0x1234_0000);
+        let b = d.decode(0x1234_0000 + 64);
+        assert_eq!(a.row, b.row);
+        assert_ne!(
+            a.flat_bank(4),
+            b.flat_bank(4),
+            "consecutive lines must land in different banks"
+        );
+    }
+
+    #[test]
+    fn sequential_mapping_walks_columns_then_rows() {
+        let d = decoder(AddressMapping::ChRaBaRoCo);
+        let a = d.decode(0);
+        assert_eq!((a.row, a.column), (0, 0));
+        let last_col = d.decode(64 * 127);
+        assert_eq!((last_col.row, last_col.column), (0, 127));
+        let next_row = d.decode(64 * 128);
+        assert_eq!((next_row.row, next_row.column), (1, 0));
+        assert_eq!(next_row.flat_bank(4), a.flat_bank(4));
+    }
+
+    #[test]
+    fn high_bits_and_offset_are_ignored() {
+        let d = decoder(AddressMapping::RoBaRaCoCh);
+        let base = 0x3_ABCD_1234_u64 & !(64 - 1);
+        assert_eq!(d.decode(base), d.decode(base + 63));
+        assert_eq!(d.decode(base), d.decode(base + (1u64 << d.addr_bits())));
+    }
+
+    #[test]
+    fn encode_bank_row_matches_flat_bank() {
+        let d = decoder(AddressMapping::RoBaRaCoCh);
+        for flat in [0, 3, 4, 17, 31] {
+            let a = d.decode(d.encode_bank_row(flat, 42, 7));
+            assert_eq!(a.flat_bank(4), flat);
+            assert_eq!(a.row, 42);
+            assert_eq!(a.column, 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn encode_rejects_out_of_range() {
+        let d = decoder(AddressMapping::RoBaRaCoCh);
+        let _ = d.encode_bank_row(32, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_org_rejected() {
+        let cfg = SystemConfig {
+            rows_per_bank: 100,
+            ..SystemConfig::table6()
+        };
+        let _ = AddressDecoder::new(&cfg, AddressMapping::RoBaRaCoCh);
+    }
+}

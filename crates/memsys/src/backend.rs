@@ -107,7 +107,13 @@ impl MitigationBackend {
                 MitigationBackend::InDram(Box::new(Mithril::new(MithrilConfig::table3())))
             }
             MitigationScheme::ProTrr => {
-                MitigationBackend::InDram(Box::new(ProTrr::new(ProTrrConfig::default())))
+                // ProTRR tracks *victims*: its insertion reach is the
+                // device's blast radius, so the sweepable config knob
+                // flows through (not the struct default).
+                MitigationBackend::InDram(Box::new(ProTrr::new(ProTrrConfig {
+                    blast_radius: cfg.blast_radius,
+                    ..ProTrrConfig::default()
+                })))
             }
             MitigationScheme::SimpleTrr => {
                 MitigationBackend::InDram(Box::new(SimpleTrr::new(TRR_ENTRIES)))

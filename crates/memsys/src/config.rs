@@ -1,4 +1,8 @@
-//! System configuration (paper Table VI).
+//! System configuration (paper Table VI) plus the command-level channel
+//! knobs (bank-group topology, inter-bank timings, queue depth, blast
+//! radius).
+
+use mint_dram::DdrTimings;
 
 /// Rowhammer mitigation scheme under evaluation.
 ///
@@ -104,6 +108,18 @@ pub struct SystemConfig {
     pub core_mlp: u32,
     /// Banks in the channel (32).
     pub banks: u32,
+    /// Bank groups the banks are divided into (DDR5: 8 groups of 4).
+    /// Must divide `banks`; same-group ACT/CAS pairs pay the long
+    /// tRRD_L/tCCD_L spacings, cross-group pairs the short ones.
+    pub bank_groups: u32,
+    /// Cache-line columns per row (128 × 64 B = 8 KB page).
+    pub columns_per_row: u32,
+    /// Transaction-queue capacity of the channel scheduler.
+    pub queue_depth: u32,
+    /// Blast radius charged per mitigation: victims refreshed on either
+    /// side of an aggressor (DDR5 default 1). Sweepable like every other
+    /// knob; also sizes the victim reach of ProTRR-style backends.
+    pub blast_radius: u32,
     /// Row-activate latency tRCD (ps).
     pub t_rcd_ps: u64,
     /// Column access latency tCL (ps).
@@ -120,21 +136,39 @@ pub struct SystemConfig {
     pub t_rfm_ps: u64,
     /// Directed-RFM duration tDRFMsb (ps) — equal to tRFC.
     pub t_drfm_ps: u64,
+    /// Minimum spacing between ACTs to different bank groups (ps).
+    pub t_rrd_s_ps: u64,
+    /// Minimum spacing between ACTs within one bank group (ps).
+    pub t_rrd_l_ps: u64,
+    /// Four-activate window: at most 4 ACTs per channel within this (ps).
+    pub t_faw_ps: u64,
+    /// CAS-to-CAS spacing across bank groups (ps).
+    pub t_ccd_s_ps: u64,
+    /// CAS-to-CAS spacing within a bank group (ps).
+    pub t_ccd_l_ps: u64,
     /// Rows per bank (for address generation).
     pub rows_per_bank: u32,
 }
 
 impl SystemConfig {
     /// Table VI: 4 cores @ 3 GHz, 32 banks, 16-16-16-48 ns timings, with
-    /// the §VIII DRFM/RFM latencies (410 ns / 205 ns).
+    /// the §VIII DRFM/RFM latencies (410 ns / 205 ns). The inter-bank
+    /// constraints come from the canonical `mint-dram` DDR5-5200B values,
+    /// so the security and performance layers cannot drift apart.
     #[must_use]
     pub fn table6() -> Self {
+        let ps = |ns: f64| (ns * 1000.0).round() as u64;
+        let t = DdrTimings::ddr5_5200b();
         Self {
             cores: 4,
             core_ghz: 3,
             core_ipc: 3,
             core_mlp: 4,
             banks: 32,
+            bank_groups: 8,
+            columns_per_row: 128,
+            queue_depth: 32,
+            blast_radius: 1,
             t_rcd_ps: 16_000,
             t_cl_ps: 16_000,
             t_rp_ps: 16_000,
@@ -143,8 +177,27 @@ impl SystemConfig {
             t_rfc_ps: 410_000,
             t_rfm_ps: 205_000,
             t_drfm_ps: 410_000,
+            t_rrd_s_ps: ps(t.t_rrd_s_ns),
+            t_rrd_l_ps: ps(t.t_rrd_l_ns),
+            t_faw_ps: ps(t.t_faw_ns),
+            t_ccd_s_ps: ps(t.t_ccd_s_ns),
+            t_ccd_l_ps: ps(t.t_ccd_l_ns),
             rows_per_bank: 128 * 1024,
         }
+    }
+
+    /// Banks per bank group (`banks / bank_groups`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank_groups` does not divide `banks`.
+    #[must_use]
+    pub fn banks_per_group(&self) -> u32 {
+        assert!(
+            self.bank_groups > 0 && self.banks % self.bank_groups == 0,
+            "bank_groups must divide banks"
+        );
+        self.banks / self.bank_groups
     }
 
     /// Picoseconds per core cycle.
@@ -185,6 +238,32 @@ mod tests {
         assert_eq!(c.core_cycle_ps(), 333);
         assert_eq!(c.miss_latency_ps(), 48_000);
         assert_eq!(c.hit_latency_ps(), 16_000);
+    }
+
+    #[test]
+    fn table6_channel_knobs() {
+        let c = SystemConfig::table6();
+        assert_eq!(c.bank_groups, 8);
+        assert_eq!(c.banks_per_group(), 4);
+        assert_eq!(c.columns_per_row, 128);
+        assert_eq!(c.queue_depth, 32);
+        assert_eq!(c.blast_radius, 1);
+        assert_eq!(c.t_rrd_s_ps, 3_100);
+        assert_eq!(c.t_rrd_l_ps, 5_000);
+        assert_eq!(c.t_faw_ps, 13_300);
+        assert!(c.t_rrd_l_ps >= c.t_rrd_s_ps);
+        assert!(c.t_ccd_l_ps >= c.t_ccd_s_ps);
+        assert!(c.t_faw_ps > 4 * c.t_rrd_s_ps, "FAW must bind");
+    }
+
+    #[test]
+    #[should_panic(expected = "bank_groups must divide banks")]
+    fn bad_bank_group_split_rejected() {
+        let c = SystemConfig {
+            bank_groups: 5,
+            ..SystemConfig::table6()
+        };
+        let _ = c.banks_per_group();
     }
 
     #[test]

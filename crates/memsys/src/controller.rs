@@ -1,15 +1,25 @@
-//! The DDR5 memory controller: bank timing, REF/RFM/DRFM scheduling and a
-//! per-bank mitigation backend (any tracker of the zoo, not just MINT).
+//! The bank/backend engine of the DDR5 channel: per-bank state, REF/RFM/
+//! DRFM scheduling and a per-bank mitigation backend (any tracker of the
+//! zoo, not just MINT).
+//!
+//! This is the *execution* layer of the command-level pipeline
+//! (`source → queue → scheduler → timing → bank/backend`): given a decoded
+//! address and an earliest start time it plays the request against the
+//! bank's row buffer, the REF windows and the scheme's mitigation
+//! machinery, and reports when the request starts and completes. *When* a
+//! request gets here — and in what order relative to other banks — is the
+//! [`Channel`](crate::Channel) scheduler's decision; the inter-bank
+//! constraints (tRRD/tFAW/tCCD) live in [`timing`](crate::timing) and are
+//! layered on by the channel, so direct [`MemoryController::service`]
+//! calls (unit tests, single-bank studies) see pure per-bank behaviour.
 
+use crate::address::{AddressDecoder, AddressMapping, DecodedAddr};
 use crate::backend::{refis_per_refw, MitigationBackend};
 use crate::config::{MitigationScheme, SystemConfig};
 use crate::workload::Request;
 use mint_core::{InDramTracker, MitigationDecision};
 use mint_dram::RowId;
 use mint_rng::{Rng64, Xoshiro256StarStar};
-
-/// Blast radius the memory system charges mitigations with (DDR5 default).
-const BLAST_RADIUS: u32 = 1;
 
 /// Aggregate statistics of one simulation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -23,7 +33,7 @@ pub struct SimResult {
     /// Mitigative victim-refresh activations performed by the device or
     /// the controller — one per victim row actually refreshed, per
     /// [`MitigationDecision::victim_act_count`] (an aggressor mitigation
-    /// costs 2, a ProTRR-style victim refresh exactly 1).
+    /// costs 2 at blast radius 1, a ProTRR-style victim refresh exactly 1).
     pub mitigative_acts: u64,
     /// RFM commands issued (MINT+RFM only).
     pub rfm_commands: u64,
@@ -52,6 +62,19 @@ impl SimResult {
     }
 }
 
+/// When one serviced request started, finished, and whether it hit the
+/// open row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceOutcome {
+    /// When the bank actually began the request (≥ the requested earliest
+    /// start: pushed past bank busy time and REF windows).
+    pub start_ps: u64,
+    /// When the data transfer completed.
+    pub completion_ps: u64,
+    /// Whether the request hit the open row (no ACT needed).
+    pub row_hit: bool,
+}
+
 #[derive(Debug)]
 struct BankState {
     ready_at_ps: u64,
@@ -62,19 +85,34 @@ struct BankState {
     backend: MitigationBackend,
 }
 
-/// A single-channel DDR5 memory controller with per-bank FCFS service.
+/// Pushes `start` past the all-bank REF window it collides with, without
+/// touching any per-bank state — the pure timing rule shared by the bank
+/// engine and the channel scheduler's lookahead (REF blocks every bank for
+/// tRFC at each tREFI boundary).
+#[must_use]
+pub fn past_ref_window(cfg: &SystemConfig, start: u64) -> u64 {
+    let offset = start % cfg.t_refi_ps;
+    if offset < cfg.t_rfc_ps {
+        start - offset + cfg.t_rfc_ps
+    } else {
+        start
+    }
+}
+
+/// The per-bank execution engine of a single-channel DDR5 memory system.
 ///
-/// Requests are serviced in arrival order per bank; the controller models
-/// the three bank-time thieves the paper measures — REF (tRFC every tREFI,
-/// all banks), RFM (tRFC/2 per threshold crossing, one bank) and DRFM
-/// (tRFC per sampled activation, one bank) — plus row-buffer hit/miss
-/// latencies. Each bank carries a real [`MitigationBackend`] (MINT or any
-/// baseline tracker of the zoo), so mitigative activations are counted
-/// with the actual selection logic, not a constant.
+/// The engine models the three bank-time thieves the paper measures — REF
+/// (tRFC every tREFI, all banks), RFM (tRFC/2 per threshold crossing, one
+/// bank) and DRFM (tRFC per sampled activation, one bank) — plus
+/// row-buffer hit/miss latencies. Each bank carries a real
+/// [`MitigationBackend`] (MINT or any baseline tracker of the zoo), so
+/// mitigative activations are counted with the actual selection logic,
+/// not a constant.
 #[derive(Debug)]
 pub struct MemoryController {
     cfg: SystemConfig,
     scheme: MitigationScheme,
+    decoder: AddressDecoder,
     banks: Vec<BankState>,
     rng: Xoshiro256StarStar,
     result: SimResult,
@@ -83,9 +121,13 @@ pub struct MemoryController {
 /// The victims of `decision` that actually exist in a bank of `rows` rows
 /// (`victim_rows` clips the row-0 edge itself; the top edge is ours to
 /// enforce, like `bank.contains` in the sim engine).
-fn in_bank_victims(decision: MitigationDecision, rows: u32) -> impl Iterator<Item = RowId> {
+fn in_bank_victims(
+    decision: MitigationDecision,
+    blast_radius: u32,
+    rows: u32,
+) -> impl Iterator<Item = RowId> {
     decision
-        .victim_rows(BLAST_RADIUS)
+        .victim_rows(blast_radius)
         .into_iter()
         .filter(move |v| v.0 < rows)
 }
@@ -100,12 +142,13 @@ fn apply_mitigation(
     result: &mut SimResult,
     mut tracker: Option<&mut dyn InDramTracker>,
     decision: MitigationDecision,
+    blast_radius: u32,
     rows: u32,
 ) {
     if decision.is_none() {
         return;
     }
-    for v in in_bank_victims(decision, rows) {
+    for v in in_bank_victims(decision, blast_radius, rows) {
         result.mitigative_acts += 1;
         if let Some(t) = tracker.as_deref_mut() {
             t.on_mitigative_refresh(v);
@@ -114,9 +157,22 @@ fn apply_mitigation(
 }
 
 impl MemoryController {
-    /// Creates a controller for the given scheme.
+    /// Creates a controller for the given scheme with the default address
+    /// mapping.
     #[must_use]
     pub fn new(cfg: SystemConfig, scheme: MitigationScheme, seed: u64) -> Self {
+        Self::with_mapping(cfg, scheme, AddressMapping::default(), seed)
+    }
+
+    /// Creates a controller decoding request addresses with `mapping`.
+    #[must_use]
+    pub fn with_mapping(
+        cfg: SystemConfig,
+        scheme: MitigationScheme,
+        mapping: AddressMapping,
+        seed: u64,
+    ) -> Self {
+        let decoder = AddressDecoder::new(&cfg, mapping);
         let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
         let banks = (0..cfg.banks)
             .map(|_| BankState {
@@ -130,6 +186,7 @@ impl MemoryController {
         Self {
             cfg,
             scheme,
+            decoder,
             banks,
             rng,
             result: SimResult::default(),
@@ -146,6 +203,35 @@ impl MemoryController {
     #[must_use]
     pub fn scheme(&self) -> MitigationScheme {
         self.scheme
+    }
+
+    /// The address decoder in force.
+    #[must_use]
+    pub fn decoder(&self) -> &AddressDecoder {
+        &self.decoder
+    }
+
+    /// When `bank` finishes its current work (0 when idle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[must_use]
+    pub fn bank_ready_ps(&self, bank: u32) -> u64 {
+        self.banks[bank as usize].ready_at_ps
+    }
+
+    /// The row currently open in `bank`'s row buffer, if any. This is the
+    /// engine's *lazy* view: a REF boundary the bank has not yet crossed in
+    /// service order may still close it (the channel scheduler treats the
+    /// prediction as a hint; the engine settles hit/miss truthfully).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[must_use]
+    pub fn open_row(&self, bank: u32) -> Option<u32> {
+        self.banks[bank as usize].open_row
     }
 
     /// The mitigation backend of one bank (introspection for tests and
@@ -167,10 +253,10 @@ impl MemoryController {
     /// boundary also closes this bank's row buffer — post-REF requests to
     /// the previously open row are genuine row misses whose ACTs the
     /// tracker must observe.
-    fn align_with_refresh(&mut self, bank: usize, mut start: u64) -> u64 {
+    fn align_with_refresh(&mut self, bank: usize, start: u64) -> u64 {
         let refi = self.cfg.t_refi_ps;
-        let rfc = self.cfg.t_rfc_ps;
         let rows = self.cfg.rows_per_bank;
+        let blast = self.cfg.blast_radius;
         let refw = refis_per_refw();
         // Process REF-boundary mitigations this bank has crossed.
         let current_ref = start / refi;
@@ -185,7 +271,7 @@ impl MemoryController {
                 MitigationBackend::None | MitigationBackend::McSample { .. } => {}
                 MitigationBackend::InDram(tracker) => {
                     let d = tracker.on_refresh(&mut self.rng);
-                    apply_mitigation(&mut self.result, Some(tracker.as_mut()), d, rows);
+                    apply_mitigation(&mut self.result, Some(tracker.as_mut()), d, blast, rows);
                 }
                 MitigationBackend::McTracker(tracker) => {
                     // MC-side tables (Graphene) mitigate on threshold
@@ -205,29 +291,45 @@ impl MemoryController {
                 b.raa = b.raa.saturating_sub(rfm_th);
             }
         }
-        // REF blocks all banks for tRFC at each tREFI boundary.
-        let offset = start % refi;
-        if offset < rfc {
-            start = start - offset + rfc;
-        }
-        start
+        past_ref_window(&self.cfg, start)
     }
 
     /// Services one request arriving at `arrival_ps`; returns its
-    /// completion time.
+    /// completion time. Convenience wrapper over
+    /// [`service_decoded`](Self::service_decoded) that decodes `req.addr`
+    /// with the controller's mapping.
     pub fn service(&mut self, req: Request, arrival_ps: u64) -> u64 {
-        assert!((req.bank as usize) < self.banks.len(), "bank out of range");
+        let decoded = self.decoder.decode(req.addr);
+        self.service_decoded(decoded, req.is_read, arrival_ps)
+            .completion_ps
+    }
+
+    /// Services one decoded request no earlier than `not_before_ps`;
+    /// reports start, completion and hit/miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decoded bank is out of range for the configured
+    /// channel.
+    pub fn service_decoded(
+        &mut self,
+        decoded: DecodedAddr,
+        is_read: bool,
+        not_before_ps: u64,
+    ) -> ServiceOutcome {
+        let bank_idx = decoded.flat_bank(self.cfg.banks_per_group()) as usize;
+        assert!(bank_idx < self.banks.len(), "bank out of range");
         self.result.requests += 1;
-        if req.is_read {
+        if is_read {
             self.result.reads += 1;
         } else {
             self.result.writes += 1;
         }
-        let bank_idx = req.bank as usize;
-        let start0 = arrival_ps.max(self.banks[bank_idx].ready_at_ps);
+        let row = decoded.row;
+        let start0 = not_before_ps.max(self.banks[bank_idx].ready_at_ps);
         let start = self.align_with_refresh(bank_idx, start0);
 
-        let is_hit = self.banks[bank_idx].open_row == Some(req.row);
+        let is_hit = self.banks[bank_idx].open_row == Some(row);
         let (latency, busy) = if is_hit {
             self.result.row_hits += 1;
             (self.cfg.hit_latency_ps(), self.cfg.hit_latency_ps())
@@ -247,6 +349,7 @@ impl MemoryController {
         if !is_hit {
             self.result.demand_acts += 1;
             let rows = self.cfg.rows_per_bank;
+            let blast = self.cfg.blast_radius;
             let b = &mut self.banks[bank_idx];
             match &mut b.backend {
                 MitigationBackend::None => {}
@@ -255,8 +358,8 @@ impl MemoryController {
                     // trackers return None here; if an RFM-co-designed
                     // tracker volunteers a decision, it rides refresh time
                     // (no extra bank block).
-                    if let Some(d) = tracker.on_activation(RowId(req.row), &mut self.rng) {
-                        apply_mitigation(&mut self.result, Some(tracker.as_mut()), d, rows);
+                    if let Some(d) = tracker.on_activation(RowId(row), &mut self.rng) {
+                        apply_mitigation(&mut self.result, Some(tracker.as_mut()), d, blast, rows);
                     }
                 }
                 MitigationBackend::McSample { p } => {
@@ -269,7 +372,8 @@ impl MemoryController {
                         apply_mitigation(
                             &mut self.result,
                             None,
-                            MitigationDecision::Aggressor(RowId(req.row)),
+                            MitigationDecision::Aggressor(RowId(row)),
+                            blast,
                             rows,
                         );
                         ready += self.cfg.t_drfm_ps;
@@ -279,9 +383,9 @@ impl MemoryController {
                 MitigationBackend::McTracker(tracker) => {
                     // Graphene: the MC-side table counts the ACT; a
                     // threshold crossing issues a DRFM-priced mitigation.
-                    if let Some(d) = tracker.on_activation(RowId(req.row), &mut self.rng) {
+                    if let Some(d) = tracker.on_activation(RowId(row), &mut self.rng) {
                         self.result.drfm_commands += 1;
-                        apply_mitigation(&mut self.result, Some(tracker.as_mut()), d, rows);
+                        apply_mitigation(&mut self.result, Some(tracker.as_mut()), d, blast, rows);
                         ready += self.cfg.t_drfm_ps;
                         row_survives = false;
                     }
@@ -299,7 +403,7 @@ impl MemoryController {
                     self.result.rfm_commands += 1;
                     if let MitigationBackend::InDram(tracker) = &mut b.backend {
                         let d = tracker.on_refresh(&mut self.rng);
-                        apply_mitigation(&mut self.result, Some(tracker.as_mut()), d, rows);
+                        apply_mitigation(&mut self.result, Some(tracker.as_mut()), d, blast, rows);
                     }
                     ready += self.cfg.t_rfm_ps;
                     row_survives = false;
@@ -308,9 +412,13 @@ impl MemoryController {
         }
 
         let bank = &mut self.banks[bank_idx];
-        bank.open_row = if row_survives { Some(req.row) } else { None };
+        bank.open_row = if row_survives { Some(row) } else { None };
         bank.ready_at_ps = ready;
-        completion
+        ServiceOutcome {
+            start_ps: start,
+            completion_ps: completion,
+            row_hit: is_hit,
+        }
     }
 
     /// Finalises the run at `end_ps`, recording elapsed REF events.
@@ -332,13 +440,17 @@ impl MemoryController {
 mod tests {
     use super::*;
 
-    fn req(bank: u32, row: u32) -> Request {
+    fn req_in(cfg: &SystemConfig, bank: u32, row: u32) -> Request {
+        let d = AddressDecoder::new(cfg, AddressMapping::default());
         Request {
-            bank,
-            row,
+            addr: d.encode_bank_row(bank, row, 0),
             is_read: true,
             think_time_ps: 0,
         }
+    }
+
+    fn req(bank: u32, row: u32) -> Request {
+        req_in(&SystemConfig::table6(), bank, row)
     }
 
     fn mc(scheme: MitigationScheme) -> MemoryController {
@@ -363,12 +475,44 @@ mod tests {
     }
 
     #[test]
+    fn hit_ignores_the_column() {
+        // Two different columns of the same row are both row hits — the
+        // decoder's column field affects the address, not the row buffer.
+        let cfg = SystemConfig::table6();
+        let d = AddressDecoder::new(&cfg, AddressMapping::default());
+        let mut m = mc(MitigationScheme::Baseline);
+        let mk = |col| Request {
+            addr: d.encode_bank_row(0, 10, col),
+            is_read: true,
+            think_time_ps: 0,
+        };
+        let c1 = m.service(mk(0), cfg.t_rfc_ps);
+        let _ = m.service(mk(97), c1);
+        assert_eq!(m.result().row_hits, 1);
+        assert_eq!(m.result().demand_acts, 1);
+    }
+
+    #[test]
     fn refresh_window_blocks_service() {
         let mut m = mc(MitigationScheme::Baseline);
         // Arrive right at a tREFI boundary: must wait out tRFC.
         let refi = SystemConfig::table6().t_refi_ps;
         let c = m.service(req(0, 1), refi);
         assert!(c >= refi + SystemConfig::table6().t_rfc_ps);
+    }
+
+    #[test]
+    fn past_ref_window_matches_service_alignment() {
+        let cfg = SystemConfig::table6();
+        assert_eq!(past_ref_window(&cfg, 0), cfg.t_rfc_ps);
+        assert_eq!(past_ref_window(&cfg, cfg.t_rfc_ps - 1), cfg.t_rfc_ps);
+        assert_eq!(past_ref_window(&cfg, cfg.t_rfc_ps), cfg.t_rfc_ps);
+        assert_eq!(
+            past_ref_window(&cfg, cfg.t_refi_ps + 5),
+            cfg.t_refi_ps + cfg.t_rfc_ps
+        );
+        let mid = cfg.t_refi_ps / 2;
+        assert_eq!(past_ref_window(&cfg, mid), mid);
     }
 
     #[test]
@@ -529,17 +673,36 @@ mod tests {
         };
         let top = cfg.rows_per_bank - 1;
         let mut m = MemoryController::new(cfg, MitigationScheme::McPara { p: 1.0 }, 3);
-        let _ = m.service(req(0, top), cfg.t_rfc_ps);
+        let _ = m.service(req_in(&cfg, 0, top), cfg.t_rfc_ps);
         assert_eq!(m.result().drfm_commands, 1);
         assert_eq!(
             m.result().mitigative_acts,
             1,
             "top-row aggressor has a single in-bank victim"
         );
-        let _ = m.service(req(0, 0), cfg.t_rfc_ps * 2);
+        let _ = m.service(req_in(&cfg, 0, 0), cfg.t_rfc_ps * 2);
         assert_eq!(m.result().mitigative_acts, 2, "row 0 likewise");
-        let _ = m.service(req(0, 30), cfg.t_rfc_ps * 3);
+        let _ = m.service(req_in(&cfg, 0, 30), cfg.t_rfc_ps * 3);
         assert_eq!(m.result().mitigative_acts, 4, "interior rows cost 2");
+    }
+
+    #[test]
+    fn blast_radius_is_config_driven() {
+        // Blast radius 2 charges four victim ACTs per aggressor mitigation
+        // on an interior row — the old hardcoded constant only ever
+        // charged two.
+        let cfg = SystemConfig {
+            blast_radius: 2,
+            ..SystemConfig::table6()
+        };
+        let mut m = MemoryController::new(cfg, MitigationScheme::McPara { p: 1.0 }, 3);
+        let _ = m.service(req_in(&cfg, 0, 500), cfg.t_rfc_ps);
+        assert_eq!(m.result().drfm_commands, 1);
+        assert_eq!(
+            m.result().mitigative_acts,
+            4,
+            "blast radius 2 refreshes two victims per side"
+        );
     }
 
     #[test]
@@ -585,7 +748,8 @@ mod tests {
         let t0 = cfg.t_rfc_ps;
         let c0 = m.service(req(0, 1), t0);
         // A request to another bank at the same instant is not delayed by
-        // bank 0's busy time.
+        // bank 0's busy time (the engine models no inter-bank constraints;
+        // those are the channel's).
         let c1 = m.service(req(1, 1), t0);
         assert_eq!(c0, c1);
     }

@@ -10,27 +10,52 @@
 //!   `RFM_TH` activations per bank;
 //! * MC-side PARA issues a blocking DRFM (410 ns) per sampled activation.
 //!
-//! This crate reproduces exactly those mechanisms in a trace-driven
-//! simulator: a 4-core model generating LLC-miss streams parameterised by
-//! MPKI and row-buffer locality ([`workload`]), an FR-FCFS-ish memory
-//! controller with DDR5 bank timing, REF/RFM/DRFM scheduling
-//! ([`controller`]), a per-bank [`MitigationBackend`] carrying any tracker
-//! of the `mint-trackers` zoo (so mitigative activations are counted with
-//! each scheme's real selection logic — see [`backend`]),
-//! and a DRAMPower-style energy model ([`energy`]). Absolute IPC differs
-//! from the authors' testbed; the normalized slowdown and energy *shape* is
-//! what the Fig 16 / Fig 17 / Table VIII regeneration targets check.
+//! This crate reproduces those mechanisms in a command-level single-channel
+//! DDR5 pipeline:
+//!
+//! ```text
+//!  RequestSource ──► TransQueue ──► SchedulePolicy ──► TimingState ──► banks + backends
+//!  CoreStream /       (bounded,      FCFS / FR-FCFS     tRRD_S/L        row buffer, REF/RFM/
+//!  TraceSource        [`sched`])     ([`sched`])        tFAW, tCCD      DRFM, tracker zoo
+//!  ([`workload`])                                       ([`timing`])    ([`controller`], [`backend`])
+//! ```
+//!
+//! Frontends implement [`RequestSource`] — a 4-core synthetic model
+//! parameterised by MPKI and row-buffer locality ([`workload::CoreStream`])
+//! or a plain-text trace replayed deterministically across cores
+//! ([`workload::TraceSource`]). Requests carry physical byte addresses,
+//! sliced by a configurable [`AddressDecoder`] (three named mappings, see
+//! [`address`]). The [`Channel`] schedules the bounded transaction queue
+//! with FCFS or FR-FCFS (row-hit-first, oldest-first, starvation-capped)
+//! under the DDR5 inter-bank constraints, and executes on per-bank state
+//! carrying a real [`MitigationBackend`] for any tracker of the
+//! `mint-trackers` zoo. A DRAMPower-style energy model ([`energy`]) prices
+//! the result. Absolute IPC differs from the authors' testbed; the
+//! normalized slowdown and energy *shape* is what the Fig 16 / Fig 17 /
+//! Table VIII regeneration targets check.
 
+pub mod address;
 pub mod backend;
 pub mod config;
 pub mod controller;
 pub mod energy;
 pub mod runner;
+pub mod sched;
+pub mod timing;
 pub mod workload;
 
+pub use address::{AddressDecoder, AddressMapping, DecodedAddr, DramOrg};
 pub use backend::MitigationBackend;
 pub use config::{MitigationScheme, SystemConfig};
-pub use controller::{MemoryController, SimResult};
+pub use controller::{MemoryController, ServiceOutcome, SimResult};
 pub use energy::{EnergyModel, EnergyReport};
-pub use runner::{run_workload, run_workload_grid, NormalizedPerf};
-pub use workload::{mixes, spec_rate_workloads, CoreStream, WorkloadSpec};
+pub use runner::{
+    run_trace, run_workload, run_workload_grid, run_workload_grid_with, run_workload_with,
+    think_time_ps, NormalizedPerf,
+};
+pub use sched::{Channel, Completion, SchedulePolicy};
+pub use timing::{InterBankTiming, TimingState};
+pub use workload::{
+    mixes, parse_trace, read_trace_file, spec_rate_workloads, CoreStream, Request, RequestSource,
+    TraceEntry, TraceParseError, TraceSource, WorkloadSpec,
+};

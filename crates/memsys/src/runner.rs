@@ -1,8 +1,20 @@
-//! End-to-end workload runs: cores + controller → normalized performance.
+//! End-to-end workload runs: request sources + channel → normalized
+//! performance.
+//!
+//! The runner owns the frontend half of the pipeline: per-core
+//! [`RequestSource`]s (synthetic or trace-driven) issue into the bounded
+//! transaction queue of a [`Channel`], which schedules them per its
+//! [`SchedulePolicy`] under the inter-bank timing constraints. Admission
+//! and service interleave deterministically: a request is admitted
+//! whenever it arrives no later than the channel's next scheduling
+//! decision (so the scheduler always arbitrates over every request that
+//! has actually arrived), otherwise the channel serves.
 
+use crate::address::AddressMapping;
 use crate::config::{MitigationScheme, SystemConfig};
-use crate::controller::{MemoryController, SimResult};
-use crate::workload::{CoreStream, WorkloadSpec};
+use crate::controller::SimResult;
+use crate::sched::{Channel, SchedulePolicy};
+use crate::workload::{CoreStream, Request, RequestSource, TraceEntry, TraceSource, WorkloadSpec};
 use mint_rng::derive_seed;
 
 /// Outcome of running one multi-core workload under one scheme.
@@ -26,13 +38,167 @@ impl NormalizedPerf {
     }
 }
 
+/// Compute time between LLC misses for `spec` on a core of `cfg`:
+/// instructions-per-miss ÷ IPC, in ps, rounded to nearest (the old
+/// truncating cast shaved up to a full cycle off every gap, biasing
+/// compute-bound workloads fast).
+#[must_use]
+pub fn think_time_ps(cfg: &SystemConfig, spec: &WorkloadSpec) -> u64 {
+    let exact = spec.instructions_per_miss() / f64::from(cfg.core_ipc) * cfg.core_cycle_ps() as f64;
+    exact.round() as u64
+}
+
+struct CoreCtx<'a> {
+    source: Box<dyn RequestSource + 'a>,
+    /// Next request and its issue time, once the core is ready to send it.
+    pending: Option<(Request, u64)>,
+    /// When the core front-end can work on its next request.
+    ready_at: u64,
+    /// Requests still allowed (None = until the source runs dry).
+    remaining: Option<u32>,
+    /// Completion time of the core's last serviced request.
+    finish: u64,
+}
+
+impl CoreCtx<'_> {
+    /// Pulls the next request out of the source (respecting the budget)
+    /// and stamps its issue time.
+    fn fetch(&mut self) {
+        debug_assert!(self.pending.is_none());
+        match &mut self.remaining {
+            Some(0) => return,
+            Some(n) => *n -= 1,
+            None => {}
+        }
+        if let Some(req) = self.source.next_request() {
+            let issue = self.ready_at + req.think_time_ps;
+            self.pending = Some((req, issue));
+        }
+    }
+}
+
+/// Drives `sources` (one per core) through a fresh channel until every
+/// source is exhausted or has issued its per-core budget.
+fn drive(
+    cfg: &SystemConfig,
+    scheme: MitigationScheme,
+    policy: SchedulePolicy,
+    mapping: AddressMapping,
+    sources: Vec<Box<dyn RequestSource + '_>>,
+    per_core_budget: Option<u32>,
+    seed: u64,
+) -> NormalizedPerf {
+    let mut channel = Channel::new(*cfg, scheme, policy, mapping, derive_seed(seed, 0xC0));
+    let mlp = u64::from(cfg.core_mlp).max(1);
+    let mut cores: Vec<CoreCtx> = sources
+        .into_iter()
+        .map(|source| {
+            let mut c = CoreCtx {
+                source,
+                pending: None,
+                ready_at: 0,
+                remaining: per_core_budget,
+                finish: 0,
+            };
+            c.fetch();
+            c
+        })
+        .collect();
+
+    loop {
+        // The earliest core ready to issue (ties: lowest core index).
+        let next_arrival = cores
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.pending.as_ref().map(|&(_, issue)| (issue, i)))
+            .min();
+        let next_start = channel.next_start_ps();
+        match (next_arrival, next_start) {
+            (None, None) => break,
+            // Admit when the next request arrives no later than the next
+            // scheduling decision — the scheduler must see all arrived
+            // traffic before committing a command.
+            (Some((issue, i)), start)
+                if channel.has_room() && start.map_or(true, |s| issue <= s) =>
+            {
+                let (req, issue) = cores[i].pending.take().expect("pending checked");
+                channel.push(req, i as u32, issue);
+            }
+            _ => {
+                let c = channel.service_next().expect("queue is non-empty");
+                let core = &mut cores[c.core as usize];
+                // Blocking-miss core with an MLP overlap factor: the core
+                // absorbs 1/MLP of the memory stall.
+                let stall = (c.completion_ps - c.arrival_ps) / mlp;
+                core.ready_at = c.arrival_ps + stall;
+                core.finish = core.finish.max(c.completion_ps);
+                core.fetch();
+            }
+        }
+    }
+
+    let duration = cores.iter().map(|c| c.finish).max().unwrap_or(0);
+    channel.finish(duration);
+    NormalizedPerf {
+        duration_ps: duration,
+        result: channel.result(),
+        normalized: 1.0,
+    }
+}
+
 /// Runs a 4-core workload (one [`WorkloadSpec`] per core) for
-/// `requests_per_core` LLC misses per core under the given scheme.
+/// `requests_per_core` LLC misses per core under the given scheme,
+/// scheduling policy and address mapping.
 ///
-/// Each core is a blocking-miss model with an MLP overlap factor: after
-/// issuing a miss at time `t` that completes at `c`, the core becomes ready
-/// for its next miss at `t + think + (c − t)/MLP`. The per-core streams and
-/// the controller are seeded deterministically from `seed`.
+/// The per-core streams and the channel are seeded deterministically from
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if `specs.len() != cfg.cores as usize` or
+/// `requests_per_core == 0`.
+#[must_use]
+pub fn run_workload_with(
+    cfg: &SystemConfig,
+    scheme: MitigationScheme,
+    policy: SchedulePolicy,
+    mapping: AddressMapping,
+    specs: &[WorkloadSpec],
+    requests_per_core: u32,
+    seed: u64,
+) -> NormalizedPerf {
+    assert_eq!(
+        specs.len(),
+        cfg.cores as usize,
+        "one workload spec per core"
+    );
+    assert!(requests_per_core > 0, "need at least one request per core");
+    let decoder = crate::address::AddressDecoder::new(cfg, mapping);
+    let sources: Vec<Box<dyn RequestSource>> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            Box::new(CoreStream::new(
+                *spec,
+                decoder,
+                think_time_ps(cfg, spec),
+                derive_seed(seed, i as u64),
+            )) as Box<dyn RequestSource>
+        })
+        .collect();
+    drive(
+        cfg,
+        scheme,
+        policy,
+        mapping,
+        sources,
+        Some(requests_per_core),
+        seed,
+    )
+}
+
+/// [`run_workload_with`] at the production defaults (FR-FCFS, row-
+/// interleaved mapping).
 ///
 /// # Panics
 ///
@@ -46,71 +212,36 @@ pub fn run_workload(
     requests_per_core: u32,
     seed: u64,
 ) -> NormalizedPerf {
-    assert_eq!(
-        specs.len(),
-        cfg.cores as usize,
-        "one workload spec per core"
-    );
-    assert!(requests_per_core > 0, "need at least one request per core");
-    let mut controller = MemoryController::new(*cfg, scheme, derive_seed(seed, 0xC0));
-    let cycle_ps = cfg.core_cycle_ps();
-    let mlp = u64::from(cfg.core_mlp);
+    run_workload_with(
+        cfg,
+        scheme,
+        SchedulePolicy::default(),
+        AddressMapping::default(),
+        specs,
+        requests_per_core,
+        seed,
+    )
+}
 
-    struct CoreCtx {
-        stream: CoreStream,
-        ready_at: u64,
-        remaining: u32,
-        finish: u64,
-    }
-    let mut cores: Vec<CoreCtx> = specs
-        .iter()
-        .enumerate()
-        .map(|(i, spec)| {
-            // Compute time between misses: instructions/miss ÷ IPC, in ps.
-            let think_ps =
-                (spec.instructions_per_miss() / f64::from(cfg.core_ipc) * cycle_ps as f64) as u64;
-            CoreCtx {
-                stream: CoreStream::new(
-                    *spec,
-                    cfg.banks,
-                    cfg.rows_per_bank,
-                    think_ps,
-                    derive_seed(seed, i as u64),
-                ),
-                ready_at: 0,
-                remaining: requests_per_core,
-                finish: 0,
-            }
-        })
-        .collect();
-
-    // Event loop: always advance the earliest-ready core.
-    while let Some(idx) = cores
-        .iter()
-        .enumerate()
-        .filter(|(_, c)| c.remaining > 0)
-        .min_by_key(|(_, c)| c.ready_at)
-        .map(|(i, _)| i)
-    {
-        let core = &mut cores[idx];
-        let req = core.stream.next_request();
-        let issue = core.ready_at + req.think_time_ps;
-        let completion = controller.service(req, issue);
-        let stall = (completion - issue) / mlp.max(1);
-        core.ready_at = issue + stall;
-        core.remaining -= 1;
-        if core.remaining == 0 {
-            core.finish = completion;
-        }
-    }
-
-    let duration = cores.iter().map(|c| c.finish).max().unwrap_or(0);
-    controller.finish(duration);
-    NormalizedPerf {
-        duration_ps: duration,
-        result: controller.result(),
-        normalized: 1.0,
-    }
+/// Replays a parsed trace through the channel: entries are dealt
+/// round-robin across the configured cores ([`TraceSource::split`]) and
+/// run to exhaustion. Replays are bit-deterministic for a given
+/// `(trace, cfg, scheme, policy, mapping, seed)`.
+#[must_use]
+pub fn run_trace(
+    cfg: &SystemConfig,
+    scheme: MitigationScheme,
+    policy: SchedulePolicy,
+    mapping: AddressMapping,
+    entries: &[TraceEntry],
+    seed: u64,
+) -> NormalizedPerf {
+    let sources: Vec<Box<dyn RequestSource>> =
+        TraceSource::split(entries, cfg.cores, cfg.core_cycle_ps())
+            .into_iter()
+            .map(|s| Box::new(s) as Box<dyn RequestSource>)
+            .collect();
+    drive(cfg, scheme, policy, mapping, sources, None, seed)
 }
 
 /// Runs every `(workload, scheme)` pair through the `mint-exp` sweep
@@ -126,11 +257,13 @@ pub fn run_workload(
 /// # Panics
 ///
 /// Panics if `schemes` is empty or `workloads.len() != seeds.len()` (the
-/// per-cell panics of [`run_workload`] also apply).
+/// per-cell panics of [`run_workload_with`] also apply).
 #[must_use]
-pub fn run_workload_grid<W>(
+pub fn run_workload_grid_with<W>(
     cfg: &SystemConfig,
     schemes: &[MitigationScheme],
+    policy: SchedulePolicy,
+    mapping: AddressMapping,
     workloads: &[W],
     requests_per_core: u32,
     seeds: &[u64],
@@ -144,9 +277,11 @@ where
         .flat_map(|w| (0..schemes.len()).map(move |s| (w, s)))
         .collect();
     let flat = mint_exp::par_map(&cells, |_, &(w, s)| {
-        run_workload(
+        run_workload_with(
             cfg,
             schemes[s],
+            policy,
+            mapping,
             workloads[w].as_ref(),
             requests_per_core,
             seeds[w],
@@ -160,10 +295,38 @@ where
         .collect()
 }
 
+/// [`run_workload_grid_with`] at the production defaults (FR-FCFS,
+/// row-interleaved mapping).
+///
+/// # Panics
+///
+/// Panics if `schemes` is empty or `workloads.len() != seeds.len()`.
+#[must_use]
+pub fn run_workload_grid<W>(
+    cfg: &SystemConfig,
+    schemes: &[MitigationScheme],
+    workloads: &[W],
+    requests_per_core: u32,
+    seeds: &[u64],
+) -> Vec<Vec<NormalizedPerf>>
+where
+    W: AsRef<[WorkloadSpec]> + Sync,
+{
+    run_workload_grid_with(
+        cfg,
+        schemes,
+        SchedulePolicy::default(),
+        AddressMapping::default(),
+        workloads,
+        requests_per_core,
+        seeds,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::spec_rate_workloads;
+    use crate::workload::{parse_trace, spec_rate_workloads};
 
     fn rate4(spec: WorkloadSpec) -> Vec<WorkloadSpec> {
         vec![spec; 4]
@@ -178,6 +341,32 @@ mod tests {
             .into_iter()
             .find(|w| w.name == "lbm")
             .unwrap()
+    }
+
+    #[test]
+    fn think_time_rounds_to_nearest() {
+        let cfg = SystemConfig::table6();
+        let mk = |mpki: f64| WorkloadSpec {
+            name: "t",
+            mpki,
+            row_buffer_locality: 0.5,
+            read_fraction: 0.5,
+        };
+        // mcf at Table VI: 1000/22 instr/miss ÷ 3 IPC × 333 ps/cycle
+        // = 5045.45… ps → 5045 (truncation agreed here).
+        assert_eq!(think_time_ps(&cfg, &mk(22.0)), 5045);
+        // povray-ish: 1000/0.3 ÷ 3 × 333 lands at 369_999.999…94 in f64 —
+        // the old truncating cast shaved it to 369_999; round-to-nearest
+        // restores the exact 370_000.
+        assert_eq!(think_time_ps(&cfg, &mk(0.3)), 370_000);
+        // 2 instr/miss ÷ 3 × 333 = 221.999…97 in f64: truncation said 221,
+        // nearest says 222.
+        assert_eq!(think_time_ps(&cfg, &mk(500.0)), 222);
+        // The exact .5 boundary (representable: 1/2 instr-per-cycle ratio
+        // × odd 333 = 166.5): rounds *up* to 167 per round-half-away-from-
+        // zero, where truncation gave 166.
+        let ipc2 = SystemConfig { core_ipc: 2, ..cfg };
+        assert_eq!(think_time_ps(&ipc2, &mk(1000.0)), 167);
     }
 
     #[test]
@@ -253,12 +442,79 @@ mod tests {
     }
 
     #[test]
+    fn frfcfs_beats_fcfs_on_row_hit_rate() {
+        // A high-locality workload keeps every core streaming inside one
+        // row; whenever two cores collide on a bank, FCFS ping-pongs the
+        // row buffer while FR-FCFS batches each stream's hits. The
+        // scheduler must turn that into a strictly higher hit rate.
+        let cfg = SystemConfig::table6();
+        let spec = lbm(); // 0.85 row-buffer locality
+        let specs = rate4(spec);
+        let fcfs = run_workload_with(
+            &cfg,
+            MitigationScheme::Baseline,
+            SchedulePolicy::Fcfs,
+            AddressMapping::default(),
+            &specs,
+            20_000,
+            13,
+        );
+        let frfcfs = run_workload_with(
+            &cfg,
+            MitigationScheme::Baseline,
+            SchedulePolicy::frfcfs(),
+            AddressMapping::default(),
+            &specs,
+            20_000,
+            13,
+        );
+        assert!(
+            frfcfs.result.row_hit_rate() > fcfs.result.row_hit_rate(),
+            "FR-FCFS {} must beat FCFS {}",
+            frfcfs.result.row_hit_rate(),
+            fcfs.result.row_hit_rate()
+        );
+    }
+
+    #[test]
     fn determinism() {
         let spec = lbm();
         let a = run(MitigationScheme::Mint, spec);
         let b = run(MitigationScheme::Mint, spec);
         assert_eq!(a.duration_ps, b.duration_ps);
         assert_eq!(a.result, b.result);
+    }
+
+    #[test]
+    fn trace_replay_is_deterministic_and_complete() {
+        let text: String = (0..50)
+            .map(|i| {
+                format!(
+                    "{} {} 0x{:x}\n",
+                    i % 7,
+                    if i % 3 == 0 { 'W' } else { 'R' },
+                    i * 64
+                )
+            })
+            .collect();
+        let entries = parse_trace(&text).unwrap();
+        let cfg = SystemConfig::table6();
+        let run = || {
+            run_trace(
+                &cfg,
+                MitigationScheme::Mint,
+                SchedulePolicy::frfcfs(),
+                AddressMapping::default(),
+                &entries,
+                3,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.duration_ps, b.duration_ps);
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.result.requests, 50, "every trace entry is serviced");
+        assert_eq!(a.result.writes, 17);
     }
 
     #[test]

@@ -1,0 +1,577 @@
+//! The channel scheduler: a bounded transaction queue drained by a
+//! pluggable [`SchedulePolicy`] under the inter-bank timing constraints.
+//!
+//! A [`Channel`] is the command-level pipeline of the memory system:
+//!
+//! ```text
+//! RequestSource ──► TransQueue ──► SchedulePolicy ──► TimingState ──► banks
+//!   (frontend)       (bounded)     (FCFS/FR-FCFS)     (tRRD/tFAW/tCCD)  (engine)
+//! ```
+//!
+//! Scheduling works in *decision steps*: among all queued transactions the
+//! channel computes each one's earliest possible start (bank busy time,
+//! REF windows, tRRD/tFAW for the ACT of a predicted miss, tCCD for the
+//! CAS), then arbitrates among the transactions achieving the global
+//! minimum. Because every step issues the earliest-startable transaction,
+//! command times are monotone — which keeps the rolling timing windows
+//! honest and the whole pipeline bit-deterministic for any worker count.
+
+use crate::address::{AddressDecoder, AddressMapping, DecodedAddr};
+use crate::config::{MitigationScheme, SystemConfig};
+use crate::controller::{past_ref_window, MemoryController, SimResult};
+use crate::timing::{InterBankTiming, TimingState};
+use crate::workload::Request;
+
+/// How the channel arbitrates among simultaneously issuable transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// First-come-first-served: strictly oldest-first among issuable
+    /// transactions (the scalar model this pipeline replaced serviced each
+    /// bank in arrival order; FCFS is its channel-level equivalent).
+    Fcfs,
+    /// FR-FCFS: row-hit-first, then oldest-first, with a starvation cap —
+    /// once an issuable transaction has been bypassed `starvation_cap`
+    /// times by younger row hits it gains absolute priority.
+    FrFcfs {
+        /// Bypass budget before an old transaction is force-served.
+        starvation_cap: u32,
+    },
+}
+
+impl SchedulePolicy {
+    /// The production default: FR-FCFS with a bypass budget of 4.
+    #[must_use]
+    pub fn frfcfs() -> Self {
+        SchedulePolicy::FrFcfs { starvation_cap: 4 }
+    }
+
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            SchedulePolicy::Fcfs => "FCFS".to_owned(),
+            SchedulePolicy::FrFcfs { starvation_cap } => format!("FR-FCFS(cap{starvation_cap})"),
+        }
+    }
+}
+
+impl Default for SchedulePolicy {
+    fn default() -> Self {
+        Self::frfcfs()
+    }
+}
+
+/// One in-flight transaction of the bounded queue.
+#[derive(Debug, Clone, Copy)]
+struct Transaction {
+    id: u64,
+    core: u32,
+    arrival_ps: u64,
+    decoded: DecodedAddr,
+    is_read: bool,
+    /// Times an older issuable transaction was passed over for a younger
+    /// row hit (FR-FCFS starvation accounting).
+    bypassed: u32,
+}
+
+/// What the channel reports back to the frontend when a transaction
+/// finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The core (request source) that issued the transaction.
+    pub core: u32,
+    /// When the transaction entered the queue.
+    pub arrival_ps: u64,
+    /// When the bank began executing it.
+    pub start_ps: u64,
+    /// When its data transfer completed.
+    pub completion_ps: u64,
+    /// Whether it hit the open row.
+    pub row_hit: bool,
+}
+
+/// A single-channel, command-level DDR5 memory pipeline: bounded
+/// transaction queue → schedule policy → inter-bank timing → per-bank
+/// engine (with mitigation backends).
+#[derive(Debug)]
+pub struct Channel {
+    cfg: SystemConfig,
+    policy: SchedulePolicy,
+    engine: MemoryController,
+    timing: TimingState,
+    queue: Vec<Transaction>,
+    next_id: u64,
+    /// Issue time of the most recent decision (command times are
+    /// monotone).
+    clock_ps: u64,
+    /// The decision computed by the last [`plan`](Self::plan) call, kept
+    /// until the queue or device state changes (every serviced request
+    /// needs the plan twice — admission lookahead, then the decision
+    /// itself — and the earliest-start scan is the scheduler's hot path).
+    plan_cache: Option<Plan>,
+}
+
+/// One computed scheduling decision: which transaction, when, and every
+/// queued transaction's earliest start (for starvation accounting).
+#[derive(Debug, Clone)]
+struct Plan {
+    idx: usize,
+    start_ps: u64,
+    starts: Vec<u64>,
+}
+
+impl Channel {
+    /// Creates a channel for `scheme` with the given arbitration policy
+    /// and address mapping.
+    #[must_use]
+    pub fn new(
+        cfg: SystemConfig,
+        scheme: MitigationScheme,
+        policy: SchedulePolicy,
+        mapping: AddressMapping,
+        seed: u64,
+    ) -> Self {
+        Self {
+            cfg,
+            policy,
+            engine: MemoryController::with_mapping(cfg, scheme, mapping, seed),
+            timing: TimingState::new(InterBankTiming::from_system(&cfg)),
+            queue: Vec::with_capacity(cfg.queue_depth as usize),
+            next_id: 0,
+            clock_ps: 0,
+            plan_cache: None,
+        }
+    }
+
+    /// The arbitration policy in force.
+    #[must_use]
+    pub fn policy(&self) -> SchedulePolicy {
+        self.policy
+    }
+
+    /// The per-bank engine (stats, backends, decoder).
+    #[must_use]
+    pub fn engine(&self) -> &MemoryController {
+        &self.engine
+    }
+
+    /// The decoder translating request addresses.
+    #[must_use]
+    pub fn decoder(&self) -> &AddressDecoder {
+        self.engine.decoder()
+    }
+
+    /// The statistics accumulated so far.
+    #[must_use]
+    pub fn result(&self) -> SimResult {
+        self.engine.result()
+    }
+
+    /// Queued (not yet serviced) transactions.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the bounded queue can accept another transaction.
+    #[must_use]
+    pub fn has_room(&self) -> bool {
+        self.queue.len() < self.cfg.queue_depth as usize
+    }
+
+    /// Enqueues a request that arrived at `arrival_ps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full (callers gate on
+    /// [`has_room`](Self::has_room)).
+    pub fn push(&mut self, req: Request, core: u32, arrival_ps: u64) {
+        assert!(self.has_room(), "transaction queue overflow");
+        let decoded = self.engine.decoder().decode(req.addr);
+        self.queue.push(Transaction {
+            id: self.next_id,
+            core,
+            arrival_ps,
+            decoded,
+            is_read: req.is_read,
+            bypassed: 0,
+        });
+        self.next_id += 1;
+        self.plan_cache = None;
+    }
+
+    /// The earliest time any queued transaction could start (`None` when
+    /// the queue is empty). The frontend compares this against its next
+    /// arrival to decide whether to admit more traffic before the next
+    /// scheduling decision.
+    #[must_use]
+    pub fn next_start_ps(&mut self) -> Option<u64> {
+        self.plan().map(|p| p.start_ps)
+    }
+
+    /// Earliest feasible start of one queued transaction: bank busy time,
+    /// REF windows, ACT spacing (predicted miss) and CAS slot, iterated to
+    /// a fixpoint (the constraints are monotone, so the loop converges in
+    /// a couple of rounds; the cap only guards degenerate configs).
+    fn earliest_start(&self, tx: &Transaction) -> u64 {
+        let bank = tx.decoded.flat_bank(self.cfg.banks_per_group());
+        let bg = tx.decoded.bank_group;
+        let predicted_hit = self.engine.open_row(bank) == Some(tx.decoded.row);
+        let cas_offset = if predicted_hit {
+            0
+        } else {
+            self.cfg.t_rp_ps + self.cfg.t_rcd_ps
+        };
+        let mut t = self
+            .clock_ps
+            .max(tx.arrival_ps)
+            .max(self.engine.bank_ready_ps(bank));
+        for _ in 0..4 {
+            let prev = t;
+            t = past_ref_window(&self.cfg, t);
+            if !predicted_hit {
+                t = t.max(self.timing.earliest_act(bg));
+            }
+            t = self.timing.cas_slot(t + cas_offset, bg) - cas_offset;
+            if t == prev {
+                break;
+            }
+        }
+        t
+    }
+
+    /// The next scheduling decision, computed on demand and cached until
+    /// the queue or device state changes (a `push` or a service).
+    fn plan(&mut self) -> Option<&Plan> {
+        if self.plan_cache.is_none() {
+            self.plan_cache = self.compute_plan();
+        }
+        self.plan_cache.as_ref()
+    }
+
+    /// Computes the next scheduling decision from scratch.
+    fn compute_plan(&self) -> Option<Plan> {
+        let starts: Vec<u64> = self
+            .queue
+            .iter()
+            .map(|tx| self.earliest_start(tx))
+            .collect();
+        let t_min = *starts.iter().min()?;
+        // The issuable set: transactions achieving the earliest start.
+        let age_key = |i: usize| (self.queue[i].arrival_ps, self.queue[i].id);
+        let candidates: Vec<usize> = (0..self.queue.len())
+            .filter(|&i| starts[i] == t_min)
+            .collect();
+        let oldest_of = |set: &[usize]| set.iter().copied().min_by_key(|&i| age_key(i));
+        let pick = match self.policy {
+            SchedulePolicy::Fcfs => oldest_of(&candidates),
+            SchedulePolicy::FrFcfs { starvation_cap } => {
+                let starved: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.queue[i].bypassed >= starvation_cap)
+                    .collect();
+                if let Some(s) = oldest_of(&starved) {
+                    Some(s)
+                } else {
+                    let hits: Vec<usize> = candidates
+                        .iter()
+                        .copied()
+                        .filter(|&i| {
+                            let tx = &self.queue[i];
+                            let bank = tx.decoded.flat_bank(self.cfg.banks_per_group());
+                            self.engine.open_row(bank) == Some(tx.decoded.row)
+                        })
+                        .collect();
+                    oldest_of(&hits).or_else(|| oldest_of(&candidates))
+                }
+            }
+        };
+        pick.map(|i| Plan {
+            idx: i,
+            start_ps: t_min,
+            starts,
+        })
+    }
+
+    /// Performs one scheduling decision: selects a transaction per the
+    /// policy, executes it on its bank, records the ACT/CAS in the
+    /// inter-bank timing state and returns the completion. `None` when the
+    /// queue is empty.
+    pub fn service_next(&mut self) -> Option<Completion> {
+        self.plan()?;
+        let Plan {
+            idx,
+            start_ps: start,
+            starts,
+        } = self.plan_cache.take().expect("plan just computed");
+        let picked_key = (self.queue[idx].arrival_ps, self.queue[idx].id);
+        // Starvation accounting: every *issuable* older transaction that
+        // was passed over loses one unit of patience. (Transactions whose
+        // banks are busy are waiting on the device, not on the policy.)
+        for (i, tx) in self.queue.iter_mut().enumerate() {
+            if i != idx && starts[i] == start && (tx.arrival_ps, tx.id) < picked_key {
+                tx.bypassed += 1;
+            }
+        }
+        let tx = self.queue.remove(idx);
+        let outcome = self.engine.service_decoded(tx.decoded, tx.is_read, start);
+        debug_assert!(outcome.start_ps >= start, "engine may not start early");
+        // Record the commands for the rolling inter-bank windows. The CAS
+        // of a miss trails the ACT by tRP + tRCD.
+        let bg = tx.decoded.bank_group;
+        if !outcome.row_hit {
+            self.timing.record_act(outcome.start_ps, bg);
+        }
+        self.timing.record_cas(
+            outcome.start_ps
+                + if outcome.row_hit {
+                    0
+                } else {
+                    self.cfg.t_rp_ps + self.cfg.t_rcd_ps
+                },
+            bg,
+        );
+        self.clock_ps = outcome.start_ps;
+        Some(Completion {
+            core: tx.core,
+            arrival_ps: tx.arrival_ps,
+            start_ps: outcome.start_ps,
+            completion_ps: outcome.completion_ps,
+            row_hit: outcome.row_hit,
+        })
+    }
+
+    /// Finalises the run at `end_ps` (records elapsed REF events).
+    pub fn finish(&mut self, end_ps: u64) {
+        self.engine.finish(end_ps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel(policy: SchedulePolicy) -> Channel {
+        Channel::new(
+            SystemConfig::table6(),
+            MitigationScheme::Baseline,
+            policy,
+            AddressMapping::default(),
+            5,
+        )
+    }
+
+    fn req(ch: &Channel, bank: u32, row: u32, col: u32) -> Request {
+        Request {
+            addr: ch.decoder().encode_bank_row(bank, row, col),
+            is_read: true,
+            think_time_ps: 0,
+        }
+    }
+
+    fn drain(ch: &mut Channel) -> Vec<Completion> {
+        let mut out = Vec::new();
+        while let Some(c) = ch.service_next() {
+            out.push(c);
+        }
+        out
+    }
+
+    #[test]
+    fn frfcfs_serves_row_hit_before_older_miss() {
+        let cfg = SystemConfig::table6();
+        let mut ch = channel(SchedulePolicy::frfcfs());
+        let t0 = cfg.t_rfc_ps;
+        // Open row 10 on bank 0.
+        let r0 = req(&ch, 0, 10, 0);
+        ch.push(r0, 0, t0);
+        let first = ch.service_next().unwrap();
+        // Queue an older miss (row 99) and a younger hit (row 10) arriving
+        // at the same instant — queue order (id) makes the miss older.
+        let miss = req(&ch, 0, 99, 0);
+        let hit = req(&ch, 0, 10, 1);
+        ch.push(miss, 1, first.completion_ps);
+        ch.push(hit, 2, first.completion_ps);
+        let served = drain(&mut ch);
+        assert_eq!(served[0].core, 2, "the row hit jumps the queue");
+        assert!(served[0].row_hit);
+        assert_eq!(served[1].core, 1);
+        assert!(!served[1].row_hit);
+    }
+
+    #[test]
+    fn fcfs_serves_in_arrival_order() {
+        let cfg = SystemConfig::table6();
+        let mut ch = channel(SchedulePolicy::Fcfs);
+        let t0 = cfg.t_rfc_ps;
+        let r0 = req(&ch, 0, 10, 0);
+        ch.push(r0, 0, t0);
+        let first = ch.service_next().unwrap();
+        let miss = req(&ch, 0, 99, 0);
+        let hit = req(&ch, 0, 10, 1);
+        ch.push(miss, 1, first.completion_ps);
+        ch.push(hit, 2, first.completion_ps);
+        let served = drain(&mut ch);
+        assert_eq!(served[0].core, 1, "FCFS ignores the row buffer");
+        assert!(!served[0].row_hit);
+        assert!(!served[1].row_hit, "the miss closed the younger hit's row");
+    }
+
+    #[test]
+    fn starvation_cap_bounds_hit_bypassing() {
+        let cfg = SystemConfig::table6();
+        let cap = 3u32;
+        let mut ch = channel(SchedulePolicy::FrFcfs {
+            starvation_cap: cap,
+        });
+        let t0 = cfg.t_rfc_ps;
+        let r0 = req(&ch, 0, 10, 0);
+        ch.push(r0, 0, t0);
+        let first = ch.service_next().unwrap();
+        // One old miss stuck behind a stream of row hits; everything
+        // arrives at the same instant so the whole queue stays issuable
+        // and only the policy decides the order.
+        let t = first.completion_ps;
+        let miss = req(&ch, 0, 99, 0);
+        ch.push(miss, 9, t);
+        let mut order = Vec::new();
+        for k in 0..8u32 {
+            let hit = req(&ch, 0, 10, 1 + k);
+            ch.push(hit, k, t);
+            let c = ch.service_next().unwrap();
+            order.push(c.core);
+        }
+        order.extend(drain(&mut ch).iter().map(|c| c.core));
+        let miss_pos = order.iter().position(|&c| c == 9).unwrap();
+        assert!(
+            miss_pos <= cap as usize,
+            "the old miss must be force-served after {cap} bypasses, order {order:?}"
+        );
+    }
+
+    #[test]
+    fn inter_bank_act_spacing_is_enforced() {
+        let cfg = SystemConfig::table6();
+        // Same-group pair (banks 0 and 1, both group 0) pays tRRD_L…
+        let mut ch = channel(SchedulePolicy::Fcfs);
+        let t0 = cfg.t_rfc_ps;
+        let a = req(&ch, 0, 1, 0);
+        let b = req(&ch, 1, 1, 0);
+        ch.push(a, 0, t0);
+        ch.push(b, 1, t0);
+        let served = drain(&mut ch);
+        assert_eq!(served[1].start_ps - served[0].start_ps, cfg.t_rrd_l_ps);
+        // …a cross-group pair (banks 0 and 4, groups 0 and 1) only tRRD_S.
+        let mut ch = channel(SchedulePolicy::Fcfs);
+        let a = req(&ch, 0, 1, 0);
+        let c = req(&ch, 4, 1, 0);
+        ch.push(a, 0, t0);
+        ch.push(c, 1, t0);
+        let served = drain(&mut ch);
+        assert_eq!(served[1].start_ps - served[0].start_ps, cfg.t_rrd_s_ps);
+    }
+
+    #[test]
+    fn scheduler_prefers_the_earlier_cross_group_act() {
+        // With a same-group and a cross-group ACT both pending, the
+        // cross-group one can issue tRRD_S after the first ACT while the
+        // same-group one must wait tRRD_L — the earliest-startable rule
+        // harvests that bank-group parallelism automatically.
+        let cfg = SystemConfig::table6();
+        let mut ch = channel(SchedulePolicy::Fcfs);
+        let t0 = cfg.t_rfc_ps;
+        let a = req(&ch, 0, 1, 0);
+        let same_group = req(&ch, 1, 1, 0);
+        let cross_group = req(&ch, 4, 1, 0);
+        ch.push(a, 0, t0);
+        ch.push(same_group, 1, t0);
+        ch.push(cross_group, 2, t0);
+        let served = drain(&mut ch);
+        assert_eq!(
+            served.iter().map(|c| c.core).collect::<Vec<_>>(),
+            vec![0, 2, 1],
+            "the cross-group ACT overtakes the older same-group one"
+        );
+        assert_eq!(served[1].start_ps - served[0].start_ps, cfg.t_rrd_s_ps);
+    }
+
+    #[test]
+    fn faw_limits_act_bursts() {
+        let cfg = SystemConfig::table6();
+        let mut ch = channel(SchedulePolicy::Fcfs);
+        let t0 = cfg.t_rfc_ps;
+        // Five misses across five different bank groups.
+        for bank in [0u32, 4, 8, 12, 16] {
+            let r = req(&ch, bank, 1, 0);
+            ch.push(r, 0, t0);
+        }
+        let served = drain(&mut ch);
+        assert_eq!(
+            served[4].start_ps - served[0].start_ps,
+            cfg.t_faw_ps,
+            "the fifth ACT waits for the rolling four-activate window"
+        );
+    }
+
+    #[test]
+    fn starts_are_monotone() {
+        let cfg = SystemConfig::table6();
+        let mut ch = channel(SchedulePolicy::frfcfs());
+        let t0 = cfg.t_rfc_ps;
+        for i in 0..20u32 {
+            let r = req(&ch, i % 8, i % 3, 0);
+            ch.push(r, 0, t0 + u64::from(i));
+        }
+        let served = drain(&mut ch);
+        for w in served.windows(2) {
+            assert!(w[1].start_ps >= w[0].start_ps);
+        }
+    }
+
+    #[test]
+    fn queue_capacity_is_bounded() {
+        let cfg = SystemConfig {
+            queue_depth: 2,
+            ..SystemConfig::table6()
+        };
+        let mut ch = Channel::new(
+            cfg,
+            MitigationScheme::Baseline,
+            SchedulePolicy::frfcfs(),
+            AddressMapping::default(),
+            1,
+        );
+        let r = req(&ch, 0, 0, 0);
+        ch.push(r, 0, 0);
+        assert!(ch.has_room());
+        ch.push(r, 0, 0);
+        assert!(!ch.has_room());
+    }
+
+    #[test]
+    #[should_panic(expected = "transaction queue overflow")]
+    fn overflow_panics() {
+        let cfg = SystemConfig {
+            queue_depth: 1,
+            ..SystemConfig::table6()
+        };
+        let mut ch = Channel::new(
+            cfg,
+            MitigationScheme::Baseline,
+            SchedulePolicy::frfcfs(),
+            AddressMapping::default(),
+            1,
+        );
+        let r = req(&ch, 0, 0, 0);
+        ch.push(r, 0, 0);
+        ch.push(r, 0, 0);
+    }
+
+    #[test]
+    fn empty_queue_has_no_plan() {
+        let mut ch = channel(SchedulePolicy::frfcfs());
+        assert_eq!(ch.next_start_ps(), None);
+        assert_eq!(ch.service_next(), None);
+    }
+}

@@ -1,0 +1,253 @@
+//! Inter-bank timing constraints: tRRD_S/tRRD_L, tFAW and tCCD_S/tCCD_L.
+//!
+//! The per-bank state of the controller already serialises same-bank
+//! commands (tRC, hit/miss latencies, REF windows); this module layers the
+//! *cross-bank* DDR5 constraints on top:
+//!
+//! * **tRRD** — two ACTs anywhere in the channel must be at least
+//!   tRRD_S apart (tRRD_L when they hit the same bank group);
+//! * **tFAW** — any rolling tFAW window holds at most four ACTs;
+//! * **tCCD** — two CAS bursts must be at least tCCD_S apart
+//!   (tCCD_L within one bank group), which is what serialises the data
+//!   bus.
+//!
+//! [`TimingState`] is fed *chronologically* by the channel scheduler
+//! (which always issues the earliest-startable transaction, so command
+//! times are monotone) and answers "when may the next ACT/CAS go".
+
+use crate::config::SystemConfig;
+
+/// The inter-bank constraint set, in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterBankTiming {
+    /// ACT→ACT spacing across bank groups.
+    pub t_rrd_s_ps: u64,
+    /// ACT→ACT spacing within one bank group.
+    pub t_rrd_l_ps: u64,
+    /// Rolling four-activate window.
+    pub t_faw_ps: u64,
+    /// CAS→CAS spacing across bank groups.
+    pub t_ccd_s_ps: u64,
+    /// CAS→CAS spacing within one bank group.
+    pub t_ccd_l_ps: u64,
+}
+
+impl InterBankTiming {
+    /// The constraint set of a [`SystemConfig`].
+    #[must_use]
+    pub fn from_system(cfg: &SystemConfig) -> Self {
+        Self {
+            t_rrd_s_ps: cfg.t_rrd_s_ps,
+            t_rrd_l_ps: cfg.t_rrd_l_ps,
+            t_faw_ps: cfg.t_faw_ps,
+            t_ccd_s_ps: cfg.t_ccd_s_ps,
+            t_ccd_l_ps: cfg.t_ccd_l_ps,
+        }
+    }
+
+    /// A constraint set that never delays anything (for unit tests and
+    /// for modelling pre-DDR4 devices without bank groups).
+    #[must_use]
+    pub fn unconstrained() -> Self {
+        Self {
+            t_rrd_s_ps: 0,
+            t_rrd_l_ps: 0,
+            t_faw_ps: 0,
+            t_ccd_s_ps: 0,
+            t_ccd_l_ps: 0,
+        }
+    }
+}
+
+/// Rolling command history answering earliest-issue queries.
+#[derive(Debug, Clone)]
+pub struct TimingState {
+    t: InterBankTiming,
+    /// Issue times of the most recent four ACTs (ascending; tFAW window).
+    recent_acts: Vec<u64>,
+    /// Last ACT: time and bank group.
+    last_act: Option<(u64, u32)>,
+    /// Last CAS: time and bank group.
+    last_cas: Option<(u64, u32)>,
+}
+
+impl TimingState {
+    /// Fresh state (no command history) under the given constraints.
+    #[must_use]
+    pub fn new(t: InterBankTiming) -> Self {
+        Self {
+            t,
+            recent_acts: Vec::with_capacity(4),
+            last_act: None,
+            last_cas: None,
+        }
+    }
+
+    /// Earliest time an ACT to `bank_group` may issue.
+    #[must_use]
+    pub fn earliest_act(&self, bank_group: u32) -> u64 {
+        let mut earliest = 0;
+        if let Some((t_last, bg)) = self.last_act {
+            let rrd = if bg == bank_group {
+                self.t.t_rrd_l_ps
+            } else {
+                self.t.t_rrd_s_ps
+            };
+            earliest = earliest.max(t_last + rrd);
+        }
+        if self.recent_acts.len() == 4 {
+            // A fifth ACT must wait until the oldest of the last four
+            // falls out of the rolling tFAW window.
+            earliest = earliest.max(self.recent_acts[0] + self.t.t_faw_ps);
+        }
+        earliest
+    }
+
+    /// The earliest CAS slot at or after `desired_ps` for `bank_group`.
+    ///
+    /// CAS times are *not* monotone across scheduling decisions (a row
+    /// hit's CAS fires immediately, while the CAS of an earlier-issued
+    /// miss trails its ACT by tRP + tRCD), so the data bus is modelled as
+    /// an exclusion zone of ±tCCD around the latest CAS: a desired slot
+    /// clear of that zone — before or after — is granted as is; a
+    /// conflicting one is pushed past it.
+    #[must_use]
+    pub fn cas_slot(&self, desired_ps: u64, bank_group: u32) -> u64 {
+        match self.last_cas {
+            None => desired_ps,
+            Some((t_last, bg)) => {
+                let ccd = if bg == bank_group {
+                    self.t.t_ccd_l_ps
+                } else {
+                    self.t.t_ccd_s_ps
+                };
+                if desired_ps < t_last + ccd && desired_ps + ccd > t_last {
+                    t_last + ccd
+                } else {
+                    desired_ps
+                }
+            }
+        }
+    }
+
+    /// Records an ACT issued at `at_ps` to `bank_group`.
+    ///
+    /// The scheduler issues commands in chronological order; a debug
+    /// assertion pins that contract (the rolling-window bookkeeping relies
+    /// on it).
+    pub fn record_act(&mut self, at_ps: u64, bank_group: u32) {
+        debug_assert!(
+            self.last_act.map_or(true, |(t, _)| at_ps >= t),
+            "ACTs must be recorded chronologically"
+        );
+        if self.recent_acts.len() == 4 {
+            self.recent_acts.remove(0);
+        }
+        self.recent_acts.push(at_ps);
+        self.last_act = Some((at_ps, bank_group));
+    }
+
+    /// Records a CAS issued at `at_ps` to `bank_group`. Only the latest
+    /// CAS is kept (see [`cas_slot`](Self::cas_slot)): recording an
+    /// earlier CAS — a hit slotting in before a pending miss's CAS — does
+    /// not move the bus horizon backwards.
+    pub fn record_cas(&mut self, at_ps: u64, bank_group: u32) {
+        if self.last_cas.map_or(true, |(t, _)| at_ps >= t) {
+            self.last_cas = Some((at_ps, bank_group));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> InterBankTiming {
+        InterBankTiming::from_system(&SystemConfig::table6())
+    }
+
+    #[test]
+    fn fresh_state_never_delays() {
+        let s = TimingState::new(timing());
+        assert_eq!(s.earliest_act(0), 0);
+        assert_eq!(s.cas_slot(0, 0), 0);
+        assert_eq!(s.cas_slot(12_345, 3), 12_345);
+    }
+
+    #[test]
+    fn rrd_long_within_group_short_across() {
+        let t = timing();
+        let mut s = TimingState::new(t);
+        s.record_act(1_000_000, 3);
+        assert_eq!(s.earliest_act(3), 1_000_000 + t.t_rrd_l_ps);
+        assert_eq!(s.earliest_act(4), 1_000_000 + t.t_rrd_s_ps);
+    }
+
+    #[test]
+    fn faw_binds_the_fifth_act() {
+        let t = timing();
+        let mut s = TimingState::new(t);
+        // Four ACTs packed at the RRD_S rate across different groups.
+        for i in 0..4u64 {
+            s.record_act(i * t.t_rrd_s_ps, i as u32);
+        }
+        let fifth = s.earliest_act(5);
+        assert_eq!(fifth, t.t_faw_ps, "fifth ACT waits for the FAW window");
+        assert!(fifth > 3 * t.t_rrd_s_ps + t.t_rrd_s_ps);
+    }
+
+    #[test]
+    fn faw_window_rolls() {
+        let t = timing();
+        let mut s = TimingState::new(t);
+        for i in 0..4u64 {
+            s.record_act(i * t.t_rrd_s_ps, i as u32);
+        }
+        s.record_act(t.t_faw_ps, 4);
+        // The window now starts at the second ACT (t = tRRD_S), so the
+        // next ACT waits for exactly tRRD_S + tFAW — which also dominates
+        // the tRRD_S-after-last-ACT constraint (tFAW > 4·tRRD_S). An
+        // unevicted oldest ACT (stuck at t = 0) would yield only tFAW.
+        assert_eq!(s.earliest_act(7), t.t_rrd_s_ps + t.t_faw_ps);
+    }
+
+    #[test]
+    fn ccd_serialises_the_data_bus() {
+        let t = timing();
+        let mut s = TimingState::new(t);
+        s.record_cas(500_000, 2);
+        // A conflicting slot is pushed past the bus: tCCD_L within the
+        // group, tCCD_S across.
+        assert_eq!(s.cas_slot(500_000, 2), 500_000 + t.t_ccd_l_ps);
+        assert_eq!(s.cas_slot(500_000, 0), 500_000 + t.t_ccd_s_ps);
+        assert_eq!(s.cas_slot(499_000, 2), 500_000 + t.t_ccd_l_ps);
+        // Slots clear of the exclusion zone — before or after — pass.
+        assert_eq!(s.cas_slot(400_000, 2), 400_000);
+        assert_eq!(s.cas_slot(900_000, 2), 900_000);
+    }
+
+    #[test]
+    fn early_cas_does_not_rewind_the_bus() {
+        let t = timing();
+        let mut s = TimingState::new(t);
+        s.record_cas(500_000, 2);
+        s.record_cas(400_000, 1); // a hit slotting in before the miss's CAS
+        assert_eq!(
+            s.cas_slot(500_000, 2),
+            500_000 + t.t_ccd_l_ps,
+            "the bus horizon stays at the latest CAS"
+        );
+    }
+
+    #[test]
+    fn unconstrained_is_free() {
+        let mut s = TimingState::new(InterBankTiming::unconstrained());
+        for i in 0..10 {
+            s.record_act(i, 0);
+            s.record_cas(i, 0);
+        }
+        assert_eq!(s.earliest_act(0), 9);
+        assert_eq!(s.cas_slot(0, 0), 0);
+        assert_eq!(s.cas_slot(42, 0), 42);
+    }
+}

@@ -1,4 +1,6 @@
-//! Synthetic SPEC2017-rate-like workloads (DESIGN.md §2 substitution).
+//! Workload frontends: the [`RequestSource`] trait and its two
+//! implementations — synthetic SPEC2017-rate-like streams ([`CoreStream`],
+//! DESIGN.md §2 substitution) and text-trace replay ([`TraceSource`]).
 //!
 //! The paper drives Gem5 with 17 SPEC2017 rate workloads and 17 mixes. We
 //! cannot redistribute SPEC traces, so each workload is summarised by the
@@ -8,8 +10,16 @@
 //! memory characterisation studies; what matters for the reproduction is
 //! the *spread* (memory-bound lbm/mcf/bwaves vs compute-bound povray/x264),
 //! which is what makes the Fig 16/17 averages meaningful.
+//!
+//! For real access patterns, [`TraceSource`] replays plain-text traces
+//! (one request per line, see [`parse_trace`]) deterministically
+//! interleaved across cores, feeding the same channel pipeline as the
+//! synthetic streams.
 
+use crate::address::AddressDecoder;
 use mint_rng::{Rng64, SplitMix64};
+use std::fmt;
+use std::path::Path;
 
 /// A synthetic workload: the memory-behaviour summary of one SPEC-rate run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,46 +93,64 @@ pub fn mixes() -> Vec<[WorkloadSpec; 4]> {
         .collect()
 }
 
-/// One memory request produced by a core stream.
+/// One memory request produced by a frontend source: a physical byte
+/// address plus the compute gap preceding it. The channel's
+/// [`AddressDecoder`] slices the address into
+/// bank/row/column coordinates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
-    /// Bank index.
-    pub bank: u32,
-    /// Row within the bank.
-    pub row: u32,
+    /// Physical byte address of the accessed cache line.
+    pub addr: u64,
     /// Whether the request is a read.
     pub is_read: bool,
     /// Core compute time (ps) preceding this request.
     pub think_time_ps: u64,
 }
 
+/// Anything that can feed one core's LLC-miss stream into the channel:
+/// synthetic generators ([`CoreStream`]) and trace replay
+/// ([`TraceSource`]) implement this, so the controller pipeline is
+/// frontend-agnostic.
+pub trait RequestSource {
+    /// The next request, or `None` when the stream is exhausted
+    /// (synthetic streams never are; the runner bounds them by request
+    /// count).
+    fn next_request(&mut self) -> Option<Request>;
+}
+
 /// Generates the LLC-miss stream of one core running one workload.
 ///
 /// Requests alternate between row-buffer hits (same bank+row as the
-/// previous request, with probability `row_buffer_locality`) and fresh
-/// rows in random banks. Think time between misses follows the workload's
+/// previous request with probability `row_buffer_locality`, fresh column)
+/// and fresh rows in random banks, encoded to physical addresses with the
+/// channel's mapping. Think time between misses follows the workload's
 /// MPKI at the configured core IPC.
 #[derive(Debug, Clone)]
 pub struct CoreStream {
     spec: WorkloadSpec,
     rng: SplitMix64,
+    decoder: AddressDecoder,
     banks: u32,
     rows: u32,
+    columns: u32,
     think_ps: u64,
     last: Option<(u32, u32)>,
 }
 
 impl CoreStream {
-    /// Creates a stream for `spec`. `think_ps` is the compute time between
-    /// misses (derived from MPKI, IPC and clock by the caller).
+    /// Creates a stream for `spec`, encoding addresses with `decoder`.
+    /// `think_ps` is the compute time between misses (derived from MPKI,
+    /// IPC and clock by the caller).
     #[must_use]
-    pub fn new(spec: WorkloadSpec, banks: u32, rows: u32, think_ps: u64, seed: u64) -> Self {
-        assert!(banks > 0 && rows > 0, "need banks and rows");
+    pub fn new(spec: WorkloadSpec, decoder: AddressDecoder, think_ps: u64, seed: u64) -> Self {
+        let org = *decoder.org();
         Self {
             spec,
             rng: SplitMix64::new(seed),
-            banks,
-            rows,
+            decoder,
+            banks: org.bank_groups * org.banks_per_group,
+            rows: org.rows,
+            columns: org.columns,
             think_ps,
             last: None,
         }
@@ -133,9 +161,10 @@ impl CoreStream {
     pub fn spec(&self) -> &WorkloadSpec {
         &self.spec
     }
+}
 
-    /// Produces the next request.
-    pub fn next_request(&mut self) -> Request {
+impl RequestSource for CoreStream {
+    fn next_request(&mut self) -> Option<Request> {
         let reuse = self
             .last
             .filter(|_| self.rng.gen_bool(self.spec.row_buffer_locality));
@@ -145,18 +174,193 @@ impl CoreStream {
             (bank, row)
         });
         self.last = Some((bank, row));
-        Request {
-            bank,
-            row,
+        let column = self.rng.gen_range_u32(self.columns);
+        Some(Request {
+            addr: self.decoder.encode_bank_row(bank, row, column),
             is_read: self.rng.gen_bool(self.spec.read_fraction),
             think_time_ps: self.think_ps,
+        })
+    }
+}
+
+/// One parsed trace line: `<gap> <R|W> <addr>` — the number of core clock
+/// cycles of compute since the previous request of the trace, the request
+/// direction, and the physical byte address (hex with `0x` prefix, or
+/// decimal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Core cycles of compute preceding this request.
+    pub gap_cycles: u64,
+    /// Whether the request is a read.
+    pub is_read: bool,
+    /// Physical byte address.
+    pub addr: u64,
+}
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Parses a plain-text trace: one `<gap> <R|W> <addr>` triple per line.
+/// Blank lines and lines starting with `#` are ignored. Addresses accept
+/// `0x`-prefixed hex or decimal; `R`/`W` are case-insensitive.
+///
+/// # Errors
+///
+/// Returns the first malformed line (1-based) and why it failed.
+///
+/// # Examples
+///
+/// ```
+/// use mint_memsys::parse_trace;
+/// let t = parse_trace("# warmup\n100 R 0x1F40\n5 W 8000\n").unwrap();
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t[0].addr, 0x1F40);
+/// assert!(!t[1].is_read);
+/// ```
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEntry>, TraceParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
         }
+        let err = |reason: String| TraceParseError {
+            line: i + 1,
+            reason,
+        };
+        let mut parts = line.split_whitespace();
+        let (Some(gap), Some(rw), Some(addr)) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(err(format!("expected `<gap> <R|W> <addr>`, got {line:?}")));
+        };
+        if parts.next().is_some() {
+            return Err(err(format!("trailing fields after the triple: {line:?}")));
+        }
+        let gap_cycles: u64 = gap
+            .parse()
+            .map_err(|e| err(format!("bad gap {gap:?}: {e}")))?;
+        let is_read = match rw {
+            "R" | "r" => true,
+            "W" | "w" => false,
+            other => return Err(err(format!("bad direction {other:?} (want R or W)"))),
+        };
+        let addr = match addr.strip_prefix("0x").or_else(|| addr.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16)
+                .map_err(|e| err(format!("bad hex address {addr:?}: {e}")))?,
+            None => addr
+                .parse()
+                .map_err(|e| err(format!("bad address {addr:?}: {e}")))?,
+        };
+        out.push(TraceEntry {
+            gap_cycles,
+            is_read,
+            addr,
+        });
+    }
+    Ok(out)
+}
+
+/// Reads and parses a trace file (plain text; see [`parse_trace`]).
+///
+/// # Errors
+///
+/// Returns an I/O error for unreadable files and a boxed
+/// [`TraceParseError`] for malformed lines.
+pub fn read_trace_file(
+    path: impl AsRef<Path>,
+) -> Result<Vec<TraceEntry>, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(parse_trace(&text)?)
+}
+
+/// Replays a slice of trace entries as one core's request stream; built
+/// via [`TraceSource::split`], which deals a shared trace round-robin
+/// across cores (entry `i` goes to core `i % cores` — deterministic, so a
+/// replay is bit-identical no matter how the surrounding sweep is
+/// parallelised).
+#[derive(Debug, Clone)]
+pub struct TraceSource {
+    entries: Vec<TraceEntry>,
+    cycle_ps: u64,
+    pos: usize,
+}
+
+impl TraceSource {
+    /// A source replaying `entries` with gaps of `cycle_ps` per cycle.
+    #[must_use]
+    pub fn new(entries: Vec<TraceEntry>, cycle_ps: u64) -> Self {
+        Self {
+            entries,
+            cycle_ps,
+            pos: 0,
+        }
+    }
+
+    /// Deals `entries` round-robin across `cores` sources (entry `i` →
+    /// core `i % cores`), each converting gaps at `cycle_ps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    #[must_use]
+    pub fn split(entries: &[TraceEntry], cores: u32, cycle_ps: u64) -> Vec<TraceSource> {
+        assert!(cores > 0, "need at least one core");
+        (0..cores as usize)
+            .map(|c| {
+                TraceSource::new(
+                    entries
+                        .iter()
+                        .skip(c)
+                        .step_by(cores as usize)
+                        .copied()
+                        .collect(),
+                    cycle_ps,
+                )
+            })
+            .collect()
+    }
+
+    /// Entries remaining to replay.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.entries.len() - self.pos
+    }
+}
+
+impl RequestSource for TraceSource {
+    fn next_request(&mut self) -> Option<Request> {
+        let e = self.entries.get(self.pos)?;
+        self.pos += 1;
+        Some(Request {
+            addr: e.addr,
+            is_read: e.is_read,
+            think_time_ps: e.gap_cycles * self.cycle_ps,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::address::AddressMapping;
+    use crate::config::SystemConfig;
+
+    fn decoder() -> AddressDecoder {
+        AddressDecoder::new(&SystemConfig::table6(), AddressMapping::default())
+    }
 
     #[test]
     fn seventeen_rate_workloads() {
@@ -195,16 +399,19 @@ mod tests {
             row_buffer_locality: 0.9,
             read_fraction: 0.7,
         };
-        let mut s = CoreStream::new(spec, 32, 1024, 1000, 1);
+        let d = decoder();
+        let mut s = CoreStream::new(spec, d, 1000, 1);
         let mut hits = 0;
         let mut last = None;
         let n = 20_000;
         for _ in 0..n {
-            let r = s.next_request();
-            if last == Some((r.bank, r.row)) {
+            let r = s.next_request().unwrap();
+            let a = d.decode(r.addr);
+            let key = (a.flat_bank(d.org().banks_per_group), a.row);
+            if last == Some(key) {
                 hits += 1;
             }
-            last = Some((r.bank, r.row));
+            last = Some(key);
         }
         let rate = f64::from(hits) / f64::from(n);
         assert!((rate - 0.9).abs() < 0.02, "hit rate {rate}");
@@ -218,17 +425,35 @@ mod tests {
             row_buffer_locality: 0.0,
             read_fraction: 0.7,
         };
-        let mut s = CoreStream::new(spec, 32, 128 * 1024, 1000, 2);
+        let d = decoder();
+        let mut s = CoreStream::new(spec, d, 1000, 2);
         let mut last = None;
         let mut repeats = 0;
         for _ in 0..10_000 {
-            let r = s.next_request();
-            if last == Some((r.bank, r.row)) {
+            let r = s.next_request().unwrap();
+            let a = d.decode(r.addr);
+            let key = (a.flat_bank(d.org().banks_per_group), a.row);
+            if last == Some(key) {
                 repeats += 1;
             }
-            last = Some((r.bank, r.row));
+            last = Some(key);
         }
         assert!(repeats < 10, "{repeats}");
+    }
+
+    #[test]
+    fn stream_addresses_decode_in_range() {
+        let spec = spec_rate_workloads()[0];
+        let d = decoder();
+        let mut s = CoreStream::new(spec, d, 1000, 3);
+        let org = *d.org();
+        for _ in 0..1000 {
+            let r = s.next_request().unwrap();
+            let a = d.decode(r.addr);
+            assert!(a.flat_bank(org.banks_per_group) < org.bank_groups * org.banks_per_group);
+            assert!(a.row < org.rows);
+            assert!(a.column < org.columns);
+        }
     }
 
     #[test]
@@ -240,5 +465,68 @@ mod tests {
             read_fraction: 0.5,
         };
         assert!((w.instructions_per_miss() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_parses_comments_blanks_hex_and_decimal() {
+        let text = "# header\n\n10 R 0x40\n0 w 128\n   # indented comment\n7 r 0xFF40\n";
+        let t = parse_trace(text).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(
+            t[0],
+            TraceEntry {
+                gap_cycles: 10,
+                is_read: true,
+                addr: 0x40
+            }
+        );
+        assert_eq!(
+            t[1],
+            TraceEntry {
+                gap_cycles: 0,
+                is_read: false,
+                addr: 128
+            }
+        );
+        assert_eq!(t[2].addr, 0xFF40);
+    }
+
+    #[test]
+    fn trace_parse_errors_carry_line_numbers() {
+        for (text, line, needle) in [
+            ("10 R\n", 1, "expected"),
+            ("10 R 0x40\nfoo R 0x40\n", 2, "bad gap"),
+            ("10 X 0x40\n", 1, "bad direction"),
+            ("10 R 0xZZ\n", 1, "bad hex"),
+            ("10 R 12 34\n", 1, "trailing"),
+            ("10 R nope\n", 1, "bad address"),
+        ] {
+            let e = parse_trace(text).unwrap_err();
+            assert_eq!(e.line, line, "{text:?}");
+            assert!(e.reason.contains(needle), "{text:?} → {}", e.reason);
+            assert!(e.to_string().contains("trace line"));
+        }
+    }
+
+    #[test]
+    fn trace_split_interleaves_round_robin() {
+        let entries: Vec<TraceEntry> = (0..10)
+            .map(|i| TraceEntry {
+                gap_cycles: i,
+                is_read: true,
+                addr: i * 64,
+            })
+            .collect();
+        let mut sources = TraceSource::split(&entries, 4, 333);
+        assert_eq!(sources.len(), 4);
+        assert_eq!(sources[0].remaining(), 3); // entries 0, 4, 8
+        assert_eq!(sources[3].remaining(), 2); // entries 3, 7
+        let r = sources[1].next_request().unwrap();
+        assert_eq!(r.addr, 64);
+        assert_eq!(r.think_time_ps, 333);
+        let r = sources[1].next_request().unwrap();
+        assert_eq!(r.addr, 5 * 64);
+        assert_eq!(sources[1].next_request().unwrap().addr, 9 * 64);
+        assert_eq!(sources[1].next_request(), None);
     }
 }

@@ -11,8 +11,8 @@
 use mint_rh::exp::prop::{forall, usize_in};
 use mint_rh::memsys::workload::Request;
 use mint_rh::memsys::{
-    run_workload, run_workload_grid, spec_rate_workloads, MemoryController, MitigationScheme,
-    NormalizedPerf, SystemConfig, WorkloadSpec,
+    run_workload, run_workload_grid, spec_rate_workloads, AddressDecoder, AddressMapping,
+    MemoryController, MitigationScheme, NormalizedPerf, SystemConfig, WorkloadSpec,
 };
 
 /// Small enough for a quick grid, large enough to cross many tREFI
@@ -134,13 +134,13 @@ fn every_tracker_backed_scheme_mitigates_on_a_hammering_stream() {
             // alternating sweep; it is covered by its own unit tests.
             continue;
         }
+        let decoder = AddressDecoder::new(&cfg, AddressMapping::default());
         let mut m = MemoryController::new(cfg, scheme, 42);
         let mut t = cfg.t_rfc_ps;
         for i in 0..3000u32 {
             t = m.service(
                 Request {
-                    bank: 0,
-                    row: 1000 + (i % 2),
+                    addr: decoder.encode_bank_row(0, 1000 + (i % 2), 0),
                     is_read: true,
                     think_time_ps: 0,
                 },

@@ -1,0 +1,69 @@
+//! The checked-in sample trace (`examples/traces/sample100.trace`)
+//! replays deterministically through `TraceSource` and the command-level
+//! channel — the end-to-end contract of the trace frontend.
+
+use mint_rh::memsys::{
+    read_trace_file, run_trace, AddressMapping, MitigationScheme, NormalizedPerf, SchedulePolicy,
+    SystemConfig, TraceSource,
+};
+
+const SAMPLE: &str = "examples/traces/sample100.trace";
+
+fn replay(scheme: MitigationScheme, policy: SchedulePolicy, seed: u64) -> NormalizedPerf {
+    let entries = read_trace_file(SAMPLE).expect("sample trace parses");
+    run_trace(
+        &SystemConfig::table6(),
+        scheme,
+        policy,
+        AddressMapping::default(),
+        &entries,
+        seed,
+    )
+}
+
+#[test]
+fn sample_trace_has_one_hundred_requests() {
+    let entries = read_trace_file(SAMPLE).expect("sample trace parses");
+    assert_eq!(entries.len(), 100, "the checked-in sample is 100 requests");
+    // And it splits across the 4 Table VI cores without losing any.
+    let cfg = SystemConfig::table6();
+    let sources = TraceSource::split(&entries, cfg.cores, cfg.core_cycle_ps());
+    let dealt: usize = sources.iter().map(TraceSource::remaining).sum();
+    assert_eq!(dealt, 100);
+}
+
+#[test]
+fn sample_trace_replays_bit_identically() {
+    for policy in [SchedulePolicy::Fcfs, SchedulePolicy::frfcfs()] {
+        let a = replay(MitigationScheme::Mint, policy, 42);
+        let b = replay(MitigationScheme::Mint, policy, 42);
+        assert_eq!(a.duration_ps, b.duration_ps, "{}", policy.label());
+        assert_eq!(a.result, b.result, "{}", policy.label());
+        assert_eq!(a.result.requests, 100, "every entry serviced");
+    }
+}
+
+#[test]
+fn sample_trace_sees_mint_ride_refresh_time() {
+    // MINT mitigates inside the REF's tRFC: the trace finishes at the
+    // exact same picosecond as the unprotected Baseline, under either
+    // scheduler, while still producing mitigation work on the hammer tail.
+    for policy in [SchedulePolicy::Fcfs, SchedulePolicy::frfcfs()] {
+        let base = replay(MitigationScheme::Baseline, policy, 42);
+        let mint = replay(MitigationScheme::Mint, policy, 42);
+        assert_eq!(base.duration_ps, mint.duration_ps, "{}", policy.label());
+    }
+}
+
+#[test]
+fn sample_trace_streaming_phase_produces_row_hits() {
+    // Phase 1 of the sample walks 40 consecutive cache lines: under the
+    // row-interleaved default mapping most of those are row-buffer hits.
+    let perf = replay(MitigationScheme::Baseline, SchedulePolicy::frfcfs(), 42);
+    assert!(
+        perf.result.row_hits >= 30,
+        "streaming phase should hit the row buffer, got {}",
+        perf.result.row_hits
+    );
+    assert!(perf.result.writes > 0, "the sample mixes reads and writes");
+}
