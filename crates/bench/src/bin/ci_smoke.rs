@@ -1,5 +1,6 @@
-//! CI smoke: one tiny workload-grid cell through **both** schedulers,
-//! diffing determinism at jobs 1 vs 4.
+//! CI smoke: one tiny workload-grid cell through **both** schedulers plus
+//! a small red-team scheme × pattern grid, diffing determinism at jobs
+//! 1 vs 4.
 //!
 //! ```bash
 //! cargo run --release -p mint-bench --bin ci_smoke
@@ -10,10 +11,12 @@
 //! contract the whole `mint-exp` fan-out rests on, checked here in
 //! seconds instead of the full test suite's minutes.
 
+use mint_bench::redteam::patterns;
 use mint_memsys::{
     run_workload_grid_with, spec_rate_workloads, AddressMapping, MitigationScheme, NormalizedPerf,
     SchedulePolicy, SystemConfig,
 };
+use mint_redteam::{redteam_sweep, RedteamConfig, RedteamReport};
 
 fn tiny_grid(policy: SchedulePolicy) -> Vec<Vec<NormalizedPerf>> {
     let cfg = SystemConfig::table6();
@@ -33,6 +36,21 @@ fn tiny_grid(policy: SchedulePolicy) -> Vec<Vec<NormalizedPerf>> {
         &[[mcf; 4]],
         2_000,
         &[77],
+    )
+}
+
+/// A small scheme × pattern red-team grid (quick config, one scheme per
+/// backend family).
+fn tiny_redteam() -> RedteamReport {
+    let rc = RedteamConfig::quick();
+    redteam_sweep(
+        &rc,
+        &[
+            MitigationScheme::Baseline,
+            MitigationScheme::Mint,
+            MitigationScheme::McPara { p: 1.0 / 40.0 },
+        ],
+        &patterns(&rc),
     )
 }
 
@@ -75,5 +93,26 @@ fn main() {
             mint.result.row_hit_rate(),
         );
     }
-    println!("ci_smoke OK: both schedulers bit-identical at jobs 1 vs 4");
+    mint_exp::set_jobs(1);
+    let one = tiny_redteam();
+    mint_exp::set_jobs(4);
+    let four = tiny_redteam();
+    mint_exp::set_jobs(0);
+    assert_eq!(
+        one, four,
+        "redteam scheme x pattern grid differs between jobs 1 and 4"
+    );
+    let worst = one
+        .cells
+        .iter()
+        .max_by_key(|c| c.summary.max_hammers)
+        .expect("non-empty grid");
+    println!(
+        "redteam: jobs 1 == jobs 4 ({} cells, worst {} on {} reaching {} hammers)",
+        one.cells.len(),
+        worst.scheme_label,
+        worst.pattern,
+        worst.summary.max_hammers,
+    );
+    println!("ci_smoke OK: schedulers and redteam grid bit-identical at jobs 1 vs 4");
 }

@@ -1,0 +1,46 @@
+//! Mounts the red-team campaign on the command-level channel: every zoo
+//! scheme × every canonical worst-case pattern, judged by the
+//! ground-truth oracle against the TRH grid, plus per-scheme benign-core
+//! slowdown while core 0 hammers. Writes the machine-readable
+//! `BENCH_security.json` next to the human tables.
+//!
+//! ```bash
+//! cargo run --release -p mint-bench --bin figx_redteam [-- --jobs N]
+//! ```
+
+use mint_bench::redteam::{redteam_report, redteam_table, security_json};
+use mint_redteam::RedteamConfig;
+
+fn main() {
+    mint_exp::init_jobs_from_args();
+    let rc = RedteamConfig::default_sweep();
+    let report = redteam_report(&rc);
+    println!("{}", redteam_table(&report));
+    let escapes = rc
+        .trh_grid
+        .iter()
+        .filter(|&&t| report.any_escape_at(t))
+        .count();
+    let holds = rc
+        .trh_grid
+        .iter()
+        .filter(|&&t| report.any_positive_margin_at(t))
+        .count();
+    println!(
+        "redteam: {} cells, escapes at {escapes}/{} thresholds, positive margins at {holds}/{}",
+        report.cells.len(),
+        rc.trh_grid.len(),
+        rc.trh_grid.len(),
+    );
+    let json = security_json(&report, &rc);
+    let path = "BENCH_security.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            // The machine-readable artifact is this binary's contract:
+            // failing to produce it must fail the run (CI consumes it).
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -23,6 +23,7 @@
 pub mod ablation;
 pub mod params;
 pub mod perf;
+pub mod redteam;
 pub mod security;
 
 use mint_analysis::{MinTrhSolver, TargetMttf};

@@ -257,6 +257,10 @@ pub fn zoo_perf_summaries(requests_per_core: u32) -> Vec<SchemePerfSummary> {
 /// Renders zoo summaries as the machine-readable `BENCH_perf.json`
 /// payload: per-scheme slowdown and row-hit rate (plus the storage and
 /// traffic columns), with enough run metadata to interpret the numbers.
+/// Records are emitted in the order the summaries were built — for
+/// [`zoo_perf_summaries`] that is exactly [`MitigationScheme::zoo`]
+/// order, pinned by test so `BENCH_perf.json` diffs stay clean across
+/// refactors (a map-keyed rewrite would scramble them).
 /// Hand-rendered JSON — the workspace is dependency-free by design.
 #[must_use]
 pub fn perf_json(summaries: &[SchemePerfSummary], requests_per_core: u32) -> String {
@@ -441,6 +445,32 @@ mod tests {
         let table = tracker_zoo_table(&summaries);
         assert!(table.contains("Row-hit rate"));
         assert!(table.contains("MINT+RFM16"));
+    }
+
+    #[test]
+    fn perf_json_schemes_follow_zoo_order() {
+        // The machine-readable artifact must list schemes in the stable
+        // `MitigationScheme::zoo()` order — not in the order of some
+        // intermediate map — so BENCH_perf.json diffs are clean.
+        let summaries = zoo_perf_summaries(1_000);
+        let zoo = MitigationScheme::zoo();
+        assert_eq!(
+            summaries
+                .iter()
+                .map(|s| s.label.clone())
+                .collect::<Vec<_>>(),
+            zoo.iter().map(MitigationScheme::label).collect::<Vec<_>>(),
+            "summaries must come out in zoo order"
+        );
+        let json = perf_json(&summaries, 1_000);
+        let mut pos = 0;
+        for scheme in &zoo {
+            let needle = format!("\"scheme\": \"{}\"", scheme.label());
+            let at = json[pos..]
+                .find(&needle)
+                .unwrap_or_else(|| panic!("{} missing or out of zoo order", scheme.label()));
+            pos += at + needle.len();
+        }
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Red-team experiments: the scheme × pattern escape grid and
+//! performance-under-attack, end-to-end through the command-level channel.
+//!
+//! This is the cycle-level counterpart of the analytical security tables:
+//! every zoo scheme faces the paper's worst-case direct patterns mounted
+//! by `mint_redteam::AttackSource`, the `GroundTruthOracle` judges the
+//! attained hammer counts against a TRH grid, and a per-scheme co-run
+//! (core 0 hammering, the other cores running a benign workload) measures
+//! how much each scheme's mitigation machinery costs the *victims* — the
+//! DAPPER-style resilience axis. Rendered as a human table
+//! ([`redteam_table`]) and the machine-readable `BENCH_security.json`
+//! ([`security_json`]), both in [`MitigationScheme::zoo`] order so bench
+//! diffs stay clean.
+
+use crate::titled;
+use mint_analysis::textable::TexTable;
+use mint_attacks::{redteam_patterns, PatternSpec};
+use mint_memsys::backend::max_act_per_trefi;
+use mint_memsys::MitigationScheme;
+use mint_redteam::{redteam_sweep, RedteamConfig, RedteamReport};
+
+/// The canonical pattern grid for a config: the §V-D direct patterns from
+/// [`mint_attacks::redteam_patterns`], based at the config's base row.
+#[must_use]
+pub fn patterns(rc: &RedteamConfig) -> Vec<PatternSpec> {
+    redteam_patterns(
+        rc.base_row,
+        u32::try_from(max_act_per_trefi()).expect("MaxACT fits u32"),
+    )
+}
+
+/// Runs the full campaign for `rc`: every zoo scheme × every canonical
+/// pattern, plus per-scheme benign slowdown (zoo order throughout).
+#[must_use]
+pub fn redteam_report(rc: &RedteamConfig) -> RedteamReport {
+    redteam_sweep(rc, &MitigationScheme::zoo(), &patterns(rc))
+}
+
+/// Renders the campaign as the human-readable tables (escape grid +
+/// benign slowdown).
+#[must_use]
+pub fn redteam_table(report: &RedteamReport) -> String {
+    let mut header = vec!["Scheme".to_owned(), "Pattern".to_owned()];
+    header.push("ACTs".into());
+    header.push("MaxHammer".into());
+    for trh in &report.trh_grid {
+        header.push(format!("Margin@{trh}"));
+    }
+    header.push("VictimRefs".into());
+    header.push("RFM/DRFM".into());
+    let mut tab = TexTable::new(header);
+    for c in &report.cells {
+        let mut row = vec![
+            c.scheme_label.clone(),
+            c.pattern.to_owned(),
+            c.summary.demand_acts.to_string(),
+            c.summary.max_hammers.to_string(),
+        ];
+        for v in &c.verdicts {
+            row.push(if v.escaped {
+                format!("{} (ESCAPE x{})", v.margin_acts, v.escape_rows.len())
+            } else {
+                format!("{}", v.margin_acts)
+            });
+        }
+        row.push(c.summary.victim_refreshes.to_string());
+        row.push(format!(
+            "{}/{}",
+            c.summary.rfm_commands, c.summary.drfm_commands
+        ));
+        tab.row(row);
+    }
+    let escape_grid = titled(
+        "Red-team escape grid: ground-truth max hammer counts vs TRH \
+         (negative margin = the oracle saw rows cross the threshold)",
+        &tab.to_text(),
+    );
+
+    let mut slow = TexTable::new(vec![
+        "Scheme",
+        "Benign finish (ms)",
+        "Slowdown under attack",
+    ]);
+    for s in &report.slowdowns {
+        slow.row(vec![
+            s.scheme_label.clone(),
+            format!("{:.3}", s.benign_finish_ps as f64 / 1e9),
+            format!("{:.4}x", s.slowdown),
+        ]);
+    }
+    let slowdown = titled(
+        "Performance under attack: benign-core slowdown while core 0 hammers \
+         (1.0x = mitigation machinery costs the victims nothing)",
+        &slow.to_text(),
+    );
+    format!("{escape_grid}\n\n{slowdown}")
+}
+
+/// Renders the campaign as the machine-readable `BENCH_security.json`
+/// payload: scheme-major in zoo order, one record per pattern cell with
+/// its per-TRH verdicts, plus the per-scheme benign slowdown.
+/// Hand-rendered JSON — the workspace is dependency-free by design.
+#[must_use]
+pub fn security_json(report: &RedteamReport, rc: &RedteamConfig) -> String {
+    let first_trh = report.trh_grid.first().copied().unwrap_or(0);
+    let mut out = String::from("{\n");
+    out.push_str("  \"source\": \"figx_redteam\",\n");
+    out.push_str(&format!("  \"attack_refis\": {},\n", rc.attack_refis));
+    out.push_str(&format!("  \"corun_refis\": {},\n", rc.corun_refis));
+    out.push_str(&format!("  \"target_bank\": {},\n", rc.target_bank));
+    out.push_str(&format!(
+        "  \"trh_grid\": [{}],\n",
+        report
+            .trh_grid
+            .iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "  \"any_escape\": {},\n",
+        report.trh_grid.iter().any(|&t| report.any_escape_at(t))
+    ));
+    out.push_str(&format!(
+        "  \"any_positive_margin\": {},\n",
+        report
+            .trh_grid
+            .iter()
+            .any(|&t| report.any_positive_margin_at(t))
+    ));
+    out.push_str(&format!(
+        "  \"any_escape_at_device_trh\": {},\n",
+        report.any_escape_at(first_trh)
+    ));
+    out.push_str("  \"schemes\": [\n");
+    let mut scheme_rows = Vec::new();
+    for s in &report.slowdowns {
+        let mut rec = format!("    {{\"scheme\": \"{}\", \"cells\": [\n", s.scheme_label);
+        let cells: Vec<String> = report
+            .cells
+            .iter()
+            .filter(|c| c.scheme_label == s.scheme_label)
+            .map(|c| {
+                let verdicts: Vec<String> = c
+                    .verdicts
+                    .iter()
+                    .map(|v| {
+                        format!(
+                            "{{\"trh\": {}, \"escaped\": {}, \"margin_acts\": {}, \
+                             \"escape_rows\": {}, \"near_miss_rows\": {}}}",
+                            v.trh,
+                            v.escaped,
+                            v.margin_acts,
+                            v.escape_rows.len(),
+                            v.near_miss_rows.len(),
+                        )
+                    })
+                    .collect();
+                format!(
+                    "      {{\"pattern\": \"{}\", \"max_hammers\": {}, \"hottest_row\": {}, \
+                     \"demand_acts\": {}, \"victim_refreshes\": {}, \"rfm_commands\": {}, \
+                     \"drfm_commands\": {}, \"verdicts\": [{}]}}",
+                    c.pattern,
+                    c.summary.max_hammers,
+                    c.summary.hottest_row,
+                    c.summary.demand_acts,
+                    c.summary.victim_refreshes,
+                    c.summary.rfm_commands,
+                    c.summary.drfm_commands,
+                    verdicts.join(", "),
+                )
+            })
+            .collect();
+        rec.push_str(&cells.join(",\n"));
+        rec.push_str(&format!(
+            "\n    ], \"benign_slowdown_under_attack\": {:.6}, \"benign_finish_ps\": {}}}",
+            s.slowdown, s.benign_finish_ps
+        ));
+        scheme_rows.push(rec);
+    }
+    out.push_str(&scheme_rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// The `repro_all` entry: full campaign at bench scale, rendered tables.
+#[must_use]
+pub fn redteam() -> String {
+    redteam_table(&redteam_report(&RedteamConfig::default_sweep()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_report() -> (RedteamReport, RedteamConfig) {
+        let rc = RedteamConfig::quick();
+        // A scheme subset keeps the test in seconds while covering every
+        // backend family: none, in-DRAM, MC-sampling, MC-tracker, RFM.
+        let schemes = [
+            MitigationScheme::Baseline,
+            MitigationScheme::Mint,
+            MitigationScheme::MintRfm { rfm_th: 16 },
+            MitigationScheme::McPara { p: 1.0 / 40.0 },
+            MitigationScheme::Prct,
+        ];
+        let report = redteam_sweep(&rc, &schemes, &patterns(&rc));
+        (report, rc)
+    }
+
+    #[test]
+    fn grid_has_escapes_and_positive_margins() {
+        let (report, rc) = quick_report();
+        let low = rc.trh_grid[0];
+        assert!(
+            report.any_escape_at(low),
+            "the unmitigated baseline must escape TRH {low}"
+        );
+        assert!(
+            report.any_positive_margin_at(low),
+            "some scheme must hold TRH {low}"
+        );
+        // Baseline specifically escapes; PRCT specifically holds.
+        let base_p3 = report
+            .cells
+            .iter()
+            .find(|c| c.scheme_label == "Baseline" && c.pattern == "pattern-3")
+            .unwrap();
+        assert!(base_p3.verdicts[0].escaped);
+        let prct_p3 = report
+            .cells
+            .iter()
+            .find(|c| c.scheme_label == "PRCT" && c.pattern == "pattern-3")
+            .unwrap();
+        assert!(prct_p3.verdicts[0].margin_acts > 0);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_in_zoo_order() {
+        let (report, rc) = quick_report();
+        let json = security_json(&report, &rc);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+        assert!(json.contains("\"any_escape\": true"));
+        assert!(json.contains("\"any_positive_margin\": true"));
+        // Scheme records appear in the order the sweep ran them (zoo
+        // order when called through `redteam_report`).
+        let labels = ["Baseline", "MINT", "MINT+RFM16", "MC-PARA(1/40)", "PRCT"];
+        let mut pos = 0;
+        for l in labels {
+            let needle = format!("\"scheme\": \"{l}\"");
+            let at = json[pos..].find(&needle).unwrap_or_else(|| {
+                panic!("{l} missing or out of order");
+            });
+            pos += at + needle.len();
+        }
+        // One cell per pattern per scheme, each with the full TRH grid.
+        assert_eq!(
+            json.matches("\"pattern\": ").count(),
+            labels.len() * patterns(&rc).len()
+        );
+        assert_eq!(
+            json.matches("\"trh\": ").count(),
+            labels.len() * patterns(&rc).len() * rc.trh_grid.len()
+        );
+        // Every scheme carries its slowdown.
+        assert_eq!(
+            json.matches("benign_slowdown_under_attack").count(),
+            labels.len()
+        );
+    }
+
+    #[test]
+    fn table_renders_escapes_and_slowdowns() {
+        let (report, _) = quick_report();
+        let table = redteam_table(&report);
+        assert!(table.contains("ESCAPE"), "baseline escapes must be marked");
+        assert!(table.contains("Slowdown under attack"));
+        assert!(table.contains("pattern-2-multi"));
+    }
+
+    #[test]
+    fn drfm_heavy_schemes_slow_benign_cores_under_attack() {
+        // The attacker triggers MC-PARA DRFM storms in the shared
+        // channel; the benign cores must finish no earlier than under
+        // the baseline (and the baseline normalizes to exactly 1).
+        let (report, _) = quick_report();
+        assert!((report.slowdowns[0].slowdown - 1.0).abs() < 1e-12);
+        let para = report
+            .slowdowns
+            .iter()
+            .find(|s| s.scheme_label.starts_with("MC-PARA"))
+            .unwrap();
+        assert!(
+            para.slowdown >= 1.0,
+            "MC-PARA under attack cannot speed victims up: {}",
+            para.slowdown
+        );
+    }
+}

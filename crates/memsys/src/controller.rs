@@ -16,6 +16,7 @@
 use crate::address::{AddressDecoder, AddressMapping, DecodedAddr};
 use crate::backend::{refis_per_refw, MitigationBackend};
 use crate::config::{MitigationScheme, SystemConfig};
+use crate::events::MemEvent;
 use crate::workload::Request;
 use mint_core::{InDramTracker, MitigationDecision};
 use mint_dram::RowId;
@@ -116,6 +117,10 @@ pub struct MemoryController {
     banks: Vec<BankState>,
     rng: Xoshiro256StarStar,
     result: SimResult,
+    /// Executed-command log (service order); only fed when
+    /// [`enable_event_log`](Self::enable_event_log) was called.
+    events: Vec<MemEvent>,
+    log_events: bool,
 }
 
 /// The victims of `decision` that actually exist in a bank of `rows` rows
@@ -132,24 +137,50 @@ fn in_bank_victims(
         .filter(move |v| v.0 < rows)
 }
 
+/// Where the engine drops [`MemEvent`]s for one mitigation site: the
+/// shared log plus the gate and the (bank, time) coordinates every event
+/// of the site carries.
+struct EventSink<'a> {
+    events: &'a mut Vec<MemEvent>,
+    on: bool,
+    bank: u32,
+    at_ps: u64,
+}
+
+impl EventSink<'_> {
+    fn push(&mut self, event: MemEvent) {
+        if self.on {
+            self.events.push(event);
+        }
+    }
+}
+
 /// Performs a mitigation: charges one mitigative ACT per in-bank victim
 /// row and — when a tracker performs it — shows the tracker its own
 /// (otherwise silent) victim refreshes, which is what makes PRCT, Mithril
 /// and ProTRR immune to transitive attacks (§V-G). Every mitigation site
 /// (REF, RFM, in-DRAM proactive, Graphene DRFM, MC-PARA sampling) charges
-/// through here, so cost accounting cannot drift between them.
+/// through here, so cost accounting cannot drift between them — and every
+/// victim refresh lands in the event log as one
+/// [`MemEvent::MitigativeRefresh`].
 fn apply_mitigation(
     result: &mut SimResult,
     mut tracker: Option<&mut dyn InDramTracker>,
     decision: MitigationDecision,
     blast_radius: u32,
     rows: u32,
+    sink: &mut EventSink<'_>,
 ) {
     if decision.is_none() {
         return;
     }
     for v in in_bank_victims(decision, blast_radius, rows) {
         result.mitigative_acts += 1;
+        sink.push(MemEvent::MitigativeRefresh {
+            bank: sink.bank,
+            row: v.0,
+            at_ps: sink.at_ps,
+        });
         if let Some(t) = tracker.as_deref_mut() {
             t.on_mitigative_refresh(v);
         }
@@ -190,7 +221,23 @@ impl MemoryController {
             banks,
             rng,
             result: SimResult::default(),
+            events: Vec::new(),
+            log_events: false,
         }
+    }
+
+    /// Turns on the executed-command log ([`MemEvent`] per ACT/PRE/REF/
+    /// RFM/DRFM/victim-refresh, in service order). Off by default — the
+    /// perf sweeps pay nothing for the hook.
+    pub fn enable_event_log(&mut self) {
+        self.log_events = true;
+    }
+
+    /// Drains the executed-command log accumulated since the last drain
+    /// (empty unless [`enable_event_log`](Self::enable_event_log) was
+    /// called).
+    pub fn drain_events(&mut self) -> std::vec::Drain<'_, MemEvent> {
+        self.events.drain(..)
     }
 
     /// The statistics accumulated so far.
@@ -262,16 +309,40 @@ impl MemoryController {
         let current_ref = start / refi;
         if self.banks[bank].ref_cursor < current_ref {
             // REF is an all-bank precharge: the row buffer does not survive.
+            if self.banks[bank].open_row.is_some() && self.log_events {
+                self.events.push(MemEvent::Pre {
+                    bank: bank as u32,
+                    at_ps: (self.banks[bank].ref_cursor + 1) * refi,
+                });
+            }
             self.banks[bank].open_row = None;
         }
         while self.banks[bank].ref_cursor < current_ref {
             self.banks[bank].ref_cursor += 1;
             let b = &mut self.banks[bank];
+            let mut sink = EventSink {
+                events: &mut self.events,
+                on: self.log_events,
+                bank: bank as u32,
+                at_ps: b.ref_cursor * refi,
+            };
+            sink.push(MemEvent::Ref {
+                bank: bank as u32,
+                ref_index: b.ref_cursor,
+                at_ps: b.ref_cursor * refi,
+            });
             match &mut b.backend {
                 MitigationBackend::None | MitigationBackend::McSample { .. } => {}
                 MitigationBackend::InDram(tracker) => {
                     let d = tracker.on_refresh(&mut self.rng);
-                    apply_mitigation(&mut self.result, Some(tracker.as_mut()), d, blast, rows);
+                    apply_mitigation(
+                        &mut self.result,
+                        Some(tracker.as_mut()),
+                        d,
+                        blast,
+                        rows,
+                        &mut sink,
+                    );
                 }
                 MitigationBackend::McTracker(tracker) => {
                     // MC-side tables (Graphene) mitigate on threshold
@@ -329,7 +400,22 @@ impl MemoryController {
         let start0 = not_before_ps.max(self.banks[bank_idx].ready_at_ps);
         let start = self.align_with_refresh(bank_idx, start0);
 
-        let is_hit = self.banks[bank_idx].open_row == Some(row);
+        let prev_open = self.banks[bank_idx].open_row;
+        let is_hit = prev_open == Some(row);
+        if self.log_events && !is_hit {
+            if prev_open.is_some() {
+                // Row conflict: the miss precharges the old row first.
+                self.events.push(MemEvent::Pre {
+                    bank: bank_idx as u32,
+                    at_ps: start,
+                });
+            }
+            self.events.push(MemEvent::Act {
+                bank: bank_idx as u32,
+                row,
+                at_ps: start,
+            });
+        }
         let (latency, busy) = if is_hit {
             self.result.row_hits += 1;
             (self.cfg.hit_latency_ps(), self.cfg.hit_latency_ps())
@@ -351,6 +437,12 @@ impl MemoryController {
             let rows = self.cfg.rows_per_bank;
             let blast = self.cfg.blast_radius;
             let b = &mut self.banks[bank_idx];
+            let mut sink = EventSink {
+                events: &mut self.events,
+                on: self.log_events,
+                bank: bank_idx as u32,
+                at_ps: start,
+            };
             match &mut b.backend {
                 MitigationBackend::None => {}
                 MitigationBackend::InDram(tracker) => {
@@ -359,7 +451,14 @@ impl MemoryController {
                     // tracker volunteers a decision, it rides refresh time
                     // (no extra bank block).
                     if let Some(d) = tracker.on_activation(RowId(row), &mut self.rng) {
-                        apply_mitigation(&mut self.result, Some(tracker.as_mut()), d, blast, rows);
+                        apply_mitigation(
+                            &mut self.result,
+                            Some(tracker.as_mut()),
+                            d,
+                            blast,
+                            rows,
+                            &mut sink,
+                        );
                     }
                 }
                 MitigationBackend::McSample { p } => {
@@ -369,12 +468,17 @@ impl MemoryController {
                     let p = *p;
                     if self.rng.gen_bool(p) {
                         self.result.drfm_commands += 1;
+                        sink.push(MemEvent::Drfm {
+                            bank: bank_idx as u32,
+                            at_ps: start,
+                        });
                         apply_mitigation(
                             &mut self.result,
                             None,
                             MitigationDecision::Aggressor(RowId(row)),
                             blast,
                             rows,
+                            &mut sink,
                         );
                         ready += self.cfg.t_drfm_ps;
                         row_survives = false;
@@ -385,7 +489,18 @@ impl MemoryController {
                     // threshold crossing issues a DRFM-priced mitigation.
                     if let Some(d) = tracker.on_activation(RowId(row), &mut self.rng) {
                         self.result.drfm_commands += 1;
-                        apply_mitigation(&mut self.result, Some(tracker.as_mut()), d, blast, rows);
+                        sink.push(MemEvent::Drfm {
+                            bank: bank_idx as u32,
+                            at_ps: start,
+                        });
+                        apply_mitigation(
+                            &mut self.result,
+                            Some(tracker.as_mut()),
+                            d,
+                            blast,
+                            rows,
+                            &mut sink,
+                        );
                         ready += self.cfg.t_drfm_ps;
                         row_survives = false;
                     }
@@ -401,9 +516,26 @@ impl MemoryController {
                 if b.raa >= rfm_th {
                     b.raa = 0;
                     self.result.rfm_commands += 1;
+                    let mut sink = EventSink {
+                        events: &mut self.events,
+                        on: self.log_events,
+                        bank: bank_idx as u32,
+                        at_ps: start,
+                    };
+                    sink.push(MemEvent::Rfm {
+                        bank: bank_idx as u32,
+                        at_ps: start,
+                    });
                     if let MitigationBackend::InDram(tracker) = &mut b.backend {
                         let d = tracker.on_refresh(&mut self.rng);
-                        apply_mitigation(&mut self.result, Some(tracker.as_mut()), d, blast, rows);
+                        apply_mitigation(
+                            &mut self.result,
+                            Some(tracker.as_mut()),
+                            d,
+                            blast,
+                            rows,
+                            &mut sink,
+                        );
                     }
                     ready += self.cfg.t_rfm_ps;
                     row_survives = false;
@@ -411,6 +543,13 @@ impl MemoryController {
             }
         }
 
+        if !row_survives && self.log_events {
+            // The mitigation command behind the ACT precharges the bank.
+            self.events.push(MemEvent::Pre {
+                bank: bank_idx as u32,
+                at_ps: ready,
+            });
+        }
         let bank = &mut self.banks[bank_idx];
         bank.open_row = if row_survives { Some(row) } else { None };
         bank.ready_at_ps = ready;
@@ -767,6 +906,85 @@ mod tests {
         assert_eq!(m.result().refs, 2 * banks);
         m.finish(10 * cfg.t_refi_ps + 1);
         assert_eq!(m.result().refs, 11 * banks);
+    }
+
+    #[test]
+    fn event_log_is_off_by_default_and_complete_when_on() {
+        let cfg = SystemConfig::table6();
+        let mut silent = mc(MitigationScheme::Mint);
+        let _ = silent.service(req(0, 10), cfg.t_rfc_ps);
+        assert_eq!(silent.drain_events().count(), 0, "log off by default");
+
+        let mut m = mc(MitigationScheme::Mint);
+        m.enable_event_log();
+        // One miss per tREFI across several boundaries: every demand ACT
+        // and every crossed REF must appear, in service order.
+        let mut t = cfg.t_rfc_ps;
+        let mut acts = 0u64;
+        let mut refs = 0u64;
+        for i in 0..40u32 {
+            t = m.service(req(0, i), t);
+            for e in m.drain_events() {
+                match e {
+                    MemEvent::Act { bank, row, .. } => {
+                        assert_eq!(bank, 0);
+                        assert_eq!(row, i);
+                        acts += 1;
+                    }
+                    MemEvent::Ref { bank, .. } => {
+                        assert_eq!(bank, 0);
+                        refs += 1;
+                    }
+                    MemEvent::Pre { .. } | MemEvent::MitigativeRefresh { .. } => {}
+                    other => panic!("unexpected event {other:?} under MINT"),
+                }
+            }
+        }
+        assert_eq!(acts, 40, "one ACT event per demand miss");
+        assert_eq!(refs, t / cfg.t_refi_ps, "one REF event per crossed tREFI");
+    }
+
+    #[test]
+    fn mitigation_events_name_every_victim() {
+        // MC-PARA at p = 1: every ACT gets a DRFM whose two victim
+        // refreshes are logged, followed by the mitigation's precharge.
+        let cfg = SystemConfig::table6();
+        let mut m = mc(MitigationScheme::McPara { p: 1.0 });
+        m.enable_event_log();
+        let _ = m.service(req(0, 500), cfg.t_rfc_ps);
+        let events: Vec<MemEvent> = m.drain_events().collect();
+        assert!(matches!(events[0], MemEvent::Act { row: 500, .. }));
+        assert!(matches!(events[1], MemEvent::Drfm { bank: 0, .. }));
+        assert!(matches!(
+            events[2],
+            MemEvent::MitigativeRefresh { row: 499, .. }
+        ));
+        assert!(matches!(
+            events[3],
+            MemEvent::MitigativeRefresh { row: 501, .. }
+        ));
+        assert!(matches!(events[4], MemEvent::Pre { .. }));
+        assert_eq!(events.len(), 5);
+    }
+
+    #[test]
+    fn rfm_events_are_logged() {
+        let cfg = SystemConfig::table6();
+        let mut m = mc(MitigationScheme::MintRfm { rfm_th: 1 });
+        m.enable_event_log();
+        let t = m.service(req(0, 10), cfg.t_rfc_ps);
+        let _ = m.service(req(0, 11), t);
+        let events: Vec<MemEvent> = m.drain_events().collect();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, MemEvent::Rfm { bank: 0, .. })),
+            "RFM_TH = 1 must log an RFM command: {events:?}"
+        );
+        assert!(
+            events.iter().any(|e| matches!(e, MemEvent::Pre { .. })),
+            "the RFM precharges the bank"
+        );
     }
 
     #[test]

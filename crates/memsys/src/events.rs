@@ -1,0 +1,153 @@
+//! Command-level event hooks: what the channel actually did, as a
+//! deterministic event stream observers can ride.
+//!
+//! The per-bank engine ([`MemoryController`](crate::MemoryController))
+//! records one [`MemEvent`] per device command it executes — demand ACTs,
+//! precharges, elapsed REF boundaries, RFM/DRFM mitigation commands and
+//! every individual victim-refresh activation — into a log that is **off by
+//! default** (the perf sweeps pay nothing for it). The
+//! [`Channel`](crate::Channel) forwards the gate and the drain, and the
+//! runner's [`run_sources_observed`](crate::run_sources_observed) pumps the
+//! drained events into a [`ChannelObserver`] after every scheduling
+//! decision, in service order — so an observer sees exactly the command
+//! sequence the device executed, bit-identically for any worker count.
+//!
+//! This is the ground-truth tap the `mint-redteam` escape oracle hangs off:
+//! an observer that replays the event stream against an exact per-row
+//! hammer-count model can state, post-run, whether any row crossed a given
+//! Rowhammer threshold — closing the loop between the analytical security
+//! bounds and the cycle-level performance pipeline.
+
+/// One device-level command executed by the channel.
+///
+/// Times are picoseconds on the channel's clock. `bank` is always the flat
+/// bank index (`bank_group × banks_per_group + bank`), matching
+/// [`DecodedAddr::flat_bank`](crate::DecodedAddr::flat_bank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemEvent {
+    /// A demand activation: `row` opened in `bank` (a row miss).
+    Act {
+        /// Flat bank index.
+        bank: u32,
+        /// Activated row.
+        row: u32,
+        /// When the bank began the activation.
+        at_ps: u64,
+    },
+    /// A precharge closing `bank`'s open row (row conflict, REF boundary,
+    /// or a mitigation command behind the ACT).
+    Pre {
+        /// Flat bank index.
+        bank: u32,
+        /// When the row buffer closed.
+        at_ps: u64,
+    },
+    /// An all-bank REF boundary this bank crossed; `ref_index` counts
+    /// boundaries from t = 0 (the boundary at `k·tREFI` has index `k`).
+    Ref {
+        /// Flat bank index.
+        bank: u32,
+        /// 1-based REF boundary index (`at_ps / tREFI`).
+        ref_index: u64,
+        /// The boundary time (`ref_index × tREFI`).
+        at_ps: u64,
+    },
+    /// An RFM command blocking `bank` (MINT+RFM threshold crossing).
+    Rfm {
+        /// Flat bank index.
+        bank: u32,
+        /// When the command was issued.
+        at_ps: u64,
+    },
+    /// A directed-RFM command blocking `bank` (MC-PARA sample or Graphene
+    /// threshold crossing).
+    Drfm {
+        /// Flat bank index.
+        bank: u32,
+        /// When the command was issued.
+        at_ps: u64,
+    },
+    /// One victim-refresh activation performed as part of a mitigation:
+    /// `row` was refreshed (clearing its disturbance) — and, being an
+    /// activation, it silently hammers *its* neighbours.
+    MitigativeRefresh {
+        /// Flat bank index.
+        bank: u32,
+        /// The refreshed victim row.
+        row: u32,
+        /// When the mitigation fired.
+        at_ps: u64,
+    },
+}
+
+impl MemEvent {
+    /// The flat bank the event happened on.
+    #[must_use]
+    pub fn bank(&self) -> u32 {
+        match *self {
+            MemEvent::Act { bank, .. }
+            | MemEvent::Pre { bank, .. }
+            | MemEvent::Ref { bank, .. }
+            | MemEvent::Rfm { bank, .. }
+            | MemEvent::Drfm { bank, .. }
+            | MemEvent::MitigativeRefresh { bank, .. } => bank,
+        }
+    }
+
+    /// The event's timestamp (ps).
+    #[must_use]
+    pub fn at_ps(&self) -> u64 {
+        match *self {
+            MemEvent::Act { at_ps, .. }
+            | MemEvent::Pre { at_ps, .. }
+            | MemEvent::Ref { at_ps, .. }
+            | MemEvent::Rfm { at_ps, .. }
+            | MemEvent::Drfm { at_ps, .. }
+            | MemEvent::MitigativeRefresh { at_ps, .. } => at_ps,
+        }
+    }
+}
+
+/// Anything that wants to ride the channel's command stream: security
+/// oracles, command-trace dumpers, custom statistics.
+///
+/// Events arrive in service order (the order the engine executed them),
+/// which is deterministic for a given run — observers need no
+/// synchronisation and can keep exact state.
+pub trait ChannelObserver {
+    /// One executed device command.
+    fn on_event(&mut self, event: &MemEvent);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_every_variant() {
+        let events = [
+            MemEvent::Act {
+                bank: 1,
+                row: 2,
+                at_ps: 10,
+            },
+            MemEvent::Pre { bank: 2, at_ps: 20 },
+            MemEvent::Ref {
+                bank: 3,
+                ref_index: 1,
+                at_ps: 30,
+            },
+            MemEvent::Rfm { bank: 4, at_ps: 40 },
+            MemEvent::Drfm { bank: 5, at_ps: 50 },
+            MemEvent::MitigativeRefresh {
+                bank: 6,
+                row: 9,
+                at_ps: 60,
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.bank(), i as u32 + 1);
+            assert_eq!(e.at_ps(), (i as u64 + 1) * 10);
+        }
+    }
+}

@@ -39,6 +39,7 @@ pub mod backend;
 pub mod config;
 pub mod controller;
 pub mod energy;
+pub mod events;
 pub mod runner;
 pub mod sched;
 pub mod timing;
@@ -49,9 +50,10 @@ pub use backend::MitigationBackend;
 pub use config::{MitigationScheme, SystemConfig};
 pub use controller::{MemoryController, ServiceOutcome, SimResult};
 pub use energy::{EnergyModel, EnergyReport};
+pub use events::{ChannelObserver, MemEvent};
 pub use runner::{
-    run_trace, run_workload, run_workload_grid, run_workload_grid_with, run_workload_with,
-    think_time_ps, NormalizedPerf,
+    run_sources_observed, run_trace, run_workload, run_workload_grid, run_workload_grid_with,
+    run_workload_with, think_time_ps, CoreOutcome, NormalizedPerf, ObservedRun,
 };
 pub use sched::{Channel, Completion, SchedulePolicy};
 pub use timing::{InterBankTiming, TimingState};

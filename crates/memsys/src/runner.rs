@@ -13,6 +13,7 @@
 use crate::address::AddressMapping;
 use crate::config::{MitigationScheme, SystemConfig};
 use crate::controller::SimResult;
+use crate::events::ChannelObserver;
 use crate::sched::{Channel, SchedulePolicy};
 use crate::workload::{CoreStream, Request, RequestSource, TraceEntry, TraceSource, WorkloadSpec};
 use mint_rng::derive_seed;
@@ -38,6 +39,28 @@ impl NormalizedPerf {
     }
 }
 
+/// What one core did over an observed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreOutcome {
+    /// Completion time of the core's last serviced request (0 if it never
+    /// issued).
+    pub finish_ps: u64,
+    /// Requests the channel serviced for this core.
+    pub requests: u64,
+}
+
+/// Outcome of [`run_sources_observed`]: the aggregate perf plus per-core
+/// breakdown (which cores an attacker starved, when each benign stream
+/// finished).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedRun {
+    /// The aggregate result (same shape as every other runner entry
+    /// point).
+    pub perf: NormalizedPerf,
+    /// One outcome per request source, in source order.
+    pub cores: Vec<CoreOutcome>,
+}
+
 /// Compute time between LLC misses for `spec` on a core of `cfg`:
 /// instructions-per-miss ÷ IPC, in ps, rounded to nearest (the old
 /// truncating cast shaved up to a full cycle off every gap, biasing
@@ -58,6 +81,8 @@ struct CoreCtx<'a> {
     remaining: Option<u32>,
     /// Completion time of the core's last serviced request.
     finish: u64,
+    /// Requests the channel serviced for this core.
+    serviced: u64,
 }
 
 impl CoreCtx<'_> {
@@ -70,7 +95,7 @@ impl CoreCtx<'_> {
             Some(n) => *n -= 1,
             None => {}
         }
-        if let Some(req) = self.source.next_request() {
+        if let Some(req) = self.source.next_request_at(self.ready_at) {
             let issue = self.ready_at + req.think_time_ps;
             self.pending = Some((req, issue));
         }
@@ -78,7 +103,9 @@ impl CoreCtx<'_> {
 }
 
 /// Drives `sources` (one per core) through a fresh channel until every
-/// source is exhausted or has issued its per-core budget.
+/// source is exhausted or has issued its per-core budget; drained command
+/// events go to `observer` (if any) after every scheduling decision.
+#[allow(clippy::too_many_arguments)]
 fn drive(
     cfg: &SystemConfig,
     scheme: MitigationScheme,
@@ -87,8 +114,12 @@ fn drive(
     sources: Vec<Box<dyn RequestSource + '_>>,
     per_core_budget: Option<u32>,
     seed: u64,
-) -> NormalizedPerf {
+    mut observer: Option<&mut dyn ChannelObserver>,
+) -> ObservedRun {
     let mut channel = Channel::new(*cfg, scheme, policy, mapping, derive_seed(seed, 0xC0));
+    if observer.is_some() {
+        channel.enable_event_log();
+    }
     let mlp = u64::from(cfg.core_mlp).max(1);
     let mut cores: Vec<CoreCtx> = sources
         .into_iter()
@@ -99,6 +130,7 @@ fn drive(
                 ready_at: 0,
                 remaining: per_core_budget,
                 finish: 0,
+                serviced: 0,
             };
             c.fetch();
             c
@@ -126,12 +158,18 @@ fn drive(
             }
             _ => {
                 let c = channel.service_next().expect("queue is non-empty");
+                if let Some(obs) = observer.as_deref_mut() {
+                    for e in channel.drain_events() {
+                        obs.on_event(&e);
+                    }
+                }
                 let core = &mut cores[c.core as usize];
                 // Blocking-miss core with an MLP overlap factor: the core
                 // absorbs 1/MLP of the memory stall.
                 let stall = (c.completion_ps - c.arrival_ps) / mlp;
                 core.ready_at = c.arrival_ps + stall;
                 core.finish = core.finish.max(c.completion_ps);
+                core.serviced += 1;
                 core.fetch();
             }
         }
@@ -139,11 +177,54 @@ fn drive(
 
     let duration = cores.iter().map(|c| c.finish).max().unwrap_or(0);
     channel.finish(duration);
-    NormalizedPerf {
-        duration_ps: duration,
-        result: channel.result(),
-        normalized: 1.0,
+    ObservedRun {
+        perf: NormalizedPerf {
+            duration_ps: duration,
+            result: channel.result(),
+            normalized: 1.0,
+        },
+        cores: cores
+            .iter()
+            .map(|c| CoreOutcome {
+                finish_ps: c.finish,
+                requests: c.serviced,
+            })
+            .collect(),
     }
+}
+
+/// Drives arbitrary [`RequestSource`]s (one per core, any count) through a
+/// fresh channel, optionally feeding every executed device command to a
+/// [`ChannelObserver`] — the entry point for attacker/victim co-runs and
+/// ground-truth security oracles (`mint-redteam`).
+///
+/// `per_core_budget` caps each source's requests (`None` = run every
+/// source dry; at least one source must be finite then). Events reach the
+/// observer in service order, so runs are bit-deterministic for a given
+/// `(cfg, scheme, policy, mapping, sources, seed)` regardless of how the
+/// surrounding sweep is parallelised.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn run_sources_observed(
+    cfg: &SystemConfig,
+    scheme: MitigationScheme,
+    policy: SchedulePolicy,
+    mapping: AddressMapping,
+    sources: Vec<Box<dyn RequestSource + '_>>,
+    per_core_budget: Option<u32>,
+    seed: u64,
+    observer: Option<&mut dyn ChannelObserver>,
+) -> ObservedRun {
+    drive(
+        cfg,
+        scheme,
+        policy,
+        mapping,
+        sources,
+        per_core_budget,
+        seed,
+        observer,
+    )
 }
 
 /// Runs a 4-core workload (one [`WorkloadSpec`] per core) for
@@ -194,7 +275,9 @@ pub fn run_workload_with(
         sources,
         Some(requests_per_core),
         seed,
+        None,
     )
+    .perf
 }
 
 /// [`run_workload_with`] at the production defaults (FR-FCFS, row-
@@ -241,7 +324,7 @@ pub fn run_trace(
             .into_iter()
             .map(|s| Box::new(s) as Box<dyn RequestSource>)
             .collect();
-    drive(cfg, scheme, policy, mapping, sources, None, seed)
+    drive(cfg, scheme, policy, mapping, sources, None, seed, None).perf
 }
 
 /// Runs every `(workload, scheme)` pair through the `mint-exp` sweep

@@ -167,6 +167,20 @@ impl Channel {
         self.engine.result()
     }
 
+    /// Turns on the per-bank engine's executed-command log (see
+    /// [`MemoryController::enable_event_log`]); events accumulate in
+    /// service order and are read back with
+    /// [`drain_events`](Self::drain_events).
+    pub fn enable_event_log(&mut self) {
+        self.engine.enable_event_log();
+    }
+
+    /// Drains the executed-command events accumulated since the last
+    /// drain (empty unless the log was enabled).
+    pub fn drain_events(&mut self) -> std::vec::Drain<'_, crate::events::MemEvent> {
+        self.engine.drain_events()
+    }
+
     /// Queued (not yet serviced) transactions.
     #[must_use]
     pub fn pending(&self) -> usize {

@@ -116,6 +116,19 @@ pub trait RequestSource {
     /// (synthetic streams never are; the runner bounds them by request
     /// count).
     fn next_request(&mut self) -> Option<Request>;
+
+    /// The next request, told when the issuing core is ready
+    /// (`ready_at_ps`). The runner issues the returned request at
+    /// `ready_at_ps + think_time_ps`, so a source that wants its request
+    /// on the bus at an *absolute* time `T` can override this and return
+    /// `think_time_ps = T.saturating_sub(ready_at_ps)` — which is how
+    /// `mint-redteam`'s `AttackSource` pins activations to tREFI slots
+    /// without drifting on memory stalls. The default ignores the hint
+    /// (gap-based sources pace relatively).
+    fn next_request_at(&mut self, ready_at_ps: u64) -> Option<Request> {
+        let _ = ready_at_ps;
+        self.next_request()
+    }
 }
 
 /// Generates the LLC-miss stream of one core running one workload.
@@ -215,18 +228,20 @@ impl fmt::Display for TraceParseError {
 impl std::error::Error for TraceParseError {}
 
 /// Parses a plain-text trace: one `<gap> <R|W> <addr>` triple per line.
-/// Blank lines and lines starting with `#` are ignored. Addresses accept
+/// Blank lines and `#` comments — whole-line or trailing (everything from
+/// the first `#` to end of line) — are ignored. Addresses accept
 /// `0x`-prefixed hex or decimal; `R`/`W` are case-insensitive.
 ///
 /// # Errors
 ///
-/// Returns the first malformed line (1-based) and why it failed.
+/// Returns the first malformed line (1-based, counting blank/comment
+/// lines) and why it failed.
 ///
 /// # Examples
 ///
 /// ```
 /// use mint_memsys::parse_trace;
-/// let t = parse_trace("# warmup\n100 R 0x1F40\n5 W 8000\n").unwrap();
+/// let t = parse_trace("# warmup\n100 R 0x1F40  # hammer row\n5 W 8000\n").unwrap();
 /// assert_eq!(t.len(), 2);
 /// assert_eq!(t[0].addr, 0x1F40);
 /// assert!(!t[1].is_read);
@@ -234,8 +249,10 @@ impl std::error::Error for TraceParseError {}
 pub fn parse_trace(text: &str) -> Result<Vec<TraceEntry>, TraceParseError> {
     let mut out = Vec::new();
     for (i, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
+        // Strip a trailing comment first so `10 R 0x40  # note` parses;
+        // a whole-line comment reduces to the empty string below.
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
             continue;
         }
         let err = |reason: String| TraceParseError {
@@ -472,6 +489,12 @@ mod tests {
         let text = "# header\n\n10 R 0x40\n0 w 128\n   # indented comment\n7 r 0xFF40\n";
         let t = parse_trace(text).unwrap();
         assert_eq!(t.len(), 3);
+        let inline =
+            parse_trace("10 R 0x40 # hammer the aggressor\n0 w 128# no space needed\n").unwrap();
+        assert_eq!(inline.len(), 2);
+        assert_eq!(inline[0].addr, 0x40);
+        assert_eq!(inline[1].addr, 128);
+        assert!(!inline[1].is_read);
         assert_eq!(
             t[0],
             TraceEntry {
@@ -500,6 +523,14 @@ mod tests {
             ("10 R 0xZZ\n", 1, "bad hex"),
             ("10 R 12 34\n", 1, "trailing"),
             ("10 R nope\n", 1, "bad address"),
+            // Comment and blank lines still count towards line numbers,
+            // and a trailing comment never hides the malformed triple.
+            (
+                "# header\n\n10 R 0x40 # fine\nfoo R 0x40 # boom\n",
+                4,
+                "bad gap",
+            ),
+            ("10 R # address swallowed by the comment\n", 1, "expected"),
         ] {
             let e = parse_trace(text).unwrap_err();
             assert_eq!(e.line, line, "{text:?}");

@@ -1,0 +1,388 @@
+//! The ground-truth escape oracle: exact per-row disturbance accounting
+//! over the channel's executed-command event stream.
+
+use mint_memsys::backend::refis_per_refw;
+use mint_memsys::{ChannelObserver, MemEvent, SystemConfig};
+use std::collections::HashMap;
+
+/// Rows within this fraction of the threshold (but below it) count as
+/// near misses in a [`SecurityVerdict`].
+const NEAR_MISS_NUM: u64 = 9;
+const NEAR_MISS_DEN: u64 = 10;
+
+/// An observer that replays one bank's command stream against the same
+/// per-row disturbance model as `mint_dram::Bank`:
+///
+/// * a demand ACT restores the activated row (self-refresh) and hammers
+///   every neighbour within the blast radius;
+/// * a victim refresh clears the refreshed row **and silently hammers its
+///   neighbours** (it is an activation — the transitive channel of §V-E);
+/// * each REF advances the rolling background auto-refresh sweep, which
+///   clears `rows / refis_per_refw` counters per tREFI in row order — the
+///   rolling-tREFW guarantee that every row is reset at least once per
+///   retention window.
+///
+/// Because events arrive in service order the oracle needs no
+/// synchronisation and its verdict is bit-deterministic. It tracks the
+/// all-time maximum per row, so one run answers *every* threshold
+/// question afterwards ([`OracleSummary::verdict`]).
+#[derive(Debug)]
+pub struct GroundTruthOracle {
+    bank: u32,
+    rows: u32,
+    blast_radius: u32,
+    refis_per_refw: u64,
+    /// Current unmitigated disturbance per row (absent = 0).
+    hammers: HashMap<u32, u32>,
+    /// All-time maximum disturbance each row ever reached.
+    row_max: HashMap<u32, u32>,
+    sweep_ptr: u32,
+    sweep_credit: u64,
+    demand_acts: u64,
+    victim_refreshes: u64,
+    refs: u64,
+    rfm_commands: u64,
+    drfm_commands: u64,
+}
+
+impl GroundTruthOracle {
+    /// An oracle watching flat bank `bank` of `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[must_use]
+    pub fn new(cfg: &SystemConfig, bank: u32) -> Self {
+        assert!(bank < cfg.banks, "bank {bank} out of range");
+        Self {
+            bank,
+            rows: cfg.rows_per_bank,
+            blast_radius: cfg.blast_radius,
+            refis_per_refw: refis_per_refw(),
+            hammers: HashMap::new(),
+            row_max: HashMap::new(),
+            sweep_ptr: 0,
+            sweep_credit: 0,
+            demand_acts: 0,
+            victim_refreshes: 0,
+            refs: 0,
+            rfm_commands: 0,
+            drfm_commands: 0,
+        }
+    }
+
+    /// The watched flat bank.
+    #[must_use]
+    pub fn bank(&self) -> u32 {
+        self.bank
+    }
+
+    /// Current unmitigated disturbance of `row`.
+    #[must_use]
+    pub fn hammers(&self, row: u32) -> u32 {
+        self.hammers.get(&row).copied().unwrap_or(0)
+    }
+
+    /// One activation of `row` (demand or silent): self-restore plus one
+    /// disturbance on every in-bank neighbour within the blast radius.
+    fn activate(&mut self, row: u32) {
+        self.hammers.remove(&row);
+        let radius = i64::from(self.blast_radius);
+        for d in 1..=radius {
+            for side in [-d, d] {
+                let Some(victim) = row.checked_add_signed(side as i32) else {
+                    continue;
+                };
+                if victim >= self.rows {
+                    continue;
+                }
+                let h = self.hammers.entry(victim).or_insert(0);
+                *h += 1;
+                let m = self.row_max.entry(victim).or_insert(0);
+                if *h > *m {
+                    *m = *h;
+                }
+            }
+        }
+    }
+
+    /// One REF's worth of the background sweep: `rows / refis_per_refw`
+    /// counters cleared in row order, with exact credit accounting for
+    /// non-divisible organisations (mirrors `mint_sim`'s engine).
+    fn sweep(&mut self) {
+        self.sweep_credit += u64::from(self.rows);
+        while self.sweep_credit >= self.refis_per_refw {
+            self.hammers.remove(&self.sweep_ptr);
+            self.sweep_ptr = (self.sweep_ptr + 1) % self.rows;
+            self.sweep_credit -= self.refis_per_refw;
+        }
+    }
+
+    /// The distilled result: per-row maxima plus traffic counters.
+    #[must_use]
+    pub fn summary(&self) -> OracleSummary {
+        let mut rows: Vec<(u32, u32)> = self.row_max.iter().map(|(&r, &m)| (r, m)).collect();
+        rows.sort_unstable();
+        let (hottest_row, max_hammers) =
+            rows.iter()
+                .fold((0, 0), |acc, &(r, m)| if m > acc.1 { (r, m) } else { acc });
+        OracleSummary {
+            max_hammers,
+            hottest_row,
+            row_maxima: rows,
+            demand_acts: self.demand_acts,
+            victim_refreshes: self.victim_refreshes,
+            refs: self.refs,
+            rfm_commands: self.rfm_commands,
+            drfm_commands: self.drfm_commands,
+        }
+    }
+}
+
+impl ChannelObserver for GroundTruthOracle {
+    fn on_event(&mut self, event: &MemEvent) {
+        if event.bank() != self.bank {
+            return;
+        }
+        match *event {
+            MemEvent::Act { row, .. } => {
+                self.demand_acts += 1;
+                self.activate(row);
+            }
+            MemEvent::MitigativeRefresh { row, .. } => {
+                self.victim_refreshes += 1;
+                self.activate(row);
+            }
+            MemEvent::Ref { .. } => {
+                self.refs += 1;
+                self.sweep();
+            }
+            MemEvent::Rfm { .. } => self.rfm_commands += 1,
+            MemEvent::Drfm { .. } => self.drfm_commands += 1,
+            MemEvent::Pre { .. } => {}
+        }
+    }
+}
+
+/// What the oracle saw, distilled: the all-time per-row maxima and the
+/// mitigation traffic that shaped them. Threshold questions are answered
+/// after the fact via [`verdict`](Self::verdict), so one run covers a
+/// whole TRH grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleSummary {
+    /// Largest unmitigated disturbance any row ever reached.
+    pub max_hammers: u32,
+    /// The row that reached it (lowest such row on ties).
+    pub hottest_row: u32,
+    /// All-time maximum per row, sorted by row (rows never disturbed are
+    /// absent).
+    pub row_maxima: Vec<(u32, u32)>,
+    /// Demand activations the oracle observed on the bank.
+    pub demand_acts: u64,
+    /// Victim-refresh activations (mitigations) observed.
+    pub victim_refreshes: u64,
+    /// REF boundaries the bank crossed.
+    pub refs: u64,
+    /// RFM commands on the bank.
+    pub rfm_commands: u64,
+    /// DRFM commands on the bank.
+    pub drfm_commands: u64,
+}
+
+impl OracleSummary {
+    /// Judges the run against a Rowhammer threshold.
+    #[must_use]
+    pub fn verdict(&self, trh: u32) -> SecurityVerdict {
+        let near = u32::try_from(u64::from(trh) * NEAR_MISS_NUM / NEAR_MISS_DEN).unwrap_or(trh);
+        let escape_rows: Vec<u32> = self
+            .row_maxima
+            .iter()
+            .filter(|&&(_, m)| m >= trh)
+            .map(|&(r, _)| r)
+            .collect();
+        let near_miss_rows: Vec<u32> = self
+            .row_maxima
+            .iter()
+            .filter(|&&(_, m)| m >= near && m < trh)
+            .map(|&(r, _)| r)
+            .collect();
+        SecurityVerdict {
+            trh,
+            max_hammers: self.max_hammers,
+            hottest_row: self.hottest_row,
+            margin_acts: i64::from(trh) - i64::from(self.max_hammers),
+            escaped: !escape_rows.is_empty(),
+            escape_rows,
+            near_miss_rows,
+            demand_acts: self.demand_acts,
+            victim_refreshes: self.victim_refreshes,
+            refs: self.refs,
+            rfm_commands: self.rfm_commands,
+            drfm_commands: self.drfm_commands,
+        }
+    }
+}
+
+/// The oracle's judgement of one run against one Rowhammer threshold:
+/// did the tracker hold the line, and by how much?
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecurityVerdict {
+    /// The Rowhammer threshold judged against.
+    pub trh: u32,
+    /// Largest unmitigated disturbance any row attained.
+    pub max_hammers: u32,
+    /// The row that attained it.
+    pub hottest_row: u32,
+    /// `trh − max_hammers`: positive = the tracker held with this much
+    /// headroom, negative/zero = at least one row flipped.
+    pub margin_acts: i64,
+    /// Whether any row reached the threshold.
+    pub escaped: bool,
+    /// Rows whose all-time maximum reached the threshold (sorted).
+    pub escape_rows: Vec<u32>,
+    /// Rows that reached ≥ 90% of the threshold without crossing it
+    /// (sorted).
+    pub near_miss_rows: Vec<u32>,
+    /// Demand activations observed on the attacked bank.
+    pub demand_acts: u64,
+    /// Victim-refresh activations (mitigations) the scheme performed.
+    pub victim_refreshes: u64,
+    /// REF boundaries the bank crossed during the run.
+    pub refs: u64,
+    /// RFM commands issued on the bank.
+    pub rfm_commands: u64,
+    /// DRFM commands issued on the bank.
+    pub drfm_commands: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle() -> GroundTruthOracle {
+        GroundTruthOracle::new(&SystemConfig::table6(), 3)
+    }
+
+    fn act(bank: u32, row: u32) -> MemEvent {
+        MemEvent::Act {
+            bank,
+            row,
+            at_ps: 0,
+        }
+    }
+
+    #[test]
+    fn acts_hammer_neighbours_and_self_restore() {
+        let mut o = oracle();
+        for _ in 0..5 {
+            o.on_event(&act(3, 100));
+        }
+        assert_eq!(o.hammers(99), 5);
+        assert_eq!(o.hammers(101), 5);
+        assert_eq!(o.hammers(100), 0, "the aggressor self-restores");
+        // Activating a neighbour restores it and hammers the aggressor.
+        o.on_event(&act(3, 99));
+        assert_eq!(o.hammers(99), 0);
+        assert_eq!(o.hammers(100), 1);
+        // All-time maxima survive the restore.
+        let s = o.summary();
+        assert_eq!(s.max_hammers, 5);
+        assert!(s.row_maxima.contains(&(99, 5)));
+    }
+
+    #[test]
+    fn other_banks_are_invisible() {
+        let mut o = oracle();
+        o.on_event(&act(2, 100));
+        o.on_event(&MemEvent::Ref {
+            bank: 0,
+            ref_index: 1,
+            at_ps: 0,
+        });
+        assert_eq!(o.summary().max_hammers, 0);
+        assert_eq!(o.summary().refs, 0);
+    }
+
+    #[test]
+    fn victim_refresh_clears_but_silently_hammers() {
+        let mut o = oracle();
+        for _ in 0..7 {
+            o.on_event(&act(3, 100));
+        }
+        o.on_event(&MemEvent::MitigativeRefresh {
+            bank: 3,
+            row: 101,
+            at_ps: 0,
+        });
+        assert_eq!(o.hammers(101), 0, "refreshed victim cleared");
+        assert_eq!(o.hammers(100), 1, "…but its refresh hammers row 100");
+        assert_eq!(o.hammers(102), 1);
+        assert_eq!(o.summary().victim_refreshes, 1);
+    }
+
+    #[test]
+    fn sweep_clears_rows_in_order_over_a_trefw() {
+        let cfg = SystemConfig::table6();
+        let mut o = oracle();
+        o.on_event(&act(3, 1));
+        assert_eq!(o.hammers(0), 1);
+        // rows / refis_per_refw = 16 rows per REF: the first REF clears
+        // rows 0..16, including both victims.
+        o.on_event(&MemEvent::Ref {
+            bank: 3,
+            ref_index: 1,
+            at_ps: cfg.t_refi_ps,
+        });
+        assert_eq!(o.hammers(0), 0);
+        assert_eq!(o.hammers(2), 0);
+        assert_eq!(o.summary().refs, 1);
+        // Maxima are all-time: still recorded.
+        assert_eq!(o.summary().max_hammers, 1);
+    }
+
+    #[test]
+    fn edge_rows_clip() {
+        let mut o = oracle();
+        o.on_event(&act(3, 0));
+        let s = o.summary();
+        assert_eq!(s.row_maxima, vec![(1, 1)], "row −1 does not exist");
+    }
+
+    #[test]
+    fn verdict_classifies_escapes_and_near_misses() {
+        let mut o = oracle();
+        for _ in 0..100 {
+            o.on_event(&act(3, 100)); // rows 99/101 reach 100
+        }
+        for _ in 0..95 {
+            o.on_event(&act(3, 200)); // rows 199/201 reach 95
+        }
+        for _ in 0..10 {
+            o.on_event(&act(3, 300));
+        }
+        let s = o.summary();
+        let v = s.verdict(100);
+        assert!(v.escaped);
+        assert_eq!(v.escape_rows, vec![99, 101]);
+        assert_eq!(v.near_miss_rows, vec![199, 201], "95 ≥ 90% of 100");
+        assert_eq!(v.margin_acts, 0);
+        assert_eq!(v.max_hammers, 100);
+        let v = s.verdict(200);
+        assert!(!v.escaped);
+        assert!(v.escape_rows.is_empty());
+        assert_eq!(v.margin_acts, 100);
+        assert!(v.near_miss_rows.is_empty(), "95 < 90% of 200");
+        assert_eq!(v.demand_acts, 205);
+    }
+
+    #[test]
+    fn counts_rfm_and_drfm_commands() {
+        let mut o = oracle();
+        o.on_event(&MemEvent::Rfm { bank: 3, at_ps: 0 });
+        o.on_event(&MemEvent::Drfm { bank: 3, at_ps: 0 });
+        o.on_event(&MemEvent::Drfm { bank: 1, at_ps: 0 });
+        let s = o.summary();
+        assert_eq!(s.rfm_commands, 1);
+        assert_eq!(s.drfm_commands, 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! The adversarial frontend: compiles slot-indexed attack patterns into
+//! paced physical-address request streams.
+
+use mint_attacks::AccessPattern;
+use mint_dram::RowId;
+use mint_memsys::backend::max_act_per_trefi;
+use mint_memsys::{AddressDecoder, AddressMapping, Request, RequestSource, SystemConfig};
+
+/// A [`RequestSource`] that mounts an [`AccessPattern`] on the
+/// command-level channel.
+///
+/// The pattern speaks slot space — "activate row *r* in slot *s* of tREFI
+/// *k*" — so the source translates twice:
+///
+/// * **Space**: rows become physical byte addresses in one chosen flat
+///   bank via the decoder's bijective encode path (the column rotates per
+///   request so the stream looks like real traffic without ever changing
+///   the attacked row).
+/// * **Time**: slot `s` of tREFI `k` is scheduled at the absolute instant
+///   `k·tREFI + tRFC + s·(tREFI − tRFC)/MaxACT`, i.e. inside the
+///   activation window the REF leaves open. The source overrides
+///   [`RequestSource::next_request_at`], so the runner issues each request
+///   at its absolute slot time (memory stalls delay but never *advance*
+///   an activation) — the bank sees at most MaxACT attack activations per
+///   tREFI, exactly the envelope the security analysis assumes.
+///
+/// Idle pattern slots (`next_act` → `None`) consume slot time without a
+/// request, so low-rate patterns (pattern-1's single ACT per tREFI) pace
+/// correctly.
+///
+/// Being an ordinary request source, it composes with benign
+/// [`CoreStream`](mint_memsys::CoreStream)/
+/// [`TraceSource`](mint_memsys::TraceSource) cores in the same run —
+/// attacker on core 0, victims elsewhere.
+pub struct AttackSource {
+    pattern: Box<dyn AccessPattern>,
+    name: &'static str,
+    decoder: AddressDecoder,
+    bank: u32,
+    rows: u32,
+    columns: u32,
+    max_act: u32,
+    t_refi_ps: u64,
+    slot0_ps: u64,
+    slot_gap_ps: u64,
+    refi_limit: u64,
+    refi: u64,
+    slot: u32,
+    issued: u64,
+    /// Pseudo-clock for the relative [`next_request`] fallback path.
+    fallback_clock_ps: u64,
+}
+
+impl AttackSource {
+    /// Mounts `pattern` on flat bank `bank` of `cfg` for `refi_limit`
+    /// refresh intervals, encoding addresses with `mapping`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range or `refi_limit == 0`.
+    #[must_use]
+    pub fn new(
+        cfg: &SystemConfig,
+        mapping: AddressMapping,
+        bank: u32,
+        pattern: Box<dyn AccessPattern>,
+        name: &'static str,
+        refi_limit: u64,
+    ) -> Self {
+        assert!(bank < cfg.banks, "bank {bank} out of range");
+        assert!(refi_limit > 0, "need at least one tREFI to attack");
+        let max_act = u32::try_from(max_act_per_trefi()).expect("MaxACT fits u32");
+        Self {
+            pattern,
+            name,
+            decoder: AddressDecoder::new(cfg, mapping),
+            bank,
+            rows: cfg.rows_per_bank,
+            columns: cfg.columns_per_row,
+            max_act,
+            t_refi_ps: cfg.t_refi_ps,
+            slot0_ps: cfg.t_rfc_ps,
+            slot_gap_ps: (cfg.t_refi_ps - cfg.t_rfc_ps) / u64::from(max_act),
+            refi_limit,
+            refi: 0,
+            slot: 0,
+            issued: 0,
+            fallback_clock_ps: 0,
+        }
+    }
+
+    /// The pattern's display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The attacked flat bank.
+    #[must_use]
+    pub fn target_bank(&self) -> u32 {
+        self.bank
+    }
+
+    /// The victim rows the mounted pattern is driving towards the
+    /// threshold (delegates to the pattern).
+    #[must_use]
+    pub fn target_victims(&self) -> Vec<RowId> {
+        self.pattern.target_victims()
+    }
+
+    /// Requests handed out so far.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// The absolute intended issue time of `(refi, slot)`.
+    fn slot_time_ps(&self, refi: u64, slot: u32) -> u64 {
+        refi * self.t_refi_ps + self.slot0_ps + u64::from(slot) * self.slot_gap_ps
+    }
+
+    /// Advances the slot cursor to the next non-idle slot and builds its
+    /// request with `ready_at_ps` as the think-time reference.
+    fn advance(&mut self, ready_at_ps: u64) -> Option<Request> {
+        while self.refi < self.refi_limit {
+            let (refi, slot) = (self.refi, self.slot);
+            self.slot += 1;
+            if self.slot == self.max_act {
+                self.slot = 0;
+                self.refi += 1;
+            }
+            let Some(row) = self.pattern.next_act(refi, slot) else {
+                continue; // idle slot: time passes, no request
+            };
+            assert!(
+                row.0 < self.rows,
+                "pattern row {row} outside the {}-row bank",
+                self.rows
+            );
+            let column = (self.issued % u64::from(self.columns)) as u32;
+            let addr = self.decoder.encode_bank_row(self.bank, row.0, column);
+            let intended = self.slot_time_ps(refi, slot);
+            self.issued += 1;
+            return Some(Request {
+                addr,
+                is_read: true,
+                think_time_ps: intended.saturating_sub(ready_at_ps),
+            });
+        }
+        None
+    }
+}
+
+impl RequestSource for AttackSource {
+    /// Relative fallback for drivers that do not pass the ready hint:
+    /// gaps are measured between intended slot times, so pacing is right
+    /// on average but drifts late by the absorbed memory stalls.
+    fn next_request(&mut self) -> Option<Request> {
+        let reference = self.fallback_clock_ps;
+        let req = self.advance(reference)?;
+        self.fallback_clock_ps = reference + req.think_time_ps;
+        Some(req)
+    }
+
+    /// Absolute pacing: the request is issued at its slot time whenever
+    /// the core is ready by then (stalls can delay, never advance).
+    fn next_request_at(&mut self, ready_at_ps: u64) -> Option<Request> {
+        self.advance(ready_at_ps)
+    }
+}
+
+impl std::fmt::Debug for AttackSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "AttackSource({} on bank {}, {}/{} tREFI)",
+            self.name, self.bank, self.refi, self.refi_limit
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mint_attacks::{Pattern1, Pattern2};
+
+    fn source(pattern: Box<dyn AccessPattern>, refis: u64) -> AttackSource {
+        AttackSource::new(
+            &SystemConfig::table6(),
+            AddressMapping::default(),
+            5,
+            pattern,
+            "test",
+            refis,
+        )
+    }
+
+    #[test]
+    fn pattern1_issues_one_request_per_trefi_at_slot_time() {
+        let cfg = SystemConfig::table6();
+        let mut s = source(Box::new(Pattern1::new(RowId(4000))), 8);
+        let d = AddressDecoder::new(&cfg, AddressMapping::default());
+        for k in 0..8u64 {
+            let r = s.next_request_at(0).expect("one per tREFI");
+            assert_eq!(
+                r.think_time_ps,
+                k * cfg.t_refi_ps + cfg.t_rfc_ps,
+                "slot 0 of tREFI {k} lands right after the REF window"
+            );
+            let a = d.decode(r.addr);
+            assert_eq!(a.flat_bank(cfg.banks_per_group()), 5);
+            assert_eq!(a.row, 4000);
+        }
+        assert_eq!(s.next_request_at(0), None, "refi limit reached");
+        assert_eq!(s.issued(), 8);
+    }
+
+    #[test]
+    fn ready_hint_subtracts_elapsed_time() {
+        let cfg = SystemConfig::table6();
+        let mut s = source(Box::new(Pattern1::new(RowId(4000))), 4);
+        let _ = s.next_request_at(0).unwrap();
+        // Core became ready *after* the next intended slot: issue now.
+        let late = 2 * cfg.t_refi_ps;
+        let r = s.next_request_at(late).unwrap();
+        assert_eq!(r.think_time_ps, 0, "past slots issue immediately");
+        // Core ready early: wait out the remaining gap exactly.
+        let r = s.next_request_at(cfg.t_refi_ps).unwrap();
+        assert_eq!(r.think_time_ps, cfg.t_refi_ps + cfg.t_rfc_ps);
+    }
+
+    #[test]
+    fn full_window_pattern_spaces_slots_inside_the_act_window() {
+        let cfg = SystemConfig::table6();
+        let mut s = source(Box::new(Pattern2::new(RowId(4000), 73, 73)), 2);
+        let mut times = Vec::new();
+        while let Some(r) = s.next_request_at(0) {
+            times.push(r.think_time_ps);
+        }
+        assert_eq!(times.len(), 2 * 73, "73 ACTs per tREFI for two tREFI");
+        for w in times.windows(2) {
+            assert!(w[1] > w[0], "slot times strictly increase");
+        }
+        // Every intended time of tREFI k sits inside (k·tREFI + tRFC,
+        // (k+1)·tREFI): never inside a REF window.
+        for (i, &t) in times.iter().enumerate() {
+            let k = (i / 73) as u64;
+            assert!(t >= k * cfg.t_refi_ps + cfg.t_rfc_ps);
+            assert!(t < (k + 1) * cfg.t_refi_ps);
+        }
+    }
+
+    #[test]
+    fn fallback_pacing_matches_absolute_intent_without_stalls() {
+        let mut a = source(Box::new(Pattern2::new(RowId(4000), 10, 73)), 3);
+        let mut b = source(Box::new(Pattern2::new(RowId(4000), 10, 73)), 3);
+        let mut clock = 0u64;
+        while let (Some(ra), Some(rb)) = (a.next_request(), b.next_request_at(clock)) {
+            clock += rb.think_time_ps;
+            assert_eq!(ra.addr, rb.addr);
+            // With a stall-free core both paths issue at the slot time.
+            assert_eq!(a.fallback_clock_ps, clock);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_bank_rejected() {
+        let _ = AttackSource::new(
+            &SystemConfig::table6(),
+            AddressMapping::default(),
+            99,
+            Box::new(Pattern1::new(RowId(1))),
+            "bad",
+            1,
+        );
+    }
+}

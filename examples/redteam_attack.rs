@@ -1,0 +1,65 @@
+//! Mount one worst-case attack on the command-level channel and print the
+//! ground-truth oracle's verdict, plus an attacker+victim co-run (the
+//! full zoo sweep is `cargo run --release -p mint-bench --bin
+//! figx_redteam`).
+//!
+//! ```bash
+//! cargo run --release --example redteam_attack
+//! ```
+
+use mint_rh::attacks::{Pattern2, PatternSpec};
+use mint_rh::dram::RowId;
+use mint_rh::memsys::MitigationScheme;
+use mint_rh::redteam::{run_attack, run_corun, RedteamConfig};
+
+fn main() {
+    let rc = RedteamConfig {
+        attack_refis: 1024,
+        ..RedteamConfig::default_sweep()
+    };
+    let pattern = PatternSpec::new("pattern-2", || Box::new(Pattern2::new(RowId(4000), 73, 73)));
+    let trh = 1400;
+
+    println!(
+        "pattern-2 (k = 73) on bank {} for 1024 tREFI:",
+        rc.target_bank
+    );
+    for scheme in [
+        MitigationScheme::Baseline,
+        MitigationScheme::Mint,
+        MitigationScheme::Prct,
+    ] {
+        let (summary, run) = run_attack(&rc, scheme, &pattern, 1);
+        let v = summary.verdict(trh);
+        println!(
+            "  {:<10} max hammers {:>5} (row {:>6})  margin@{trh} {:>5}  {}  \
+             [{} ACTs, {} victim refreshes, {:.2} ms]",
+            scheme.label(),
+            v.max_hammers,
+            v.hottest_row,
+            v.margin_acts,
+            if v.escaped { "ESCAPE" } else { "held" },
+            v.demand_acts,
+            v.victim_refreshes,
+            run.perf.duration_ps as f64 / 1e9,
+        );
+    }
+
+    println!("\nattacker on core 0 + 3 benign mcf cores:");
+    let (_, base) = run_corun(&rc, MitigationScheme::Baseline, &pattern, 2);
+    for scheme in [
+        MitigationScheme::Mint,
+        MitigationScheme::McPara { p: 1.0 / 40.0 },
+    ] {
+        let (_, run) = run_corun(&rc, scheme, &pattern, 2);
+        let benign = |r: &mint_rh::memsys::ObservedRun| {
+            r.cores.iter().skip(1).map(|c| c.finish_ps).max().unwrap()
+        };
+        println!(
+            "  {:<14} benign cores finish at {:.3} ms ({:.4}x vs baseline)",
+            scheme.label(),
+            benign(&run) as f64 / 1e9,
+            benign(&run) as f64 / benign(&base) as f64,
+        );
+    }
+}

@@ -17,6 +17,9 @@
 //!   MinTRH, Markov-chain adaptive attacks).
 //! * [`sim`] — the Monte-Carlo attack simulator.
 //! * [`memsys`] — the performance/energy substrate (Gem5 substitute).
+//! * [`redteam`] — the adversarial frontend + ground-truth escape oracle
+//!   closing the attacks↔memsys gap (scheme × pattern escape grids,
+//!   performance under attack).
 //! * [`exp`] — the parallel experiment harness every layer above fans its
 //!   trials, sweep points and workload grids through (deterministic:
 //!   N-thread runs are bit-identical to 1-thread runs).
@@ -51,6 +54,7 @@ pub use mint_core as core;
 pub use mint_dram as dram;
 pub use mint_exp as exp;
 pub use mint_memsys as memsys;
+pub use mint_redteam as redteam;
 pub use mint_rng as rng;
 pub use mint_sim as sim;
 pub use mint_trackers as trackers;
