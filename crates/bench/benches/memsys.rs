@@ -2,33 +2,23 @@
 //! Timed with the dependency-free `mint_exp::stopwatch`.
 
 use mint_exp::stopwatch::{black_box, Runner};
-use mint_memsys::{run_workload, spec_rate_workloads, MitigationScheme, SystemConfig};
+use mint_memsys::{workload_by_name, MitigationScheme, Sim};
 
 fn main() {
     let mut runner = Runner::new("memsys");
-    let cfg = SystemConfig::table6();
-    let mcf = spec_rate_workloads()
-        .into_iter()
-        .find(|w| w.name == "mcf")
-        .unwrap();
+    let mcf = workload_by_name("mcf").unwrap();
 
     runner.bench("mcf_rate_baseline_40k", || {
-        black_box(run_workload(
-            &cfg,
-            MitigationScheme::Baseline,
-            &[mcf; 4],
-            40_000,
-            1,
-        ));
+        black_box(Sim::ddr5().workload(&[mcf; 4], 40_000).seed(1).run());
     });
 
     runner.bench("mcf_rate_rfm16_40k", || {
-        black_box(run_workload(
-            &cfg,
-            MitigationScheme::MintRfm { rfm_th: 16 },
-            &[mcf; 4],
-            40_000,
-            1,
-        ));
+        black_box(
+            Sim::ddr5()
+                .scheme(MitigationScheme::MintRfm { rfm_th: 16 })
+                .workload(&[mcf; 4], 40_000)
+                .seed(1)
+                .run(),
+        );
     });
 }

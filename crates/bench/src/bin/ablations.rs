@@ -3,7 +3,7 @@
 //! the PrIDE FIFO.
 
 fn main() {
-    mint_exp::init_jobs_from_args();
+    mint_exp::cli::parse();
     println!("{}\n", mint_bench::ablation::dmq_depth());
     println!("{}\n", mint_bench::ablation::transitive_slot());
     println!("{}\n", mint_bench::ablation::mithril_entries());

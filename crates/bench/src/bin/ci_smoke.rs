@@ -1,42 +1,42 @@
-//! CI smoke: one tiny workload-grid cell through **both** schedulers plus
-//! a small red-team scheme × pattern grid, diffing determinism at jobs
-//! 1 vs 4.
+//! CI smoke: one tiny workload grid through **both** schedulers, a small
+//! red-team scheme × pattern grid, and the checked-in `ScenarioSpec`
+//! grid file — each diffed for determinism at jobs 1 vs 4.
 //!
 //! ```bash
 //! cargo run --release -p mint-bench --bin ci_smoke
 //! ```
 //!
-//! Exits non-zero (panics) if any `(policy, jobs)` combination produces a
-//! result that is not bit-identical to the single-threaded run — the
-//! contract the whole `mint-exp` fan-out rests on, checked here in
-//! seconds instead of the full test suite's minutes.
+//! Exits non-zero (panics) if any combination produces a result that is
+//! not bit-identical to the single-threaded run — the contract the whole
+//! `mint-exp` fan-out rests on, checked here in seconds instead of the
+//! full test suite's minutes.
 
 use mint_bench::redteam::patterns;
 use mint_memsys::{
-    run_workload_grid_with, spec_rate_workloads, AddressMapping, MitigationScheme, NormalizedPerf,
+    parse_any, workload_by_name, MitigationScheme, NormalizedPerf, Scenario, ScenarioGrid,
     SchedulePolicy, SystemConfig,
 };
 use mint_redteam::{redteam_sweep, RedteamConfig, RedteamReport};
 
+/// The checked-in spec-driven grid (CI runs exactly what users run).
+const SCENARIO_FILE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../examples/scenarios/zoo_small.scn"
+);
+
 fn tiny_grid(policy: SchedulePolicy) -> Vec<Vec<NormalizedPerf>> {
-    let cfg = SystemConfig::table6();
-    let mcf = spec_rate_workloads()
-        .into_iter()
-        .find(|w| w.name == "mcf")
-        .expect("mcf in the suite");
-    run_workload_grid_with(
-        &cfg,
-        &[
+    let mcf = workload_by_name("mcf").expect("mcf in the suite");
+    ScenarioGrid::new(SystemConfig::table6())
+        .schemes(&[
             MitigationScheme::Baseline,
             MitigationScheme::Mint,
             MitigationScheme::MintRfm { rfm_th: 16 },
-        ],
-        policy,
-        AddressMapping::default(),
-        &[[mcf; 4]],
-        2_000,
-        &[77],
-    )
+        ])
+        .policy(policy)
+        .workloads(&[[mcf; 4]])
+        .requests_per_core(2_000)
+        .seeds(&[77])
+        .run()
 }
 
 /// A small scheme × pattern red-team grid (quick config, one scheme per
@@ -54,36 +54,52 @@ fn tiny_redteam() -> RedteamReport {
     )
 }
 
+/// The spec-driven grid: parsed from the shipped `.scn` file, exactly as
+/// `run_scenario` would run it.
+fn scenario_grid() -> Vec<Vec<NormalizedPerf>> {
+    let text = std::fs::read_to_string(SCENARIO_FILE)
+        .unwrap_or_else(|e| panic!("cannot read {SCENARIO_FILE}: {e}"));
+    match parse_any(&text).unwrap_or_else(|e| panic!("{SCENARIO_FILE}: {e}")) {
+        Scenario::Grid(grid) => grid.run(),
+        Scenario::Cell(_) => panic!("{SCENARIO_FILE} must be a grid"),
+    }
+}
+
+fn assert_grids_identical(one: &[Vec<NormalizedPerf>], four: &[Vec<NormalizedPerf>], what: &str) {
+    assert_eq!(one.len(), four.len());
+    for (ra, rb) in one.iter().zip(four) {
+        for (ca, cb) in ra.iter().zip(rb) {
+            assert_eq!(
+                ca.duration_ps, cb.duration_ps,
+                "{what}: duration differs between jobs 1 and 4"
+            );
+            assert_eq!(
+                ca.result, cb.result,
+                "{what}: SimResult differs between jobs 1 and 4"
+            );
+            assert_eq!(
+                ca.normalized.to_bits(),
+                cb.normalized.to_bits(),
+                "{what}: normalized perf differs bitwise between jobs 1 and 4"
+            );
+        }
+    }
+}
+
+/// Runs `make` at jobs 1 and jobs 4 and hands both results back.
+fn at_jobs_1_and_4<T>(make: impl Fn() -> T) -> (T, T) {
+    mint_exp::set_jobs(1);
+    let one = make();
+    mint_exp::set_jobs(4);
+    let four = make();
+    mint_exp::set_jobs(0); // restore default resolution
+    (one, four)
+}
+
 fn main() {
     for policy in [SchedulePolicy::Fcfs, SchedulePolicy::frfcfs()] {
-        mint_exp::set_jobs(1);
-        let one = tiny_grid(policy);
-        mint_exp::set_jobs(4);
-        let four = tiny_grid(policy);
-        mint_exp::set_jobs(0); // restore default resolution
-        assert_eq!(one.len(), four.len());
-        for (ra, rb) in one.iter().zip(&four) {
-            for (ca, cb) in ra.iter().zip(rb) {
-                assert_eq!(
-                    ca.duration_ps,
-                    cb.duration_ps,
-                    "{}: duration differs between jobs 1 and 4",
-                    policy.label()
-                );
-                assert_eq!(
-                    ca.result,
-                    cb.result,
-                    "{}: SimResult differs between jobs 1 and 4",
-                    policy.label()
-                );
-                assert_eq!(
-                    ca.normalized.to_bits(),
-                    cb.normalized.to_bits(),
-                    "{}: normalized perf differs bitwise between jobs 1 and 4",
-                    policy.label()
-                );
-            }
-        }
+        let (one, four) = at_jobs_1_and_4(|| tiny_grid(policy));
+        assert_grids_identical(&one, &four, &policy.label());
         let mint = &one[0][1];
         println!(
             "{}: jobs 1 == jobs 4 ({} requests, MINT normalized {:.6}, row-hit rate {:.4})",
@@ -93,11 +109,8 @@ fn main() {
             mint.result.row_hit_rate(),
         );
     }
-    mint_exp::set_jobs(1);
-    let one = tiny_redteam();
-    mint_exp::set_jobs(4);
-    let four = tiny_redteam();
-    mint_exp::set_jobs(0);
+
+    let (one, four) = at_jobs_1_and_4(tiny_redteam);
     assert_eq!(
         one, four,
         "redteam scheme x pattern grid differs between jobs 1 and 4"
@@ -114,5 +127,15 @@ fn main() {
         worst.pattern,
         worst.summary.max_hammers,
     );
-    println!("ci_smoke OK: schedulers and redteam grid bit-identical at jobs 1 vs 4");
+
+    let (one, four) = at_jobs_1_and_4(scenario_grid);
+    assert_grids_identical(&one, &four, "zoo_small.scn");
+    println!(
+        "scenario: jobs 1 == jobs 4 ({} x {} spec-driven cells from zoo_small.scn)",
+        one.len(),
+        one[0].len(),
+    );
+    println!(
+        "ci_smoke OK: schedulers, redteam grid and scenario file bit-identical at jobs 1 vs 4"
+    );
 }

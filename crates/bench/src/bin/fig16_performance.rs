@@ -1,5 +1,5 @@
 //! Regenerates paper Fig 16 (normalized performance).
 fn main() {
-    mint_exp::init_jobs_from_args();
+    mint_exp::cli::parse();
     println!("{}", mint_bench::perf::fig16());
 }

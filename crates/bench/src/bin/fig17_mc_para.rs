@@ -1,5 +1,5 @@
 //! Regenerates paper Fig 17 (MINT vs MC-PARA).
 fn main() {
-    mint_exp::init_jobs_from_args();
+    mint_exp::cli::parse();
     println!("{}", mint_bench::perf::fig17());
 }

@@ -1,5 +1,5 @@
 //! Regenerates paper Fig 3 (InDRAM-PARA survival probability).
 fn main() {
-    mint_exp::init_jobs_from_args();
+    mint_exp::cli::parse();
     println!("{}", mint_bench::security::fig3());
 }

@@ -1,5 +1,5 @@
 //! Regenerates paper Fig 5 (no-overwrite sampling probability).
 fn main() {
-    mint_exp::init_jobs_from_args();
+    mint_exp::cli::parse();
     println!("{}", mint_bench::security::fig5());
 }

@@ -5,14 +5,14 @@
 //! `BENCH_security.json` next to the human tables.
 //!
 //! ```bash
-//! cargo run --release -p mint-bench --bin figx_redteam [-- --jobs N]
+//! cargo run --release -p mint-bench --bin figx_redteam [-- --jobs N] [--out PATH]
 //! ```
 
 use mint_bench::redteam::{redteam_report, redteam_table, security_json};
 use mint_redteam::RedteamConfig;
 
 fn main() {
-    mint_exp::init_jobs_from_args();
+    let cli = mint_exp::cli::parse();
     let rc = RedteamConfig::default_sweep();
     let report = redteam_report(&rc);
     println!("{}", redteam_table(&report));
@@ -32,15 +32,5 @@ fn main() {
         rc.trh_grid.len(),
         rc.trh_grid.len(),
     );
-    let json = security_json(&report, &rc);
-    let path = "BENCH_security.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => {
-            // The machine-readable artifact is this binary's contract:
-            // failing to produce it must fail the run (CI consumes it).
-            eprintln!("could not write {path}: {e}");
-            std::process::exit(1);
-        }
-    }
+    cli.write_artifact("BENCH_security.json", &security_json(&report, &rc));
 }

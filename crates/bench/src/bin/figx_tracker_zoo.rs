@@ -2,22 +2,16 @@
 //! performance across every `MitigationScheme` in the memory system) and
 //! writes the machine-readable `BENCH_perf.json` (per-scheme slowdown and
 //! row-hit rate) next to it for CI and downstream tooling.
+//!
+//! ```bash
+//! cargo run --release -p mint-bench --bin figx_tracker_zoo [-- --jobs N] [--out PATH]
+//! ```
 
 use mint_bench::perf::{perf_json, tracker_zoo_table, zoo_perf_summaries, REQUESTS_PER_CORE};
 
 fn main() {
-    mint_exp::init_jobs_from_args();
+    let cli = mint_exp::cli::parse();
     let summaries = zoo_perf_summaries(REQUESTS_PER_CORE);
     println!("{}", tracker_zoo_table(&summaries));
-    let json = perf_json(&summaries, REQUESTS_PER_CORE);
-    let path = "BENCH_perf.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => {
-            // The machine-readable artifact is this binary's contract:
-            // failing to produce it must fail the run (CI consumes it).
-            eprintln!("could not write {path}: {e}");
-            std::process::exit(1);
-        }
-    }
+    cli.write_artifact("BENCH_perf.json", &perf_json(&summaries, REQUESTS_PER_CORE));
 }

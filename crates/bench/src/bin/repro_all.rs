@@ -15,7 +15,7 @@
 //! ```
 
 fn main() {
-    mint_exp::init_jobs_from_args();
+    mint_exp::cli::parse();
     type Render = fn() -> String;
     let experiments: Vec<(&str, Render)> = vec![
         ("table1", mint_bench::params::table1 as Render),

@@ -1,0 +1,152 @@
+//! Runs a declarative scenario file end-to-end: a single `ScenarioSpec`
+//! cell or a `schemes × workloads` `ScenarioGrid`, straight through the
+//! `Sim` builder (grids fan out via the `mint-exp` harness, bit-identical
+//! for any `--jobs` count).
+//!
+//! ```bash
+//! cargo run --release -p mint-bench --bin run_scenario -- examples/scenarios/zoo_small.scn
+//! cargo run --release -p mint-bench --bin run_scenario -- cell.scn --jobs 2 --out report.json
+//! ```
+//!
+//! The file format is documented on `mint_memsys::ScenarioSpec` /
+//! `ScenarioGrid` (and in the README); `examples/scenarios/` ships
+//! ready-to-run samples. A machine-readable JSON report is written next
+//! to the printed table (`SCENARIO_report.json`, redirect with `--out`).
+
+use mint_analysis::textable::TexTable;
+use mint_memsys::{parse_any, RunReport, Scenario, ScenarioGrid};
+
+fn main() {
+    let cli = mint_exp::cli::parse();
+    let Some(path) = cli.free.first() else {
+        eprintln!("usage: run_scenario <FILE.scn> [--jobs N] [--out PATH]");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let scenario = parse_any(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    let json = match scenario {
+        Scenario::Cell(spec) => {
+            let report = spec.run().unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            });
+            print_cell(&spec.scheme.label(), &report);
+            cell_json(&spec.scheme.label(), &report)
+        }
+        Scenario::Grid(grid) => {
+            let rows = grid.run();
+            print_grid(&grid, &rows);
+            grid_json(&grid, &rows)
+        }
+    };
+    cli.write_artifact("SCENARIO_report.json", &json);
+}
+
+fn print_cell(scheme: &str, report: &RunReport) {
+    let mut tab = TexTable::new(vec![
+        "Scheme",
+        "Duration (ms)",
+        "Requests",
+        "Row-hit rate",
+        "Mitig ACTs",
+        "RFM/DRFM",
+        "Energy (mJ)",
+    ]);
+    let r = &report.perf.result;
+    tab.row(vec![
+        scheme.to_owned(),
+        format!("{:.3}", report.perf.duration_ps as f64 / 1e9),
+        r.requests.to_string(),
+        format!("{:.4}", r.row_hit_rate()),
+        r.mitigative_acts.to_string(),
+        format!("{}/{}", r.rfm_commands, r.drfm_commands),
+        format!("{:.3}", report.energy.total_j() * 1e3),
+    ]);
+    println!("{}", tab.to_text());
+    for (i, c) in report.cores.iter().enumerate() {
+        println!(
+            "  core {i}: {} requests, finished at {:.3} ms",
+            c.requests,
+            c.finish_ps as f64 / 1e9
+        );
+    }
+}
+
+fn print_grid(grid: &ScenarioGrid, rows: &[Vec<mint_memsys::NormalizedPerf>]) {
+    let mut header = vec!["Workload".to_owned()];
+    header.extend(grid.schemes.iter().map(|s| s.label()));
+    let mut tab = TexTable::new(header);
+    for (label, row) in grid.workload_labels.iter().zip(rows) {
+        let mut cells = vec![label.clone()];
+        cells.extend(row.iter().map(|c| format!("{:.4}", c.normalized)));
+        tab.row(cells);
+    }
+    println!(
+        "scenario grid: {} workloads x {} schemes at {} requests/core (normalized to {})",
+        grid.workloads.len(),
+        grid.schemes.len(),
+        grid.requests_per_core,
+        grid.schemes[0].label(),
+    );
+    println!("{}", tab.to_text());
+}
+
+fn cell_json(scheme: &str, report: &RunReport) -> String {
+    let r = &report.perf.result;
+    format!(
+        "{{\n  \"source\": \"run_scenario\",\n  \"scheme\": \"{}\",\n  \
+         \"duration_ps\": {},\n  \"requests\": {},\n  \"row_hit_rate\": {:.6},\n  \
+         \"mitigative_acts\": {},\n  \"energy_j\": {:.9}\n}}\n",
+        scheme,
+        report.perf.duration_ps,
+        r.requests,
+        r.row_hit_rate(),
+        r.mitigative_acts,
+        report.energy.total_j(),
+    )
+}
+
+fn grid_json(grid: &ScenarioGrid, rows: &[Vec<mint_memsys::NormalizedPerf>]) -> String {
+    let mut out = String::from("{\n  \"source\": \"run_scenario\",\n");
+    out.push_str(&format!(
+        "  \"requests_per_core\": {},\n",
+        grid.requests_per_core
+    ));
+    out.push_str(&format!(
+        "  \"schemes\": [{}],\n",
+        grid.schemes
+            .iter()
+            .map(|s| format!("\"{}\"", s.label()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("  \"rows\": [\n");
+    let rendered: Vec<String> = grid
+        .workload_labels
+        .iter()
+        .zip(rows)
+        .map(|(label, row)| {
+            format!(
+                "    {{\"workload\": \"{}\", \"normalized\": [{}], \"duration_ps\": [{}]}}",
+                label,
+                row.iter()
+                    .map(|c| format!("{:.6}", c.normalized))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                row.iter()
+                    .map(|c| c.duration_ps.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            )
+        })
+        .collect();
+    out.push_str(&rendered.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}

@@ -1,5 +1,5 @@
 //! Regenerates paper Table I (DRAM parameters).
 fn main() {
-    mint_exp::init_jobs_from_args();
+    mint_exp::cli::parse();
     println!("{}", mint_bench::params::table1());
 }

@@ -1,5 +1,5 @@
 //! Regenerates paper Table II (TRH over time).
 fn main() {
-    mint_exp::init_jobs_from_args();
+    mint_exp::cli::parse();
     println!("{}", mint_bench::params::table2());
 }

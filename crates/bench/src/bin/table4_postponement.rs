@@ -1,5 +1,5 @@
 //! Regenerates paper Table IV (refresh postponement and DMQ).
 fn main() {
-    mint_exp::init_jobs_from_args();
+    mint_exp::cli::parse();
     println!("{}", mint_bench::security::table4());
 }

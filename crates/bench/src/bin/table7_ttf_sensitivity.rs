@@ -1,5 +1,5 @@
 //! Regenerates paper Table VII (target-TTF sensitivity).
 fn main() {
-    mint_exp::init_jobs_from_args();
+    mint_exp::cli::parse();
     println!("{}", mint_bench::security::table7());
 }

@@ -1,5 +1,5 @@
 //! Regenerates paper Table VIII (energy overheads).
 fn main() {
-    mint_exp::init_jobs_from_args();
+    mint_exp::cli::parse();
     println!("{}", mint_bench::perf::table8());
 }

@@ -1,15 +1,15 @@
 //! Performance/energy experiments: Fig 16, Fig 17 and Table VIII.
 //!
 //! Every (workload, scheme) cell is an independent seeded run, so the full
-//! grids fan out through [`mint_memsys::run_workload_grid`] (which rides the
+//! grids fan out through [`mint_memsys::ScenarioGrid`] (which rides the
 //! `mint-exp` sweep harness). Rows are assembled and averaged in workload
 //! order, so the rendered tables are byte-identical for any worker count.
 
 use crate::titled;
 use mint_analysis::textable::TexTable;
 use mint_memsys::{
-    mixes, run_workload_grid, spec_rate_workloads, EnergyModel, MitigationBackend,
-    MitigationScheme, SystemConfig, WorkloadSpec,
+    mixes, spec_rate_workloads, EnergyModel, MitigationBackend, MitigationScheme, ScenarioGrid,
+    SystemConfig, WorkloadSpec,
 };
 use mint_rng::Xoshiro256StarStar;
 
@@ -49,14 +49,12 @@ fn run_suite(
     seed_base: u64,
 ) -> Vec<Vec<mint_memsys::NormalizedPerf>> {
     let specs: Vec<[WorkloadSpec; 4]> = suite.iter().map(|(_, s)| *s).collect();
-    let seeds: Vec<u64> = (0..suite.len() as u64).map(|i| seed_base + i).collect();
-    run_workload_grid(
-        &SystemConfig::table6(),
-        schemes,
-        &specs,
-        REQUESTS_PER_CORE,
-        &seeds,
-    )
+    ScenarioGrid::new(SystemConfig::table6())
+        .schemes(schemes)
+        .workloads(&specs)
+        .requests_per_core(REQUESTS_PER_CORE)
+        .seed_base(seed_base)
+        .run()
 }
 
 /// Fig 16: normalized performance of MINT, MINT+RFM32 and MINT+RFM16 over
@@ -215,8 +213,12 @@ pub fn zoo_perf_summaries(requests_per_core: u32) -> Vec<SchemePerfSummary> {
             [w; 4]
         })
         .collect();
-    let seeds: Vec<u64> = (0..suite.len() as u64).map(|i| 9000 + i).collect();
-    let grid = run_workload_grid(&cfg, &schemes, &suite, requests_per_core, &seeds);
+    let grid = ScenarioGrid::new(cfg)
+        .schemes(&schemes)
+        .workloads(&suite)
+        .requests_per_core(requests_per_core)
+        .seed_base(9000)
+        .run();
 
     let mut probe_rng = Xoshiro256StarStar::seed_from_u64(0);
     schemes
@@ -358,15 +360,18 @@ pub fn tracker_zoo_table(summaries: &[SchemePerfSummary]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mint_memsys::{run_workload, NormalizedPerf};
+    use mint_memsys::{workload_by_name, NormalizedPerf, Sim};
 
     /// One reduced-size smoke run shared by the tests (the full suite runs
     /// in the binaries).
     fn quick(scheme: MitigationScheme, seed: u64) -> NormalizedPerf {
-        let w = spec_rate_workloads();
-        let mcf = w.iter().find(|s| s.name == "mcf").copied().unwrap();
-        let cfg = SystemConfig::table6();
-        run_workload(&cfg, scheme, &[mcf; 4], 10_000, seed)
+        let mcf = workload_by_name("mcf").unwrap();
+        Sim::ddr5()
+            .scheme(scheme)
+            .workload(&[mcf; 4], 10_000)
+            .seed(seed)
+            .run()
+            .perf
     }
 
     #[test]
@@ -476,16 +481,19 @@ mod tests {
     #[test]
     fn suite_grid_matches_direct_runs() {
         // One workload through the grid == the same runs done by hand.
-        let w = spec_rate_workloads();
-        let mcf = w.iter().find(|s| s.name == "mcf").copied().unwrap();
         let schemes = vec![MitigationScheme::Baseline, MitigationScheme::Mint];
         let grid = {
+            let mcf = workload_by_name("mcf").unwrap();
             let specs: Vec<[WorkloadSpec; 4]> = vec![[mcf; 4]];
-            run_workload_grid(&SystemConfig::table6(), &schemes, &specs, 10_000, &[9])
+            ScenarioGrid::new(SystemConfig::table6())
+                .schemes(&schemes)
+                .workloads(&specs)
+                .requests_per_core(10_000)
+                .seeds(&[9])
+                .run()
         };
-        let base = run_workload(&SystemConfig::table6(), schemes[0], &[mcf; 4], 10_000, 9);
-        let mint = run_workload(&SystemConfig::table6(), schemes[1], &[mcf; 4], 10_000, 9)
-            .normalize(&base);
+        let base = quick(schemes[0], 9);
+        let mint = quick(schemes[1], 9).normalize(&base);
         assert_eq!(grid[0][1].duration_ps, mint.duration_ps);
         assert_eq!(grid[0][1].normalized.to_bits(), mint.normalized.to_bits());
     }

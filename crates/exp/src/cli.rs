@@ -1,0 +1,131 @@
+//! Shared command-line handling for experiment binaries.
+//!
+//! Every `mint-bench` binary used to open with its own copy of
+//! `init_jobs_from_args()` and hand-rolled output-path plumbing. [`parse`]
+//! replaces that: it installs the `--jobs N` override (via
+//! [`set_jobs`](crate::set_jobs), same resolution order as before), picks
+//! up an optional `--out PATH`, and returns the remaining free arguments
+//! (e.g. a trace or scenario file) — so every binary gets `--jobs` and
+//! `--out` for free:
+//!
+//! ```text
+//! some_bin [-- --jobs N] [--out PATH] [FILE…]
+//! ```
+//!
+//! Unparsable values exit with status 2 (a silently ignored override
+//! would be worse than an error), matching the long-standing `--jobs`
+//! contract.
+
+use crate::jobs;
+
+/// Parsed common arguments of one experiment binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cli {
+    /// Effective worker count (the `--jobs` override is already
+    /// installed process-wide).
+    pub jobs: usize,
+    /// `--out PATH`, if given: where the binary should write its
+    /// machine-readable artifact.
+    pub out: Option<String>,
+    /// Free (positional) arguments, in order.
+    pub free: Vec<String>,
+}
+
+impl Cli {
+    /// The artifact path: `--out` if given, else `default`.
+    #[must_use]
+    pub fn out_path<'a>(&'a self, default: &'a str) -> &'a str {
+        self.out.as_deref().unwrap_or(default)
+    }
+
+    /// Writes a machine-readable artifact to [`out_path`](Cli::out_path)
+    /// and logs the destination. The artifact is the binary's contract:
+    /// failing to produce it exits non-zero (CI consumes it).
+    pub fn write_artifact(&self, default: &str, content: &str) {
+        let path = self.out_path(default);
+        match std::fs::write(path, content) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Parses the process arguments: installs the `--jobs` override and
+/// returns the [`Cli`]. Call this first thing in experiment binaries —
+/// also worthwhile for binaries that only want the `--jobs` side effect.
+pub fn parse() -> Cli {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    parse_from(&args)
+}
+
+/// [`parse`] over an explicit argument list (testable core).
+pub fn parse_from(args: &[String]) -> Cli {
+    let mut out = None;
+    let mut free = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(v) = arg.strip_prefix("--out=") {
+            out = Some(v.to_owned());
+        } else if arg == "--out" || arg == "-o" {
+            match iter.next() {
+                Some(v) => out = Some(v.clone()),
+                None => die(&format!("{arg} requires a value")),
+            }
+        } else if arg == "--jobs" || arg == "-j" {
+            // Value consumed (and validated) by the jobs parser below.
+            if iter.next().is_none() {
+                die(&format!("{arg} requires a value"));
+            }
+        } else if arg.starts_with("--jobs=") {
+            // Validated by the jobs parser below; nothing to consume.
+        } else {
+            free.push(arg.clone());
+        }
+    }
+    let jobs = jobs::init_jobs_from_list(args);
+    Cli { jobs, out, free }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_out_jobs_and_free_args() {
+        let cli = parse_from(&strings(&[
+            "--jobs",
+            "2",
+            "my.scn",
+            "--out",
+            "report.json",
+            "extra",
+        ]));
+        assert_eq!(cli.out.as_deref(), Some("report.json"));
+        assert_eq!(cli.free, vec!["my.scn", "extra"]);
+        assert_eq!(cli.out_path("default.json"), "report.json");
+        crate::set_jobs(0); // restore default resolution for other tests
+    }
+
+    #[test]
+    fn equals_spelling_and_defaults() {
+        let cli = parse_from(&strings(&["--out=x.json"]));
+        assert_eq!(cli.out.as_deref(), Some("x.json"));
+        assert!(cli.free.is_empty());
+        let bare = parse_from(&[]);
+        assert_eq!(bare.out, None);
+        assert_eq!(bare.out_path("fallback"), "fallback");
+        assert!(bare.jobs >= 1);
+    }
+}

@@ -61,8 +61,14 @@ pub fn resolve_jobs(explicit: Option<usize>) -> usize {
 /// Call this first thing in experiment binaries; an unparsable value exits
 /// with status 2 (a silently ignored override would be worse than an error).
 pub fn init_jobs_from_args() -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    if let Some(jobs) = parse_jobs_args(&args[1..]) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    init_jobs_from_list(&args)
+}
+
+/// [`init_jobs_from_args`] over an explicit argument list (what
+/// [`cli::parse`](crate::cli::parse) delegates to).
+pub(crate) fn init_jobs_from_list(args: &[String]) -> usize {
+    if let Some(jobs) = parse_jobs_args(args) {
         set_jobs(jobs);
     }
     resolve_jobs(None)

@@ -23,6 +23,9 @@
 //! * [`jobs`] — one place deciding worker counts: explicit override >
 //!   [`set_jobs`] (the binaries' `--jobs N`) > `MINT_JOBS` env >
 //!   `available_parallelism`.
+//! * [`cli`] — the experiment binaries' shared argument handling: every
+//!   binary gets `--jobs N` and `--out PATH` (plus free arguments such as
+//!   scenario files) from one [`cli::parse`] call.
 //! * [`prop`] — a tiny deterministic property-testing driver used by the
 //!   repository's invariant tests.
 //! * [`stopwatch`] — a dependency-free micro-benchmark timer used by the
@@ -62,6 +65,7 @@
 //! ```
 
 pub mod aggregate;
+pub mod cli;
 mod experiment;
 pub mod jobs;
 pub mod prop;

@@ -94,6 +94,17 @@ impl AddressMapping {
         }
     }
 
+    /// Parses a mapping from its [`label`](AddressMapping::label) form,
+    /// case-insensitively — the inverse of `label`, used by the
+    /// declarative [`ScenarioSpec`](crate::ScenarioSpec) text format.
+    /// Returns `None` for unknown mappings.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<AddressMapping> {
+        AddressMapping::all()
+            .into_iter()
+            .find(|m| m.label().eq_ignore_ascii_case(s.trim()))
+    }
+
     /// The field order, most-significant first.
     fn order(self) -> [Field; 6] {
         match self {

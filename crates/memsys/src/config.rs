@@ -69,6 +69,44 @@ impl MitigationScheme {
         }
     }
 
+    /// Parses a scheme from its [`label`](MitigationScheme::label) form,
+    /// case-insensitively (`"baseline"`, `"mint"`, `"MINT+RFM16"`,
+    /// `"mc-para(1/40)"`, …) — the inverse of `label`, used by the
+    /// declarative [`ScenarioSpec`](crate::ScenarioSpec) text format.
+    /// Returns `None` for unknown schemes.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<MitigationScheme> {
+        let lower = s.trim().to_ascii_lowercase();
+        match lower.as_str() {
+            "baseline" => return Some(MitigationScheme::Baseline),
+            "mint" => return Some(MitigationScheme::Mint),
+            "graphene" => return Some(MitigationScheme::Graphene),
+            "mithril" => return Some(MitigationScheme::Mithril),
+            "protrr" => return Some(MitigationScheme::ProTrr),
+            "trr" => return Some(MitigationScheme::SimpleTrr),
+            "prct" => return Some(MitigationScheme::Prct),
+            "pride" => return Some(MitigationScheme::Pride),
+            "parfm" => return Some(MitigationScheme::Parfm),
+            _ => {}
+        }
+        if let Some(th) = lower.strip_prefix("mint+rfm") {
+            return th
+                .parse()
+                .ok()
+                .filter(|&rfm_th| rfm_th > 0)
+                .map(|rfm_th| MitigationScheme::MintRfm { rfm_th });
+        }
+        // "mc-para(1/40)": the label renders the sampling rate as a
+        // reciprocal, so that is what the parser accepts.
+        if let Some(rest) = lower.strip_prefix("mc-para(1/") {
+            let denom: f64 = rest.strip_suffix(')')?.parse().ok()?;
+            if denom >= 1.0 {
+                return Some(MitigationScheme::McPara { p: 1.0 / denom });
+            }
+        }
+        None
+    }
+
     /// The canonical evaluation zoo: baseline first (the normalisation
     /// reference for [`run_workload_grid`](crate::run_workload_grid)), then
     /// the paper's MINT configurations, then every baseline tracker.

@@ -11,28 +11,43 @@
 //! * MC-side PARA issues a blocking DRFM (410 ns) per sampled activation.
 //!
 //! This crate reproduces those mechanisms in a command-level single-channel
-//! DDR5 pipeline:
+//! DDR5 pipeline, and exposes **one run surface** over it — the [`Sim`]
+//! builder:
 //!
 //! ```text
-//!  RequestSource ──► TransQueue ──► SchedulePolicy ──► TimingState ──► banks + backends
-//!  CoreStream /       (bounded,      FCFS / FR-FCFS     tRRD_S/L        row buffer, REF/RFM/
-//!  TraceSource        [`sched`])     ([`sched`])        tFAW, tCCD      DRFM, tracker zoo
-//!  ([`workload`])                                       ([`timing`])    ([`controller`], [`backend`])
+//!  Sim builder ──► Session ─────────────────────────────────► RunReport
+//!  .scheme() .policy()   RequestSource ──► TransQueue ──►      perf + per-core
+//!  .mapping() .seed()    CoreStream /       SchedulePolicy     outcomes + energy
+//!  .workload()/.trace()  TraceSource /      ──► TimingState    + drained events
+//!  /.sources()           AttackSource       ──► banks+backends
+//!  .observer()           ([`workload`])     ([`sched`], [`timing`],
+//!                                            [`controller`], [`backend`])
 //! ```
 //!
 //! Frontends implement [`RequestSource`] — a 4-core synthetic model
 //! parameterised by MPKI and row-buffer locality ([`workload::CoreStream`])
 //! or a plain-text trace replayed deterministically across cores
-//! ([`workload::TraceSource`]). Requests carry physical byte addresses,
-//! sliced by a configurable [`AddressDecoder`] (three named mappings, see
+//! ([`workload::TraceSource`]); attacker sources plug in through
+//! [`Sim::sources`]. Requests carry physical byte addresses, sliced by a
+//! configurable [`AddressDecoder`] (three named mappings, see
 //! [`address`]). The [`Channel`] schedules the bounded transaction queue
 //! with FCFS or FR-FCFS (row-hit-first, oldest-first, starvation-capped)
 //! under the DDR5 inter-bank constraints, and executes on per-bank state
 //! carrying a real [`MitigationBackend`] for any tracker of the
 //! `mint-trackers` zoo. A DRAMPower-style energy model ([`energy`]) prices
-//! the result. Absolute IPC differs from the authors' testbed; the
-//! normalized slowdown and energy *shape* is what the Fig 16 / Fig 17 /
-//! Table VIII regeneration targets check.
+//! every [`RunReport`].
+//!
+//! Scenarios can also be described *as data*: a [`ScenarioSpec`] is one
+//! cell in a small `key = value` text format that deserializes into a
+//! builder, and a [`ScenarioGrid`] fans a scheme × workload grid through
+//! the `mint-exp` harness, bit-identically for any `--jobs` count (see
+//! [`scenario`]).
+//!
+//! Absolute IPC differs from the authors' testbed; the normalized
+//! slowdown and energy *shape* is what the Fig 16 / Fig 17 / Table VIII
+//! regeneration targets check.
+
+#![warn(missing_docs)]
 
 pub mod address;
 pub mod backend;
@@ -41,7 +56,9 @@ pub mod controller;
 pub mod energy;
 pub mod events;
 pub mod runner;
+pub mod scenario;
 pub mod sched;
+pub mod sim;
 pub mod timing;
 pub mod workload;
 
@@ -51,13 +68,19 @@ pub use config::{MitigationScheme, SystemConfig};
 pub use controller::{MemoryController, ServiceOutcome, SimResult};
 pub use energy::{EnergyModel, EnergyReport};
 pub use events::{ChannelObserver, MemEvent};
+#[allow(deprecated)]
 pub use runner::{
     run_sources_observed, run_trace, run_workload, run_workload_grid, run_workload_grid_with,
-    run_workload_with, think_time_ps, CoreOutcome, NormalizedPerf, ObservedRun,
+    run_workload_with, ObservedRun,
+};
+pub use scenario::{
+    parse_any, Scenario, ScenarioFrontend, ScenarioGrid, ScenarioParseError, ScenarioSpec,
+    SeedAxis, WorkloadCell,
 };
 pub use sched::{Channel, Completion, SchedulePolicy};
+pub use sim::{CoreOutcome, NormalizedPerf, RunReport, Session, Sim};
 pub use timing::{InterBankTiming, TimingState};
 pub use workload::{
-    mixes, parse_trace, read_trace_file, spec_rate_workloads, CoreStream, Request, RequestSource,
-    TraceEntry, TraceParseError, TraceSource, WorkloadSpec,
+    mixes, parse_trace, read_trace_file, spec_rate_workloads, workload_by_name, CoreStream,
+    Request, RequestSource, TraceEntry, TraceParseError, TraceSource, WorkloadSpec,
 };

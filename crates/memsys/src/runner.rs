@@ -1,208 +1,43 @@
-//! End-to-end workload runs: request sources + channel → normalized
-//! performance.
+//! Legacy free-function run surface — thin deprecated shims over the
+//! [`Sim`] builder.
 //!
-//! The runner owns the frontend half of the pipeline: per-core
-//! [`RequestSource`]s (synthetic or trace-driven) issue into the bounded
-//! transaction queue of a [`Channel`], which schedules them per its
-//! [`SchedulePolicy`] under the inter-bank timing constraints. Admission
-//! and service interleave deterministically: a request is admitted
-//! whenever it arrives no later than the channel's next scheduling
-//! decision (so the scheduler always arbitrates over every request that
-//! has actually arrived), otherwise the channel serves.
+//! Every entry point here predates the unified builder in [`sim`](crate::sim):
+//! one free function per scenario shape, each threading config/policy/
+//! mapping/observer/seed tuples slightly differently and returning a
+//! different result shape. They now delegate to [`Sim`] verbatim (the
+//! builder reproduces the exact seed derivations, so results are
+//! byte-identical — pinned by `tests/sim_builder.rs`) and exist only so
+//! out-of-tree callers get a deprecation pointer instead of a break.
+//! New code should use [`Sim`] / [`ScenarioGrid`].
 
 use crate::address::AddressMapping;
 use crate::config::{MitigationScheme, SystemConfig};
-use crate::controller::SimResult;
 use crate::events::ChannelObserver;
-use crate::sched::{Channel, SchedulePolicy};
-use crate::workload::{CoreStream, Request, RequestSource, TraceEntry, TraceSource, WorkloadSpec};
-use mint_rng::derive_seed;
-
-/// Outcome of running one multi-core workload under one scheme.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct NormalizedPerf {
-    /// Total simulated time (ps) — lower is faster.
-    pub duration_ps: u64,
-    /// Controller statistics.
-    pub result: SimResult,
-    /// Weighted speedup vs. a reference duration (1.0 = baseline); filled
-    /// by [`normalize`](NormalizedPerf::normalize).
-    pub normalized: f64,
-}
-
-impl NormalizedPerf {
-    /// Normalizes against the baseline run of the same workload.
-    #[must_use]
-    pub fn normalize(mut self, baseline: &NormalizedPerf) -> Self {
-        self.normalized = baseline.duration_ps as f64 / self.duration_ps as f64;
-        self
-    }
-}
-
-/// What one core did over an observed run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CoreOutcome {
-    /// Completion time of the core's last serviced request (0 if it never
-    /// issued).
-    pub finish_ps: u64,
-    /// Requests the channel serviced for this core.
-    pub requests: u64,
-}
+use crate::scenario::ScenarioGrid;
+use crate::sched::SchedulePolicy;
+use crate::sim::{CoreOutcome, NormalizedPerf, Sim};
+use crate::workload::{RequestSource, TraceEntry, WorkloadSpec};
 
 /// Outcome of [`run_sources_observed`]: the aggregate perf plus per-core
-/// breakdown (which cores an attacker starved, when each benign stream
-/// finished).
+/// breakdown — the legacy shape [`RunReport`](crate::RunReport) unifies.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ObservedRun {
-    /// The aggregate result (same shape as every other runner entry
-    /// point).
+    /// The aggregate result.
     pub perf: NormalizedPerf,
     /// One outcome per request source, in source order.
     pub cores: Vec<CoreOutcome>,
 }
 
-/// Compute time between LLC misses for `spec` on a core of `cfg`:
-/// instructions-per-miss ÷ IPC, in ps, rounded to nearest (the old
-/// truncating cast shaved up to a full cycle off every gap, biasing
-/// compute-bound workloads fast).
-#[must_use]
-pub fn think_time_ps(cfg: &SystemConfig, spec: &WorkloadSpec) -> u64 {
-    let exact = spec.instructions_per_miss() / f64::from(cfg.core_ipc) * cfg.core_cycle_ps() as f64;
-    exact.round() as u64
-}
-
-struct CoreCtx<'a> {
-    source: Box<dyn RequestSource + 'a>,
-    /// Next request and its issue time, once the core is ready to send it.
-    pending: Option<(Request, u64)>,
-    /// When the core front-end can work on its next request.
-    ready_at: u64,
-    /// Requests still allowed (None = until the source runs dry).
-    remaining: Option<u32>,
-    /// Completion time of the core's last serviced request.
-    finish: u64,
-    /// Requests the channel serviced for this core.
-    serviced: u64,
-}
-
-impl CoreCtx<'_> {
-    /// Pulls the next request out of the source (respecting the budget)
-    /// and stamps its issue time.
-    fn fetch(&mut self) {
-        debug_assert!(self.pending.is_none());
-        match &mut self.remaining {
-            Some(0) => return,
-            Some(n) => *n -= 1,
-            None => {}
-        }
-        if let Some(req) = self.source.next_request_at(self.ready_at) {
-            let issue = self.ready_at + req.think_time_ps;
-            self.pending = Some((req, issue));
-        }
-    }
-}
-
-/// Drives `sources` (one per core) through a fresh channel until every
-/// source is exhausted or has issued its per-core budget; drained command
-/// events go to `observer` (if any) after every scheduling decision.
-#[allow(clippy::too_many_arguments)]
-fn drive(
-    cfg: &SystemConfig,
-    scheme: MitigationScheme,
-    policy: SchedulePolicy,
-    mapping: AddressMapping,
-    sources: Vec<Box<dyn RequestSource + '_>>,
-    per_core_budget: Option<u32>,
-    seed: u64,
-    mut observer: Option<&mut dyn ChannelObserver>,
-) -> ObservedRun {
-    let mut channel = Channel::new(*cfg, scheme, policy, mapping, derive_seed(seed, 0xC0));
-    if observer.is_some() {
-        channel.enable_event_log();
-    }
-    let mlp = u64::from(cfg.core_mlp).max(1);
-    let mut cores: Vec<CoreCtx> = sources
-        .into_iter()
-        .map(|source| {
-            let mut c = CoreCtx {
-                source,
-                pending: None,
-                ready_at: 0,
-                remaining: per_core_budget,
-                finish: 0,
-                serviced: 0,
-            };
-            c.fetch();
-            c
-        })
-        .collect();
-
-    loop {
-        // The earliest core ready to issue (ties: lowest core index).
-        let next_arrival = cores
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| c.pending.as_ref().map(|&(_, issue)| (issue, i)))
-            .min();
-        let next_start = channel.next_start_ps();
-        match (next_arrival, next_start) {
-            (None, None) => break,
-            // Admit when the next request arrives no later than the next
-            // scheduling decision — the scheduler must see all arrived
-            // traffic before committing a command.
-            (Some((issue, i)), start)
-                if channel.has_room() && start.map_or(true, |s| issue <= s) =>
-            {
-                let (req, issue) = cores[i].pending.take().expect("pending checked");
-                channel.push(req, i as u32, issue);
-            }
-            _ => {
-                let c = channel.service_next().expect("queue is non-empty");
-                if let Some(obs) = observer.as_deref_mut() {
-                    for e in channel.drain_events() {
-                        obs.on_event(&e);
-                    }
-                }
-                let core = &mut cores[c.core as usize];
-                // Blocking-miss core with an MLP overlap factor: the core
-                // absorbs 1/MLP of the memory stall.
-                let stall = (c.completion_ps - c.arrival_ps) / mlp;
-                core.ready_at = c.arrival_ps + stall;
-                core.finish = core.finish.max(c.completion_ps);
-                core.serviced += 1;
-                core.fetch();
-            }
-        }
-    }
-
-    let duration = cores.iter().map(|c| c.finish).max().unwrap_or(0);
-    channel.finish(duration);
-    ObservedRun {
-        perf: NormalizedPerf {
-            duration_ps: duration,
-            result: channel.result(),
-            normalized: 1.0,
-        },
-        cores: cores
-            .iter()
-            .map(|c| CoreOutcome {
-                finish_ps: c.finish,
-                requests: c.serviced,
-            })
-            .collect(),
-    }
-}
-
 /// Drives arbitrary [`RequestSource`]s (one per core, any count) through a
 /// fresh channel, optionally feeding every executed device command to a
-/// [`ChannelObserver`] — the entry point for attacker/victim co-runs and
-/// ground-truth security oracles (`mint-redteam`).
+/// [`ChannelObserver`].
 ///
 /// `per_core_budget` caps each source's requests (`None` = run every
-/// source dry; at least one source must be finite then). Events reach the
-/// observer in service order, so runs are bit-deterministic for a given
-/// `(cfg, scheme, policy, mapping, sources, seed)` regardless of how the
-/// surrounding sweep is parallelised.
+/// source dry; at least one source must be finite then).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Sim::new(cfg).sources(..).observer(..).run()"
+)]
 #[allow(clippy::too_many_arguments)]
 #[must_use]
 pub fn run_sources_observed(
@@ -215,29 +50,32 @@ pub fn run_sources_observed(
     seed: u64,
     observer: Option<&mut dyn ChannelObserver>,
 ) -> ObservedRun {
-    drive(
-        cfg,
-        scheme,
-        policy,
-        mapping,
-        sources,
-        per_core_budget,
-        seed,
-        observer,
-    )
+    let mut sim = Sim::new(*cfg)
+        .scheme(scheme)
+        .policy(policy)
+        .mapping(mapping)
+        .sources(sources)
+        .per_core_budget(per_core_budget)
+        .seed(seed);
+    if let Some(obs) = observer {
+        sim = sim.observer(obs);
+    }
+    let report = sim.run();
+    ObservedRun {
+        perf: report.perf,
+        cores: report.cores,
+    }
 }
 
-/// Runs a 4-core workload (one [`WorkloadSpec`] per core) for
+/// Runs a multi-core workload (one [`WorkloadSpec`] per core) for
 /// `requests_per_core` LLC misses per core under the given scheme,
 /// scheduling policy and address mapping.
-///
-/// The per-core streams and the channel are seeded deterministically from
-/// `seed`.
 ///
 /// # Panics
 ///
 /// Panics if `specs.len() != cfg.cores as usize` or
 /// `requests_per_core == 0`.
+#[deprecated(since = "0.2.0", note = "use Sim::new(cfg).workload(..).run()")]
 #[must_use]
 pub fn run_workload_with(
     cfg: &SystemConfig,
@@ -248,36 +86,14 @@ pub fn run_workload_with(
     requests_per_core: u32,
     seed: u64,
 ) -> NormalizedPerf {
-    assert_eq!(
-        specs.len(),
-        cfg.cores as usize,
-        "one workload spec per core"
-    );
-    assert!(requests_per_core > 0, "need at least one request per core");
-    let decoder = crate::address::AddressDecoder::new(cfg, mapping);
-    let sources: Vec<Box<dyn RequestSource>> = specs
-        .iter()
-        .enumerate()
-        .map(|(i, spec)| {
-            Box::new(CoreStream::new(
-                *spec,
-                decoder,
-                think_time_ps(cfg, spec),
-                derive_seed(seed, i as u64),
-            )) as Box<dyn RequestSource>
-        })
-        .collect();
-    drive(
-        cfg,
-        scheme,
-        policy,
-        mapping,
-        sources,
-        Some(requests_per_core),
-        seed,
-        None,
-    )
-    .perf
+    Sim::new(*cfg)
+        .scheme(scheme)
+        .policy(policy)
+        .mapping(mapping)
+        .workload(specs, requests_per_core)
+        .seed(seed)
+        .run()
+        .perf
 }
 
 /// [`run_workload_with`] at the production defaults (FR-FCFS, row-
@@ -287,6 +103,7 @@ pub fn run_workload_with(
 ///
 /// Panics if `specs.len() != cfg.cores as usize` or
 /// `requests_per_core == 0`.
+#[deprecated(since = "0.2.0", note = "use Sim::new(cfg).workload(..).run()")]
 #[must_use]
 pub fn run_workload(
     cfg: &SystemConfig,
@@ -295,21 +112,17 @@ pub fn run_workload(
     requests_per_core: u32,
     seed: u64,
 ) -> NormalizedPerf {
-    run_workload_with(
-        cfg,
-        scheme,
-        SchedulePolicy::default(),
-        AddressMapping::default(),
-        specs,
-        requests_per_core,
-        seed,
-    )
+    Sim::new(*cfg)
+        .scheme(scheme)
+        .workload(specs, requests_per_core)
+        .seed(seed)
+        .run()
+        .perf
 }
 
 /// Replays a parsed trace through the channel: entries are dealt
-/// round-robin across the configured cores ([`TraceSource::split`]) and
-/// run to exhaustion. Replays are bit-deterministic for a given
-/// `(trace, cfg, scheme, policy, mapping, seed)`.
+/// round-robin across the configured cores and run to exhaustion.
+#[deprecated(since = "0.2.0", note = "use Sim::new(cfg).trace(..).run()")]
 #[must_use]
 pub fn run_trace(
     cfg: &SystemConfig,
@@ -319,28 +132,23 @@ pub fn run_trace(
     entries: &[TraceEntry],
     seed: u64,
 ) -> NormalizedPerf {
-    let sources: Vec<Box<dyn RequestSource>> =
-        TraceSource::split(entries, cfg.cores, cfg.core_cycle_ps())
-            .into_iter()
-            .map(|s| Box::new(s) as Box<dyn RequestSource>)
-            .collect();
-    drive(cfg, scheme, policy, mapping, sources, None, seed, None).perf
+    Sim::new(*cfg)
+        .scheme(scheme)
+        .policy(policy)
+        .mapping(mapping)
+        .trace(entries)
+        .seed(seed)
+        .run()
+        .perf
 }
 
-/// Runs every `(workload, scheme)` pair through the `mint-exp` sweep
-/// harness and returns, per workload, the per-scheme results normalized
-/// against the **first** scheme in `schemes` (the baseline) for that
-/// workload.
-///
-/// Workload `w` always runs with `seeds[w]` regardless of scheme, so every
-/// scheme faces identical traffic and the baseline normalizes to exactly
-/// 1.0. Cells are independent seeded runs, so the grid parallelises freely;
-/// results are identical for any worker count.
+/// Runs every `(workload, scheme)` pair and normalizes each workload row
+/// against the first scheme.
 ///
 /// # Panics
 ///
-/// Panics if `schemes` is empty or `workloads.len() != seeds.len()` (the
-/// per-cell panics of [`run_workload_with`] also apply).
+/// Panics if `schemes` is empty or `workloads.len() != seeds.len()`.
+#[deprecated(since = "0.2.0", note = "use ScenarioGrid")]
 #[must_use]
 pub fn run_workload_grid_with<W>(
     cfg: &SystemConfig,
@@ -354,28 +162,14 @@ pub fn run_workload_grid_with<W>(
 where
     W: AsRef<[WorkloadSpec]> + Sync,
 {
-    assert!(!schemes.is_empty(), "need at least one scheme");
-    assert_eq!(workloads.len(), seeds.len(), "one seed per workload");
-    let cells: Vec<(usize, usize)> = (0..workloads.len())
-        .flat_map(|w| (0..schemes.len()).map(move |s| (w, s)))
-        .collect();
-    let flat = mint_exp::par_map(&cells, |_, &(w, s)| {
-        run_workload_with(
-            cfg,
-            schemes[s],
-            policy,
-            mapping,
-            workloads[w].as_ref(),
-            requests_per_core,
-            seeds[w],
-        )
-    });
-    flat.chunks(schemes.len())
-        .map(|row| {
-            let base = row[0];
-            row.iter().map(|cell| cell.normalize(&base)).collect()
-        })
-        .collect()
+    ScenarioGrid::new(*cfg)
+        .schemes(schemes)
+        .policy(policy)
+        .mapping(mapping)
+        .workloads(workloads)
+        .requests_per_core(requests_per_core)
+        .seeds(seeds)
+        .run()
 }
 
 /// [`run_workload_grid_with`] at the production defaults (FR-FCFS,
@@ -384,6 +178,7 @@ where
 /// # Panics
 ///
 /// Panics if `schemes` is empty or `workloads.len() != seeds.len()`.
+#[deprecated(since = "0.2.0", note = "use ScenarioGrid")]
 #[must_use]
 pub fn run_workload_grid<W>(
     cfg: &SystemConfig,
@@ -395,254 +190,10 @@ pub fn run_workload_grid<W>(
 where
     W: AsRef<[WorkloadSpec]> + Sync,
 {
-    run_workload_grid_with(
-        cfg,
-        schemes,
-        SchedulePolicy::default(),
-        AddressMapping::default(),
-        workloads,
-        requests_per_core,
-        seeds,
-    )
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::workload::{parse_trace, spec_rate_workloads};
-
-    fn rate4(spec: WorkloadSpec) -> Vec<WorkloadSpec> {
-        vec![spec; 4]
-    }
-
-    fn run(scheme: MitigationScheme, spec: WorkloadSpec) -> NormalizedPerf {
-        run_workload(&SystemConfig::table6(), scheme, &rate4(spec), 30_000, 11)
-    }
-
-    fn lbm() -> WorkloadSpec {
-        spec_rate_workloads()
-            .into_iter()
-            .find(|w| w.name == "lbm")
-            .unwrap()
-    }
-
-    #[test]
-    fn think_time_rounds_to_nearest() {
-        let cfg = SystemConfig::table6();
-        let mk = |mpki: f64| WorkloadSpec {
-            name: "t",
-            mpki,
-            row_buffer_locality: 0.5,
-            read_fraction: 0.5,
-        };
-        // mcf at Table VI: 1000/22 instr/miss ÷ 3 IPC × 333 ps/cycle
-        // = 5045.45… ps → 5045 (truncation agreed here).
-        assert_eq!(think_time_ps(&cfg, &mk(22.0)), 5045);
-        // povray-ish: 1000/0.3 ÷ 3 × 333 lands at 369_999.999…94 in f64 —
-        // the old truncating cast shaved it to 369_999; round-to-nearest
-        // restores the exact 370_000.
-        assert_eq!(think_time_ps(&cfg, &mk(0.3)), 370_000);
-        // 2 instr/miss ÷ 3 × 333 = 221.999…97 in f64: truncation said 221,
-        // nearest says 222.
-        assert_eq!(think_time_ps(&cfg, &mk(500.0)), 222);
-        // The exact .5 boundary (representable: 1/2 instr-per-cycle ratio
-        // × odd 333 = 166.5): rounds *up* to 167 per round-half-away-from-
-        // zero, where truncation gave 166.
-        let ipc2 = SystemConfig { core_ipc: 2, ..cfg };
-        assert_eq!(think_time_ps(&ipc2, &mk(1000.0)), 167);
-    }
-
-    #[test]
-    fn mint_has_zero_slowdown() {
-        let spec = lbm();
-        let base = run(MitigationScheme::Baseline, spec);
-        let mint = run(MitigationScheme::Mint, spec).normalize(&base);
-        assert!(
-            (mint.normalized - 1.0).abs() < 1e-9,
-            "MINT normalized perf {}",
-            mint.normalized
-        );
-        assert!(mint.result.mitigative_acts > 0);
-    }
-
-    #[test]
-    fn rfm16_slowdown_is_small() {
-        // With the per-REF RAA decrement, RFM16 only fires on banks that
-        // exceed 16 ACTs per tREFI — slowdown stays within a few percent
-        // even for the most memory-intensive workload (paper avg: 1.6%).
-        let spec = lbm();
-        let base = run(MitigationScheme::Baseline, spec);
-        let rfm = run(MitigationScheme::MintRfm { rfm_th: 16 }, spec).normalize(&base);
-        assert!(rfm.normalized <= 1.0);
-        assert!(
-            rfm.normalized > 0.90,
-            "RFM16 slowdown should be a few percent, got {}",
-            rfm.normalized
-        );
-    }
-
-    #[test]
-    fn rfm32_costs_less_than_rfm16() {
-        let spec = lbm();
-        let base = run(MitigationScheme::Baseline, spec);
-        let rfm32 = run(MitigationScheme::MintRfm { rfm_th: 32 }, spec).normalize(&base);
-        let rfm16 = run(MitigationScheme::MintRfm { rfm_th: 16 }, spec).normalize(&base);
-        assert!(
-            rfm32.normalized >= rfm16.normalized,
-            "RFM32 {} vs RFM16 {}",
-            rfm32.normalized,
-            rfm16.normalized
-        );
-    }
-
-    #[test]
-    fn mc_para_is_worse_than_mint_rfm() {
-        let spec = lbm();
-        let base = run(MitigationScheme::Baseline, spec);
-        let rfm16 = run(MitigationScheme::MintRfm { rfm_th: 16 }, spec).normalize(&base);
-        let para = run(MitigationScheme::McPara { p: 1.0 / 64.0 }, spec).normalize(&base);
-        assert!(
-            para.normalized < rfm16.normalized - 0.005,
-            "MC-PARA {} should clearly lose to MINT+RFM16 {}",
-            para.normalized,
-            rfm16.normalized
-        );
-    }
-
-    #[test]
-    fn compute_bound_workload_barely_notices() {
-        let povray = spec_rate_workloads()
-            .into_iter()
-            .find(|w| w.name == "povray")
-            .unwrap();
-        let base = run(MitigationScheme::Baseline, povray);
-        let para = run(MitigationScheme::McPara { p: 1.0 / 64.0 }, povray).normalize(&base);
-        assert!(
-            para.normalized > 0.97,
-            "compute-bound slowdown should be tiny, got {}",
-            para.normalized
-        );
-    }
-
-    #[test]
-    fn frfcfs_beats_fcfs_on_row_hit_rate() {
-        // A high-locality workload keeps every core streaming inside one
-        // row; whenever two cores collide on a bank, FCFS ping-pongs the
-        // row buffer while FR-FCFS batches each stream's hits. The
-        // scheduler must turn that into a strictly higher hit rate.
-        let cfg = SystemConfig::table6();
-        let spec = lbm(); // 0.85 row-buffer locality
-        let specs = rate4(spec);
-        let fcfs = run_workload_with(
-            &cfg,
-            MitigationScheme::Baseline,
-            SchedulePolicy::Fcfs,
-            AddressMapping::default(),
-            &specs,
-            20_000,
-            13,
-        );
-        let frfcfs = run_workload_with(
-            &cfg,
-            MitigationScheme::Baseline,
-            SchedulePolicy::frfcfs(),
-            AddressMapping::default(),
-            &specs,
-            20_000,
-            13,
-        );
-        assert!(
-            frfcfs.result.row_hit_rate() > fcfs.result.row_hit_rate(),
-            "FR-FCFS {} must beat FCFS {}",
-            frfcfs.result.row_hit_rate(),
-            fcfs.result.row_hit_rate()
-        );
-    }
-
-    #[test]
-    fn determinism() {
-        let spec = lbm();
-        let a = run(MitigationScheme::Mint, spec);
-        let b = run(MitigationScheme::Mint, spec);
-        assert_eq!(a.duration_ps, b.duration_ps);
-        assert_eq!(a.result, b.result);
-    }
-
-    #[test]
-    fn trace_replay_is_deterministic_and_complete() {
-        let text: String = (0..50)
-            .map(|i| {
-                format!(
-                    "{} {} 0x{:x}\n",
-                    i % 7,
-                    if i % 3 == 0 { 'W' } else { 'R' },
-                    i * 64
-                )
-            })
-            .collect();
-        let entries = parse_trace(&text).unwrap();
-        let cfg = SystemConfig::table6();
-        let run = || {
-            run_trace(
-                &cfg,
-                MitigationScheme::Mint,
-                SchedulePolicy::frfcfs(),
-                AddressMapping::default(),
-                &entries,
-                3,
-            )
-        };
-        let a = run();
-        let b = run();
-        assert_eq!(a.duration_ps, b.duration_ps);
-        assert_eq!(a.result, b.result);
-        assert_eq!(a.result.requests, 50, "every trace entry is serviced");
-        assert_eq!(a.result.writes, 17);
-    }
-
-    #[test]
-    fn grid_matches_individual_runs() {
-        let cfg = SystemConfig::table6();
-        let schemes = [
-            MitigationScheme::Baseline,
-            MitigationScheme::Mint,
-            MitigationScheme::MintRfm { rfm_th: 16 },
-        ];
-        let workloads: Vec<Vec<WorkloadSpec>> = vec![rate4(lbm())];
-        let grid = run_workload_grid(&cfg, &schemes, &workloads, 10_000, &[44]);
-        assert_eq!(grid.len(), 1);
-        assert_eq!(grid[0].len(), 3);
-        assert!(
-            (grid[0][0].normalized - 1.0).abs() < 1e-12,
-            "baseline is 1.0"
-        );
-        let base = run_workload(&cfg, schemes[0], &workloads[0], 10_000, 44);
-        let rfm = run_workload(&cfg, schemes[2], &workloads[0], 10_000, 44).normalize(&base);
-        assert_eq!(grid[0][2].duration_ps, rfm.duration_ps);
-        assert_eq!(grid[0][2].normalized.to_bits(), rfm.normalized.to_bits());
-    }
-
-    #[test]
-    #[should_panic(expected = "one seed per workload")]
-    fn grid_seed_mismatch_rejected() {
-        let _ = run_workload_grid(
-            &SystemConfig::table6(),
-            &[MitigationScheme::Baseline],
-            &[rate4(lbm())],
-            10,
-            &[1, 2],
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "one workload spec per core")]
-    fn wrong_core_count_rejected() {
-        let _ = run_workload(
-            &SystemConfig::table6(),
-            MitigationScheme::Baseline,
-            &[lbm()],
-            10,
-            1,
-        );
-    }
+    ScenarioGrid::new(*cfg)
+        .schemes(schemes)
+        .workloads(workloads)
+        .requests_per_core(requests_per_core)
+        .seeds(seeds)
+        .run()
 }

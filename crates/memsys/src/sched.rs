@@ -53,6 +53,29 @@ impl SchedulePolicy {
             SchedulePolicy::FrFcfs { starvation_cap } => format!("FR-FCFS(cap{starvation_cap})"),
         }
     }
+
+    /// Parses a policy from its [`label`](SchedulePolicy::label) form,
+    /// case-insensitively — `"fcfs"`, `"fr-fcfs"` / `"frfcfs"` (the
+    /// production cap), or `"fr-fcfs(capN)"` for an explicit starvation
+    /// cap. The inverse of `label`, used by the declarative
+    /// [`ScenarioSpec`](crate::ScenarioSpec) text format. Returns `None`
+    /// for unknown policies.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<SchedulePolicy> {
+        let lower = s.trim().to_ascii_lowercase();
+        match lower.as_str() {
+            "fcfs" => return Some(SchedulePolicy::Fcfs),
+            "fr-fcfs" | "frfcfs" => return Some(SchedulePolicy::frfcfs()),
+            _ => {}
+        }
+        let cap = lower
+            .strip_prefix("fr-fcfs(cap")
+            .or_else(|| lower.strip_prefix("frfcfs(cap"))?
+            .strip_suffix(')')?;
+        cap.parse()
+            .ok()
+            .map(|starvation_cap| SchedulePolicy::FrFcfs { starvation_cap })
+    }
 }
 
 impl Default for SchedulePolicy {

@@ -1,0 +1,747 @@
+//! The unified run surface: the [`Sim`] builder, the [`Session`] it
+//! produces, and the one [`RunReport`] every run returns.
+//!
+//! The paper's evaluation is a grid of *scenarios* — scheme × frontend
+//! (synthetic workload, text trace, or attack source) × mapping ×
+//! scheduler × seed. Before this module the run surface was one free
+//! function per combination, each threading the knobs slightly
+//! differently and returning a different shape. [`Sim`] replaces them
+//! with a single typed builder:
+//!
+//! ```
+//! use mint_memsys::{MitigationScheme, Sim};
+//! use mint_memsys::workload::spec_rate_workloads;
+//!
+//! let lbm = spec_rate_workloads()
+//!     .into_iter()
+//!     .find(|w| w.name == "lbm")
+//!     .unwrap();
+//! let report = Sim::ddr5()
+//!     .scheme(MitigationScheme::Mint)
+//!     .workload(&[lbm; 4], 2_000)
+//!     .seed(11)
+//!     .run();
+//! assert_eq!(report.perf.result.requests, 4 * 2_000);
+//! assert_eq!(report.cores.len(), 4);
+//! assert!(report.energy.total_j() > 0.0);
+//! ```
+//!
+//! Every configuration knob has the production default (Table VI config,
+//! FR-FCFS, row-interleaved mapping, seed 0), so a scenario names only
+//! what it changes. [`Sim::build`] resolves the frontend into per-core
+//! [`RequestSource`]s and returns a [`Session`]; [`Session::run`] drives
+//! the channel to completion and returns the [`RunReport`] — aggregate
+//! [`NormalizedPerf`], per-core [`CoreOutcome`]s, the energy breakdown,
+//! and (when captured) the executed command events. Runs are
+//! bit-deterministic for a given builder state: the per-core streams and
+//! the channel derive their RNG substreams from the builder seed exactly
+//! like the legacy entry points did, so `Sim`-built runs are
+//! byte-identical to their pre-redesign equivalents (pinned by
+//! `tests/sim_builder.rs`).
+
+use crate::address::{AddressDecoder, AddressMapping};
+use crate::config::{MitigationScheme, SystemConfig};
+use crate::controller::SimResult;
+use crate::energy::{EnergyModel, EnergyReport};
+use crate::events::{ChannelObserver, MemEvent};
+use crate::sched::{Channel, SchedulePolicy};
+use crate::workload::{CoreStream, Request, RequestSource, TraceEntry, TraceSource, WorkloadSpec};
+use mint_rng::derive_seed;
+
+/// Aggregate outcome of one run: duration, controller statistics, and a
+/// normalization slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalizedPerf {
+    /// Total simulated time (ps) — lower is faster.
+    pub duration_ps: u64,
+    /// Controller statistics.
+    pub result: SimResult,
+    /// Weighted speedup vs. a reference duration (1.0 = baseline); filled
+    /// by [`normalize`](NormalizedPerf::normalize).
+    pub normalized: f64,
+}
+
+impl NormalizedPerf {
+    /// Normalizes against the baseline run of the same workload.
+    #[must_use]
+    pub fn normalize(mut self, baseline: &NormalizedPerf) -> Self {
+        self.normalized = baseline.duration_ps as f64 / self.duration_ps as f64;
+        self
+    }
+}
+
+/// What one core did over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreOutcome {
+    /// Completion time of the core's last serviced request (0 if it never
+    /// issued).
+    pub finish_ps: u64,
+    /// Requests the channel serviced for this core.
+    pub requests: u64,
+}
+
+/// The one result shape every [`Sim`] run returns.
+///
+/// The legacy entry points returned three different shapes ([`NormalizedPerf`]
+/// alone, `ObservedRun`, or a grid of rows); `RunReport` unifies them:
+/// the aggregate perf, the per-core breakdown, the energy bill, and —
+/// when [`Sim::capture_events`] is set — the executed command stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// The aggregate result: duration, controller statistics (command
+    /// counts live in [`SimResult`]) and the normalization slot.
+    pub perf: NormalizedPerf,
+    /// One outcome per request source, in source order.
+    pub cores: Vec<CoreOutcome>,
+    /// Energy breakdown of the run ([`EnergyModel::ddr5_default`];
+    /// mitigation-hardware static draw included for every scheme except
+    /// `Baseline`).
+    pub energy: EnergyReport,
+    /// The executed device commands, in service order — empty unless
+    /// [`Sim::capture_events`] was requested (the log is off by default,
+    /// so perf sweeps pay nothing for it).
+    pub events: Vec<MemEvent>,
+}
+
+/// The frontend half of a scenario: where requests come from.
+enum Frontend<'a> {
+    /// Not configured yet — [`Sim::build`] rejects this.
+    Unset,
+    /// One synthetic [`CoreStream`] per core, each capped at a request
+    /// budget.
+    Workload {
+        specs: Vec<WorkloadSpec>,
+        requests_per_core: u32,
+    },
+    /// A shared text trace dealt round-robin across the cores and run dry.
+    Trace { entries: Vec<TraceEntry> },
+    /// Arbitrary caller-built sources (attackers, co-runs), optionally
+    /// budget-capped per core via [`Sim::per_core_budget`].
+    Sources(Vec<Box<dyn RequestSource + 'a>>),
+}
+
+/// Builder for one simulation scenario: system config, scheme, scheduler,
+/// mapping, frontend, observer and seed — every knob with the production
+/// default, chainable in any order. See the [module docs](self) for an
+/// end-to-end example.
+pub struct Sim<'a> {
+    cfg: SystemConfig,
+    scheme: MitigationScheme,
+    policy: SchedulePolicy,
+    mapping: AddressMapping,
+    seed: u64,
+    frontend: Frontend<'a>,
+    source_budget: Option<u32>,
+    observer: Option<&'a mut dyn ChannelObserver>,
+    capture_events: bool,
+}
+
+impl Sim<'_> {
+    /// A scenario on `cfg` with the production defaults: `Baseline`
+    /// scheme, FR-FCFS scheduling, row-interleaved mapping, seed 0, no
+    /// frontend yet.
+    #[must_use]
+    pub fn new(cfg: SystemConfig) -> Self {
+        Self {
+            cfg,
+            scheme: MitigationScheme::Baseline,
+            policy: SchedulePolicy::default(),
+            mapping: AddressMapping::default(),
+            seed: 0,
+            frontend: Frontend::Unset,
+            source_budget: None,
+            observer: None,
+            capture_events: false,
+        }
+    }
+
+    /// A scenario on the evaluated DDR5 system ([`SystemConfig::table6`]).
+    #[must_use]
+    pub fn ddr5() -> Self {
+        Self::new(SystemConfig::table6())
+    }
+}
+
+impl<'a> Sim<'a> {
+    /// Sets the mitigation scheme under evaluation (default `Baseline`).
+    #[must_use]
+    pub fn scheme(mut self, scheme: MitigationScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the channel arbitration policy (default FR-FCFS).
+    #[must_use]
+    pub fn policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the physical-address mapping (default `RoBaRaCoCh`).
+    #[must_use]
+    pub fn mapping(mut self, mapping: AddressMapping) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Sets the master seed (default 0). Per-core streams and the channel
+    /// derive independent substreams from it.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Frontend: one synthetic [`CoreStream`] per core (one spec per
+    /// core), each running `requests_per_core` LLC misses. Core `i`
+    /// streams with substream `derive_seed(seed, i)`.
+    #[must_use]
+    pub fn workload(mut self, specs: &[WorkloadSpec], requests_per_core: u32) -> Self {
+        self.frontend = Frontend::Workload {
+            specs: specs.to_vec(),
+            requests_per_core,
+        };
+        self
+    }
+
+    /// Frontend: replay `entries` dealt round-robin across the configured
+    /// cores ([`TraceSource::split`]) and run to exhaustion.
+    #[must_use]
+    pub fn trace(mut self, entries: &[TraceEntry]) -> Self {
+        self.frontend = Frontend::Trace {
+            entries: entries.to_vec(),
+        };
+        self
+    }
+
+    /// Frontend: arbitrary request sources, one per core, any count — the
+    /// entry point for attacker/victim co-runs. Sources run dry unless
+    /// [`per_core_budget`](Sim::per_core_budget) caps them.
+    #[must_use]
+    pub fn sources(mut self, sources: Vec<Box<dyn RequestSource + 'a>>) -> Self {
+        self.frontend = Frontend::Sources(sources);
+        self
+    }
+
+    /// Caps each source of a [`sources`](Sim::sources) frontend at
+    /// `budget` requests (`None` = run every source dry; at least one
+    /// source must be finite then). Chainable before or after
+    /// [`sources`](Sim::sources); ignored by the workload/trace
+    /// frontends, which own their budgets.
+    #[must_use]
+    pub fn per_core_budget(mut self, budget: Option<u32>) -> Self {
+        self.source_budget = budget;
+        self
+    }
+
+    /// Feeds every executed device command to `observer` in service
+    /// order — the ground-truth tap security oracles ride.
+    #[must_use]
+    pub fn observer(mut self, observer: &'a mut dyn ChannelObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Collects the executed command events into
+    /// [`RunReport::events`] (off by default; the event log costs memory
+    /// proportional to the run).
+    #[must_use]
+    pub fn capture_events(mut self) -> Self {
+        self.capture_events = true;
+        self
+    }
+
+    /// Resolves the frontend into per-core sources and returns the
+    /// runnable [`Session`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frontend was configured, if a workload frontend has
+    /// `specs.len() != cfg.cores` or `requests_per_core == 0`, or if a
+    /// sources frontend is empty.
+    #[must_use]
+    pub fn build(self) -> Session<'a> {
+        let (sources, budget): (Vec<Box<dyn RequestSource + 'a>>, Option<u32>) = match self.frontend
+        {
+            Frontend::Unset => {
+                panic!("no request source configured — call .workload(), .trace() or .sources()")
+            }
+            Frontend::Workload {
+                specs,
+                requests_per_core,
+            } => {
+                assert_eq!(
+                    specs.len(),
+                    self.cfg.cores as usize,
+                    "one workload spec per core"
+                );
+                assert!(requests_per_core > 0, "need at least one request per core");
+                let decoder = AddressDecoder::new(&self.cfg, self.mapping);
+                let sources = specs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, spec)| {
+                        Box::new(CoreStream::new(
+                            *spec,
+                            decoder,
+                            spec.think_time_ps(&self.cfg),
+                            derive_seed(self.seed, i as u64),
+                        )) as Box<dyn RequestSource>
+                    })
+                    .collect();
+                (sources, Some(requests_per_core))
+            }
+            Frontend::Trace { entries } => {
+                let sources =
+                    TraceSource::split(&entries, self.cfg.cores, self.cfg.core_cycle_ps())
+                        .into_iter()
+                        .map(|s| Box::new(s) as Box<dyn RequestSource>)
+                        .collect();
+                (sources, None)
+            }
+            Frontend::Sources(sources) => {
+                assert!(!sources.is_empty(), "need at least one request source");
+                (sources, self.source_budget)
+            }
+        };
+        Session {
+            cfg: self.cfg,
+            scheme: self.scheme,
+            policy: self.policy,
+            mapping: self.mapping,
+            seed: self.seed,
+            sources,
+            budget,
+            observer: self.observer,
+            capture_events: self.capture_events,
+        }
+    }
+
+    /// [`build`](Sim::build) + [`Session::run`] in one call.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`build`](Sim::build).
+    #[must_use]
+    pub fn run(self) -> RunReport {
+        self.build().run()
+    }
+}
+
+/// One core's frontend state while a [`Session`] runs.
+struct CoreCtx<'a> {
+    source: Box<dyn RequestSource + 'a>,
+    /// Next request and its issue time, once the core is ready to send it.
+    pending: Option<(Request, u64)>,
+    /// When the core front-end can work on its next request.
+    ready_at: u64,
+    /// Requests still allowed (None = until the source runs dry).
+    remaining: Option<u32>,
+    /// Completion time of the core's last serviced request.
+    finish: u64,
+    /// Requests the channel serviced for this core.
+    serviced: u64,
+}
+
+impl CoreCtx<'_> {
+    /// Pulls the next request out of the source (respecting the budget)
+    /// and stamps its issue time.
+    fn fetch(&mut self) {
+        debug_assert!(self.pending.is_none());
+        match &mut self.remaining {
+            Some(0) => return,
+            Some(n) => *n -= 1,
+            None => {}
+        }
+        if let Some(req) = self.source.next_request_at(self.ready_at) {
+            let issue = self.ready_at + req.think_time_ps;
+            self.pending = Some((req, issue));
+        }
+    }
+}
+
+/// A fully resolved scenario, ready to run: built by [`Sim::build`],
+/// consumed by [`Session::run`].
+pub struct Session<'a> {
+    cfg: SystemConfig,
+    scheme: MitigationScheme,
+    policy: SchedulePolicy,
+    mapping: AddressMapping,
+    seed: u64,
+    sources: Vec<Box<dyn RequestSource + 'a>>,
+    budget: Option<u32>,
+    observer: Option<&'a mut dyn ChannelObserver>,
+    capture_events: bool,
+}
+
+impl Session<'_> {
+    /// Drives every source through a fresh channel until all are
+    /// exhausted (or have issued their budget) and returns the unified
+    /// [`RunReport`].
+    ///
+    /// Admission and service interleave deterministically: a request is
+    /// admitted whenever it arrives no later than the channel's next
+    /// scheduling decision (so the scheduler always arbitrates over every
+    /// request that has actually arrived), otherwise the channel serves.
+    /// Drained command events go to the observer (and the report, when
+    /// captured) after every scheduling decision, in service order —
+    /// bit-deterministic regardless of how a surrounding sweep is
+    /// parallelised.
+    #[must_use]
+    pub fn run(mut self) -> RunReport {
+        let mut channel = Channel::new(
+            self.cfg,
+            self.scheme,
+            self.policy,
+            self.mapping,
+            derive_seed(self.seed, 0xC0),
+        );
+        let observe = self.observer.is_some() || self.capture_events;
+        if observe {
+            channel.enable_event_log();
+        }
+        let mut events = Vec::new();
+        let mlp = u64::from(self.cfg.core_mlp).max(1);
+        let mut cores: Vec<CoreCtx> = self
+            .sources
+            .into_iter()
+            .map(|source| {
+                let mut c = CoreCtx {
+                    source,
+                    pending: None,
+                    ready_at: 0,
+                    remaining: self.budget,
+                    finish: 0,
+                    serviced: 0,
+                };
+                c.fetch();
+                c
+            })
+            .collect();
+
+        loop {
+            // The earliest core ready to issue (ties: lowest core index).
+            let next_arrival = cores
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| c.pending.as_ref().map(|&(_, issue)| (issue, i)))
+                .min();
+            let next_start = channel.next_start_ps();
+            match (next_arrival, next_start) {
+                (None, None) => break,
+                // Admit when the next request arrives no later than the
+                // next scheduling decision — the scheduler must see all
+                // arrived traffic before committing a command.
+                (Some((issue, i)), start)
+                    if channel.has_room() && start.map_or(true, |s| issue <= s) =>
+                {
+                    let (req, issue) = cores[i].pending.take().expect("pending checked");
+                    channel.push(req, i as u32, issue);
+                }
+                _ => {
+                    let c = channel.service_next().expect("queue is non-empty");
+                    if observe {
+                        for e in channel.drain_events() {
+                            if let Some(obs) = self.observer.as_deref_mut() {
+                                obs.on_event(&e);
+                            }
+                            if self.capture_events {
+                                events.push(e);
+                            }
+                        }
+                    }
+                    let core = &mut cores[c.core as usize];
+                    // Blocking-miss core with an MLP overlap factor: the
+                    // core absorbs 1/MLP of the memory stall.
+                    let stall = (c.completion_ps - c.arrival_ps) / mlp;
+                    core.ready_at = c.arrival_ps + stall;
+                    core.finish = core.finish.max(c.completion_ps);
+                    core.serviced += 1;
+                    core.fetch();
+                }
+            }
+        }
+
+        let duration = cores.iter().map(|c| c.finish).max().unwrap_or(0);
+        channel.finish(duration);
+        let result = channel.result();
+        let with_hw = !matches!(self.scheme, MitigationScheme::Baseline);
+        RunReport {
+            perf: NormalizedPerf {
+                duration_ps: duration,
+                result,
+                normalized: 1.0,
+            },
+            cores: cores
+                .iter()
+                .map(|c| CoreOutcome {
+                    finish_ps: c.finish,
+                    requests: c.serviced,
+                })
+                .collect(),
+            energy: EnergyModel::ddr5_default().energy(&result, duration, with_hw),
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{parse_trace, spec_rate_workloads};
+
+    fn rate4(spec: WorkloadSpec) -> Vec<WorkloadSpec> {
+        vec![spec; 4]
+    }
+
+    fn run(scheme: MitigationScheme, spec: WorkloadSpec) -> NormalizedPerf {
+        Sim::ddr5()
+            .scheme(scheme)
+            .workload(&rate4(spec), 30_000)
+            .seed(11)
+            .run()
+            .perf
+    }
+
+    fn lbm() -> WorkloadSpec {
+        spec_rate_workloads()
+            .into_iter()
+            .find(|w| w.name == "lbm")
+            .unwrap()
+    }
+
+    #[test]
+    fn mint_has_zero_slowdown() {
+        let spec = lbm();
+        let base = run(MitigationScheme::Baseline, spec);
+        let mint = run(MitigationScheme::Mint, spec).normalize(&base);
+        assert!(
+            (mint.normalized - 1.0).abs() < 1e-9,
+            "MINT normalized perf {}",
+            mint.normalized
+        );
+        assert!(mint.result.mitigative_acts > 0);
+    }
+
+    #[test]
+    fn rfm16_slowdown_is_small() {
+        // With the per-REF RAA decrement, RFM16 only fires on banks that
+        // exceed 16 ACTs per tREFI — slowdown stays within a few percent
+        // even for the most memory-intensive workload (paper avg: 1.6%).
+        let spec = lbm();
+        let base = run(MitigationScheme::Baseline, spec);
+        let rfm = run(MitigationScheme::MintRfm { rfm_th: 16 }, spec).normalize(&base);
+        assert!(rfm.normalized <= 1.0);
+        assert!(
+            rfm.normalized > 0.90,
+            "RFM16 slowdown should be a few percent, got {}",
+            rfm.normalized
+        );
+    }
+
+    #[test]
+    fn rfm32_costs_less_than_rfm16() {
+        let spec = lbm();
+        let base = run(MitigationScheme::Baseline, spec);
+        let rfm32 = run(MitigationScheme::MintRfm { rfm_th: 32 }, spec).normalize(&base);
+        let rfm16 = run(MitigationScheme::MintRfm { rfm_th: 16 }, spec).normalize(&base);
+        assert!(
+            rfm32.normalized >= rfm16.normalized,
+            "RFM32 {} vs RFM16 {}",
+            rfm32.normalized,
+            rfm16.normalized
+        );
+    }
+
+    #[test]
+    fn mc_para_is_worse_than_mint_rfm() {
+        let spec = lbm();
+        let base = run(MitigationScheme::Baseline, spec);
+        let rfm16 = run(MitigationScheme::MintRfm { rfm_th: 16 }, spec).normalize(&base);
+        let para = run(MitigationScheme::McPara { p: 1.0 / 64.0 }, spec).normalize(&base);
+        assert!(
+            para.normalized < rfm16.normalized - 0.005,
+            "MC-PARA {} should clearly lose to MINT+RFM16 {}",
+            para.normalized,
+            rfm16.normalized
+        );
+    }
+
+    #[test]
+    fn compute_bound_workload_barely_notices() {
+        let povray = spec_rate_workloads()
+            .into_iter()
+            .find(|w| w.name == "povray")
+            .unwrap();
+        let base = run(MitigationScheme::Baseline, povray);
+        let para = run(MitigationScheme::McPara { p: 1.0 / 64.0 }, povray).normalize(&base);
+        assert!(
+            para.normalized > 0.97,
+            "compute-bound slowdown should be tiny, got {}",
+            para.normalized
+        );
+    }
+
+    #[test]
+    fn frfcfs_beats_fcfs_on_row_hit_rate() {
+        // A high-locality workload keeps every core streaming inside one
+        // row; whenever two cores collide on a bank, FCFS ping-pongs the
+        // row buffer while FR-FCFS batches each stream's hits. The
+        // scheduler must turn that into a strictly higher hit rate.
+        let spec = lbm(); // 0.85 row-buffer locality
+        let specs = rate4(spec);
+        let run_policy = |policy| {
+            Sim::ddr5()
+                .policy(policy)
+                .workload(&specs, 20_000)
+                .seed(13)
+                .run()
+                .perf
+        };
+        let fcfs = run_policy(SchedulePolicy::Fcfs);
+        let frfcfs = run_policy(SchedulePolicy::frfcfs());
+        assert!(
+            frfcfs.result.row_hit_rate() > fcfs.result.row_hit_rate(),
+            "FR-FCFS {} must beat FCFS {}",
+            frfcfs.result.row_hit_rate(),
+            fcfs.result.row_hit_rate()
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let spec = lbm();
+        let a = run(MitigationScheme::Mint, spec);
+        let b = run(MitigationScheme::Mint, spec);
+        assert_eq!(a.duration_ps, b.duration_ps);
+        assert_eq!(a.result, b.result);
+    }
+
+    #[test]
+    fn trace_replay_is_deterministic_and_complete() {
+        let text: String = (0..50)
+            .map(|i| {
+                format!(
+                    "{} {} 0x{:x}\n",
+                    i % 7,
+                    if i % 3 == 0 { 'W' } else { 'R' },
+                    i * 64
+                )
+            })
+            .collect();
+        let entries = parse_trace(&text).unwrap();
+        let run = || {
+            Sim::ddr5()
+                .scheme(MitigationScheme::Mint)
+                .trace(&entries)
+                .seed(3)
+                .run()
+                .perf
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.duration_ps, b.duration_ps);
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.result.requests, 50, "every trace entry is serviced");
+        assert_eq!(a.result.writes, 17);
+    }
+
+    #[test]
+    fn report_carries_cores_energy_and_optional_events() {
+        let spec = lbm();
+        let plain = Sim::ddr5().workload(&rate4(spec), 500).seed(7).run();
+        assert_eq!(plain.cores.len(), 4);
+        assert_eq!(
+            plain.cores.iter().map(|c| c.requests).sum::<u64>(),
+            plain.perf.result.requests
+        );
+        assert!(plain.energy.total_j() > 0.0);
+        assert!(plain.events.is_empty(), "event capture is off by default");
+
+        let captured = Sim::ddr5()
+            .workload(&rate4(spec), 500)
+            .seed(7)
+            .capture_events()
+            .run();
+        assert_eq!(
+            captured.perf, plain.perf,
+            "event capture must not perturb the run"
+        );
+        assert!(
+            captured.events.len() as u64 >= captured.perf.result.demand_acts,
+            "every demand ACT is an event"
+        );
+    }
+
+    #[test]
+    fn baseline_energy_excludes_mitigation_hw() {
+        // Identical timelines (MINT rides REF time), but only MINT pays
+        // the TRNG+DMQ static draw.
+        let spec = lbm();
+        let base = Sim::ddr5().workload(&rate4(spec), 2_000).seed(9).run();
+        let mint = Sim::ddr5()
+            .scheme(MitigationScheme::Mint)
+            .workload(&rate4(spec), 2_000)
+            .seed(9)
+            .run();
+        assert_eq!(base.perf.duration_ps, mint.perf.duration_ps);
+        assert!(mint.energy.non_act_j > base.energy.non_act_j);
+    }
+
+    #[test]
+    fn per_core_budget_chains_in_any_order() {
+        // The builder is chainable in any order: a budget set before the
+        // sources frontend must cap it all the same (a dropped budget on
+        // all-infinite CoreStreams would hang the run).
+        let cfg = SystemConfig::table6();
+        let mk = || -> Vec<Box<dyn RequestSource>> {
+            let decoder = crate::address::AddressDecoder::new(&cfg, AddressMapping::default());
+            (0..2u64)
+                .map(|i| {
+                    Box::new(CoreStream::new(
+                        lbm(),
+                        decoder,
+                        lbm().think_time_ps(&cfg),
+                        derive_seed(3, i),
+                    )) as Box<dyn RequestSource>
+                })
+                .collect()
+        };
+        let before = Sim::new(cfg)
+            .per_core_budget(Some(200))
+            .sources(mk())
+            .seed(3)
+            .run();
+        let after = Sim::new(cfg)
+            .sources(mk())
+            .per_core_budget(Some(200))
+            .seed(3)
+            .run();
+        assert_eq!(before, after);
+        assert_eq!(before.perf.result.requests, 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "one workload spec per core")]
+    fn wrong_core_count_rejected() {
+        let _ = Sim::ddr5().workload(&[lbm()], 10).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request per core")]
+    fn zero_requests_rejected() {
+        let _ = Sim::ddr5().workload(&rate4(lbm()), 0).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "no request source configured")]
+    fn missing_frontend_rejected() {
+        let _ = Sim::ddr5().run();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request source")]
+    fn empty_sources_rejected() {
+        let _ = Sim::ddr5().sources(Vec::new()).run();
+    }
+}

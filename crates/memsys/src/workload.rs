@@ -40,6 +40,23 @@ impl WorkloadSpec {
     pub fn instructions_per_miss(&self) -> f64 {
         1000.0 / self.mpki
     }
+
+    /// Compute time between LLC misses for this workload on a core of
+    /// `cfg`: instructions-per-miss ÷ IPC, in ps, rounded to nearest (a
+    /// truncating cast would shave up to a full cycle off every gap,
+    /// biasing compute-bound workloads fast).
+    #[must_use]
+    pub fn think_time_ps(&self, cfg: &crate::config::SystemConfig) -> u64 {
+        let exact =
+            self.instructions_per_miss() / f64::from(cfg.core_ipc) * cfg.core_cycle_ps() as f64;
+        exact.round() as u64
+    }
+}
+
+/// Looks a rate workload up by name (the 17 [`spec_rate_workloads`]).
+#[must_use]
+pub fn workload_by_name(name: &str) -> Option<WorkloadSpec> {
+    spec_rate_workloads().into_iter().find(|w| w.name == name)
 }
 
 /// The 17 SPEC2017 rate workloads (paper §VIII-A).
@@ -471,6 +488,38 @@ mod tests {
             assert!(a.row < org.rows);
             assert!(a.column < org.columns);
         }
+    }
+
+    #[test]
+    fn think_time_rounds_to_nearest() {
+        let cfg = SystemConfig::table6();
+        let mk = |mpki: f64| WorkloadSpec {
+            name: "t",
+            mpki,
+            row_buffer_locality: 0.5,
+            read_fraction: 0.5,
+        };
+        // mcf at Table VI: 1000/22 instr/miss ÷ 3 IPC × 333 ps/cycle
+        // = 5045.45… ps → 5045 (truncation agreed here).
+        assert_eq!(mk(22.0).think_time_ps(&cfg), 5045);
+        // povray-ish: 1000/0.3 ÷ 3 × 333 lands at 369_999.999…94 in f64 —
+        // a truncating cast would shave it to 369_999; round-to-nearest
+        // keeps the exact 370_000.
+        assert_eq!(mk(0.3).think_time_ps(&cfg), 370_000);
+        // 2 instr/miss ÷ 3 × 333 = 221.999…97 in f64: truncation said 221,
+        // nearest says 222.
+        assert_eq!(mk(500.0).think_time_ps(&cfg), 222);
+        // The exact .5 boundary (representable: 1/2 instr-per-cycle ratio
+        // × odd 333 = 166.5): rounds *up* to 167 per round-half-away-from-
+        // zero, where truncation gave 166.
+        let ipc2 = SystemConfig { core_ipc: 2, ..cfg };
+        assert_eq!(mk(1000.0).think_time_ps(&ipc2), 167);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(workload_by_name("mcf").unwrap().name, "mcf");
+        assert!(workload_by_name("nosuch").is_none());
     }
 
     #[test]

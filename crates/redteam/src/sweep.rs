@@ -7,8 +7,8 @@ use crate::source::AttackSource;
 use mint_attacks::PatternSpec;
 use mint_dram::RowId;
 use mint_memsys::{
-    run_sources_observed, spec_rate_workloads, think_time_ps, AddressDecoder, AddressMapping,
-    CoreStream, MitigationScheme, ObservedRun, RequestSource, SchedulePolicy, SystemConfig,
+    workload_by_name, AddressDecoder, AddressMapping, CoreStream, MitigationScheme, RequestSource,
+    RunReport, SchedulePolicy, Sim, SystemConfig,
 };
 use mint_rng::derive_seed;
 
@@ -78,9 +78,7 @@ impl RedteamConfig {
     }
 
     fn benign_spec(&self) -> mint_memsys::WorkloadSpec {
-        spec_rate_workloads()
-            .into_iter()
-            .find(|w| w.name == self.benign_workload)
+        workload_by_name(self.benign_workload)
             .unwrap_or_else(|| panic!("unknown benign workload {:?}", self.benign_workload))
     }
 }
@@ -150,14 +148,14 @@ impl RedteamReport {
 }
 
 /// Mounts `pattern` on `scheme` for `refis` tREFI (attacker only) and
-/// returns the oracle's summary plus the run outcome.
+/// returns the oracle's summary plus the unified run report.
 #[must_use]
 pub fn run_attack(
     rc: &RedteamConfig,
     scheme: MitigationScheme,
     pattern: &PatternSpec,
     seed: u64,
-) -> (OracleSummary, ObservedRun) {
+) -> (OracleSummary, RunReport) {
     let source = AttackSource::new(
         &rc.cfg,
         rc.mapping,
@@ -167,16 +165,14 @@ pub fn run_attack(
         rc.attack_refis,
     );
     let mut oracle = GroundTruthOracle::new(&rc.cfg, rc.target_bank);
-    let run = run_sources_observed(
-        &rc.cfg,
-        scheme,
-        rc.policy,
-        rc.mapping,
-        vec![Box::new(source) as Box<dyn RequestSource>],
-        None,
-        seed,
-        Some(&mut oracle),
-    );
+    let run = Sim::new(rc.cfg)
+        .scheme(scheme)
+        .policy(rc.policy)
+        .mapping(rc.mapping)
+        .sources(vec![Box::new(source) as Box<dyn RequestSource>])
+        .seed(seed)
+        .observer(&mut oracle)
+        .run();
     (oracle.summary(), run)
 }
 
@@ -211,10 +207,10 @@ fn corun_observed(
     pattern: &PatternSpec,
     seed: u64,
     observer: Option<&mut dyn mint_memsys::ChannelObserver>,
-) -> ObservedRun {
+) -> RunReport {
     let spec = rc.benign_spec();
     let decoder = AddressDecoder::new(&rc.cfg, rc.mapping);
-    let think = think_time_ps(&rc.cfg, &spec);
+    let think = spec.think_time_ps(&rc.cfg);
     let mut sources: Vec<Box<dyn RequestSource>> = vec![Box::new(AttackSource::new(
         &rc.cfg,
         rc.mapping,
@@ -229,14 +225,21 @@ fn corun_observed(
             remaining: rc.benign_requests_per_core,
         }));
     }
-    run_sources_observed(
-        &rc.cfg, scheme, rc.policy, rc.mapping, sources, None, seed, observer,
-    )
+    let mut sim = Sim::new(rc.cfg)
+        .scheme(scheme)
+        .policy(rc.policy)
+        .mapping(rc.mapping)
+        .sources(sources)
+        .seed(seed);
+    if let Some(obs) = observer {
+        sim = sim.observer(obs);
+    }
+    sim.run()
 }
 
 /// Attacker on core 0, benign cores on the rest: returns the oracle's
-/// summary and the run (per-core outcomes included, so callers can read
-/// off the benign finish times). The attacker runs its full
+/// summary and the run report (per-core outcomes included, so callers
+/// can read off the benign finish times). The attacker runs its full
 /// `corun_refis`; only the benign cores are capped at
 /// `benign_requests_per_core`.
 #[must_use]
@@ -245,14 +248,14 @@ pub fn run_corun(
     scheme: MitigationScheme,
     pattern: &PatternSpec,
     seed: u64,
-) -> (OracleSummary, ObservedRun) {
+) -> (OracleSummary, RunReport) {
     let mut oracle = GroundTruthOracle::new(&rc.cfg, rc.target_bank);
     let run = corun_observed(rc, scheme, pattern, seed, Some(&mut oracle));
     (oracle.summary(), run)
 }
 
 /// Latest finish over the benign (non-attacker) cores of a co-run.
-fn benign_finish(run: &ObservedRun) -> (u64, u64) {
+fn benign_finish(run: &RunReport) -> (u64, u64) {
     run.cores
         .iter()
         .skip(1)

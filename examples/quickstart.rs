@@ -1,18 +1,21 @@
-//! Quickstart: the MINT tracker in five minutes.
+//! Quickstart: MINT and the unified `Sim` run surface in five minutes.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Walks through the paper's core mechanism: the future-centric SAN draw,
-//! guaranteed selection against classic attacks, the transitive slot, and
-//! the MinTRH figure of merit.
+//! Walks through the paper's core mechanism — the future-centric SAN draw
+//! and guaranteed selection against classic attacks — then runs the
+//! tracker end-to-end on the command-level DDR5 channel through the
+//! `Sim` builder, and shows the same scenario written as declarative
+//! `ScenarioSpec` data.
 
 use mint_rh::analysis::patterns::pattern2_min_trh;
 use mint_rh::analysis::{MinTrhSolver, TargetMttf};
 use mint_rh::core::{InDramTracker, Mint, MintConfig};
 use mint_rh::dram::RowId;
-use mint_rh::rng::{Rng64, Xoshiro256StarStar};
+use mint_rh::memsys::{workload_by_name, MitigationScheme, ScenarioSpec, Sim};
+use mint_rh::rng::Xoshiro256StarStar;
 
 fn main() {
     let mut rng = Xoshiro256StarStar::seed_from_u64(2024);
@@ -24,10 +27,6 @@ fn main() {
         mint.entries(),
         mint.storage_bits()
     );
-    println!(
-        "This window's SAN (selected activation number): {}",
-        mint.san()
-    );
 
     // 2. A classic single-sided attack fills every slot of the tREFI —
     //    and is therefore *guaranteed* to be selected (§V-C).
@@ -36,42 +35,60 @@ fn main() {
         mint.on_activation(aggressor, &mut rng);
     }
     let decision = mint.on_refresh(&mut rng);
-    println!("\nSingle-sided attack on {aggressor} → decision: {decision:?}");
+    println!("Single-sided attack on {aggressor} → decision: {decision:?}");
 
-    // 3. Selection probability is *uniform* over positions — the property
-    //    InDRAM-PARA lacks (§III). Hammer position 1 only and measure.
-    let trials = 100_000;
-    let mut hits = 0;
-    for _ in 0..trials {
-        mint.on_activation(aggressor, &mut rng); // position 1
-        for d in 1..73 {
-            mint.on_activation(RowId(90_000 + d), &mut rng); // decoys
-        }
-        if mint.on_refresh(&mut rng).mitigates(aggressor) {
-            hits += 1;
-        }
-    }
-    println!(
-        "\nPosition-1 mitigation rate: {:.5} (theory 1/74 = {:.5})",
-        f64::from(hits) / f64::from(trials),
-        1.0 / 74.0
-    );
-
-    // 4. The headline figure of merit: the minimum Rowhammer threshold MINT
+    // 3. The headline figure of merit: the minimum Rowhammer threshold MINT
     //    tolerates at a 10,000-year per-bank MTTF (§IV-C, §V-E).
     let solver = MinTrhSolver::new(TargetMttf::paper_default(), 0.032);
     let min_trh = pattern2_min_trh(&solver, 73, 73, 74);
     println!(
-        "\nMinTRH against the worst-case pattern: {} ({} double-sided)",
-        min_trh,
+        "MinTRH against the worst-case pattern: {min_trh} ({} double-sided)",
         min_trh / 2
     );
-    println!("Paper reports: 2800 (1400 double-sided) — §V-E/§V-F.");
+    println!("Paper reports: 2800 (1400 double-sided) — §V-E/§V-F.\n");
 
-    // 5. Seed-reproducibility: every experiment in this repository replays
-    //    from explicit seeds.
-    let a = Xoshiro256StarStar::seed_from_u64(7).next_u64();
-    let b = Xoshiro256StarStar::seed_from_u64(7).next_u64();
-    assert_eq!(a, b);
-    println!("\nDeterministic RNG substrate verified (seed 7 → {a:#018x}).");
+    // 4. The whole memory system behind one builder: every scenario is a
+    //    `Sim` — scheme × frontend × mapping × scheduler × seed, with
+    //    production defaults for everything you don't set. A `RunReport`
+    //    comes back in one shape: aggregate perf, per-core outcomes,
+    //    energy, and (opt-in) the executed command events.
+    let lbm = workload_by_name("lbm").expect("lbm in the rate suite");
+    let base = Sim::ddr5().workload(&[lbm; 4], 20_000).seed(7).run();
+    let mint_run = Sim::ddr5()
+        .scheme(MitigationScheme::Mint)
+        .workload(&[lbm; 4], 20_000)
+        .seed(7)
+        .run();
+    let normalized = mint_run.perf.normalize(&base.perf);
+    println!("lbm rate, 4 cores, 20K misses/core through the DDR5 channel:");
+    println!(
+        "  Baseline: {:.3} ms, row-hit rate {:.3}, {:.1} mJ",
+        base.perf.duration_ps as f64 / 1e9,
+        base.perf.result.row_hit_rate(),
+        base.energy.total_j() * 1e3,
+    );
+    println!(
+        "  MINT:     {:.3} ms, {} mitigative ACTs, normalized perf {:.4} (paper: 1.000)",
+        mint_run.perf.duration_ps as f64 / 1e9,
+        mint_run.perf.result.mitigative_acts,
+        normalized.normalized,
+    );
+
+    // 5. The same cell as declarative data: `ScenarioSpec` text
+    //    deserializes into the builder (this is what the `run_scenario`
+    //    binary and the bench grids feed on).
+    let spec = ScenarioSpec::parse(
+        "scheme = MINT\n\
+         workload = lbm\n\
+         requests = 20000\n\
+         seed = 7\n",
+    )
+    .expect("valid scenario");
+    let from_spec = spec.run().expect("scenario runs");
+    assert_eq!(
+        from_spec.perf, mint_run.perf,
+        "the declarative cell is the same run, bit for bit"
+    );
+    println!("\nScenarioSpec round-trip:\n{}", spec.to_text());
+    println!("(the spec-driven run is bit-identical to the builder run)");
 }

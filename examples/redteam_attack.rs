@@ -52,7 +52,7 @@ fn main() {
         MitigationScheme::McPara { p: 1.0 / 40.0 },
     ] {
         let (_, run) = run_corun(&rc, scheme, &pattern, 2);
-        let benign = |r: &mint_rh::memsys::ObservedRun| {
+        let benign = |r: &mint_rh::memsys::RunReport| {
             r.cores.iter().skip(1).map(|c| c.finish_ps).max().unwrap()
         };
         println!(

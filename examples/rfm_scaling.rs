@@ -11,7 +11,7 @@
 
 use mint_rh::analysis::ada::AdaConfig;
 use mint_rh::analysis::{MinTrhSolver, TargetMttf};
-use mint_rh::memsys::{run_workload, spec_rate_workloads, MitigationScheme, SystemConfig};
+use mint_rh::memsys::{workload_by_name, MitigationScheme, Sim};
 
 fn main() {
     let solver = MinTrhSolver::new(TargetMttf::paper_default(), 0.032);
@@ -33,19 +33,23 @@ fn main() {
     println!("  (paper Table V: 2.70K / 1.48K / 689 / 356)\n");
 
     println!("Performance cost (4-core mcf rate, 30K misses/core):");
-    let sys = SystemConfig::table6();
-    let mcf = spec_rate_workloads()
-        .into_iter()
-        .find(|w| w.name == "mcf")
-        .expect("mcf in the suite");
+    let mcf = workload_by_name("mcf").expect("mcf in the suite");
     let specs = [mcf; 4];
-    let base = run_workload(&sys, MitigationScheme::Baseline, &specs, 30_000, 42);
+    let run = |scheme| {
+        Sim::ddr5()
+            .scheme(scheme)
+            .workload(&specs, 30_000)
+            .seed(42)
+            .run()
+            .perf
+    };
+    let base = run(MitigationScheme::Baseline);
     for scheme in [
         MitigationScheme::Mint,
         MitigationScheme::MintRfm { rfm_th: 32 },
         MitigationScheme::MintRfm { rfm_th: 16 },
     ] {
-        let r = run_workload(&sys, scheme, &specs, 30_000, 42).normalize(&base);
+        let r = run(scheme).normalize(&base);
         println!(
             "  {:<12} normalized perf {:.4}  (RFMs: {:>6}, mitigative ACTs: {:>6})",
             scheme.label(),

@@ -12,7 +12,7 @@
 //! 100-request demonstration covering a streaming phase (row-hit heavy), a
 //! bank ping-pong phase and a two-row hammer tail.
 
-use mint_rh::memsys::{run_trace, AddressMapping, MitigationScheme, SchedulePolicy, SystemConfig};
+use mint_rh::memsys::{MitigationScheme, SchedulePolicy, Sim, SystemConfig};
 
 fn main() {
     let path = std::env::args()
@@ -35,14 +35,13 @@ fn main() {
     );
     for policy in [SchedulePolicy::Fcfs, SchedulePolicy::frfcfs()] {
         for scheme in [MitigationScheme::Baseline, MitigationScheme::Mint] {
-            let perf = run_trace(
-                &cfg,
-                scheme,
-                policy,
-                AddressMapping::default(),
-                &entries,
-                26,
-            );
+            let perf = Sim::new(cfg)
+                .scheme(scheme)
+                .policy(policy)
+                .trace(&entries)
+                .seed(26)
+                .run()
+                .perf;
             println!(
                 "{:<10} {:<14} {:>12} {:>10} {:>10} {:>12}",
                 policy.label(),

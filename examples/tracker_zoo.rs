@@ -7,18 +7,20 @@
 //! ```
 
 use mint_rh::memsys::{
-    run_workload_grid, spec_rate_workloads, MitigationBackend, MitigationScheme, SystemConfig,
+    workload_by_name, MitigationBackend, MitigationScheme, ScenarioGrid, SystemConfig,
 };
 use mint_rh::rng::Xoshiro256StarStar;
 
 fn main() {
     let cfg = SystemConfig::table6();
     let schemes = MitigationScheme::zoo();
-    let mcf = spec_rate_workloads()
-        .into_iter()
-        .find(|w| w.name == "mcf")
-        .expect("mcf is in the rate suite");
-    let grid = run_workload_grid(&cfg, &schemes, &[[mcf; 4]], 20_000, &[7]);
+    let mcf = workload_by_name("mcf").expect("mcf is in the rate suite");
+    let grid = ScenarioGrid::new(cfg)
+        .schemes(&schemes)
+        .workloads(&[[mcf; 4]])
+        .requests_per_core(20_000)
+        .seeds(&[7])
+        .run();
 
     println!("mcf_r under the full mitigation zoo (normalized to Baseline):");
     println!(

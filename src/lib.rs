@@ -16,7 +16,9 @@
 //! * [`analysis`] — the analytical security models (Sariou–Wolman, MTTF,
 //!   MinTRH, Markov-chain adaptive attacks).
 //! * [`sim`] — the Monte-Carlo attack simulator.
-//! * [`memsys`] — the performance/energy substrate (Gem5 substitute).
+//! * [`memsys`] — the performance/energy substrate (Gem5 substitute),
+//!   run through one surface: the [`memsys::Sim`] builder and the
+//!   declarative [`memsys::ScenarioSpec`]/[`memsys::ScenarioGrid`] layer.
 //! * [`redteam`] — the adversarial frontend + ground-truth escape oracle
 //!   closing the attacks↔memsys gap (scheme × pattern escape grids,
 //!   performance under attack).

@@ -11,8 +11,8 @@
 
 use mint_rh::exp::prop::{forall, u64_in, usize_in};
 use mint_rh::memsys::{
-    run_workload_with, spec_rate_workloads, AddressDecoder, AddressMapping, DecodedAddr, DramOrg,
-    MitigationScheme, SchedulePolicy, SystemConfig,
+    workload_by_name, AddressDecoder, AddressMapping, DecodedAddr, DramOrg, SchedulePolicy, Sim,
+    SystemConfig,
 };
 use mint_rh::rng::Rng64;
 
@@ -139,23 +139,17 @@ fn frfcfs_strictly_beats_fcfs_on_high_locality_row_hit_rate() {
     // scheduler must harvest strictly more row hits than arrival-order
     // service — across seeds, not just one lucky one.
     let cfg = SystemConfig::table6();
-    let lbm = spec_rate_workloads()
-        .into_iter()
-        .find(|w| w.name == "lbm")
-        .expect("lbm in the suite");
+    let lbm = workload_by_name("lbm").expect("lbm in the suite");
     let specs = [lbm; 4];
     forall(3, 0xF2FCF5, |case, rng| {
         let seed = rng.next_u64();
         let run = |policy| {
-            run_workload_with(
-                &cfg,
-                MitigationScheme::Baseline,
-                policy,
-                AddressMapping::default(),
-                &specs,
-                8_000,
-                seed,
-            )
+            Sim::new(cfg)
+                .policy(policy)
+                .workload(&specs, 8_000)
+                .seed(seed)
+                .run()
+                .perf
         };
         let fcfs = run(SchedulePolicy::Fcfs);
         let frfcfs = run(SchedulePolicy::frfcfs());

@@ -11,8 +11,8 @@
 use mint_rh::exp::prop::{forall, usize_in};
 use mint_rh::memsys::workload::Request;
 use mint_rh::memsys::{
-    run_workload, run_workload_grid, spec_rate_workloads, AddressDecoder, AddressMapping,
-    MemoryController, MitigationScheme, NormalizedPerf, SystemConfig, WorkloadSpec,
+    workload_by_name, AddressDecoder, AddressMapping, MemoryController, MitigationScheme,
+    NormalizedPerf, ScenarioGrid, Sim, SystemConfig, WorkloadSpec,
 };
 
 /// Small enough for a quick grid, large enough to cross many tREFI
@@ -20,19 +20,32 @@ use mint_rh::memsys::{
 const REQUESTS: u32 = 6_000;
 
 fn workloads() -> Vec<[WorkloadSpec; 4]> {
-    let rate = spec_rate_workloads();
-    let pick = |n: &str| rate.iter().find(|w| w.name == n).copied().unwrap();
+    let pick = |n: &str| workload_by_name(n).unwrap();
     vec![[pick("lbm"); 4], [pick("mcf"); 4]]
 }
 
+fn run_cell(
+    cfg: &SystemConfig,
+    scheme: MitigationScheme,
+    specs: &[WorkloadSpec],
+    requests: u32,
+    seed: u64,
+) -> NormalizedPerf {
+    Sim::new(*cfg)
+        .scheme(scheme)
+        .workload(specs, requests)
+        .seed(seed)
+        .run()
+        .perf
+}
+
 fn zoo_grid() -> Vec<Vec<NormalizedPerf>> {
-    run_workload_grid(
-        &SystemConfig::table6(),
-        &MitigationScheme::zoo(),
-        &workloads(),
-        REQUESTS,
-        &[71, 72],
-    )
+    ScenarioGrid::new(SystemConfig::table6())
+        .schemes(&MitigationScheme::zoo())
+        .workloads(&workloads())
+        .requests_per_core(REQUESTS)
+        .seeds(&[71, 72])
+        .run()
 }
 
 fn assert_grids_identical(a: &[Vec<NormalizedPerf>], b: &[Vec<NormalizedPerf>], what: &str) {
@@ -83,10 +96,10 @@ fn baseline_dominates_every_scheme_in_row_hit_rate() {
     const JITTER: f64 = 0.002;
     let cfg = SystemConfig::table6();
     for w in workloads() {
-        let base = run_workload(&cfg, MitigationScheme::Baseline, &w, REQUESTS, 123);
+        let base = run_cell(&cfg, MitigationScheme::Baseline, &w, REQUESTS, 123);
         let base_rate = base.result.row_hit_rate();
         for scheme in MitigationScheme::zoo() {
-            let perf = run_workload(&cfg, scheme, &w, REQUESTS, 123);
+            let perf = run_cell(&cfg, scheme, &w, REQUESTS, 123);
             let rate = perf.result.row_hit_rate();
             let steals_bank_time = matches!(
                 scheme,
@@ -172,7 +185,7 @@ fn refs_match_energy_model_semantics() {
     // energy model multiplies by its per-REF-per-bank energy.
     let cfg = SystemConfig::table6();
     let w = workloads();
-    let perf = run_workload(&cfg, MitigationScheme::Baseline, &w[0], 2_000, 5);
+    let perf = run_cell(&cfg, MitigationScheme::Baseline, &w[0], 2_000, 5);
     let expected = (perf.duration_ps / cfg.t_refi_ps + 1) * u64::from(cfg.banks);
     assert_eq!(perf.result.refs, expected);
     assert!(perf.result.refs >= u64::from(cfg.banks), "t=0 REF counted");
@@ -181,15 +194,20 @@ fn refs_match_energy_model_semantics() {
 #[test]
 fn grid_property_random_zoo_prefixes_match_direct_runs() {
     // Property-test flavour: any prefix of the zoo run through the grid
-    // yields, cell for cell, the same results as a direct `run_workload`.
+    // yields, cell for cell, the same results as a direct `run_cell`.
     let zoo = MitigationScheme::zoo();
     let cfg = SystemConfig::table6();
     let w = workloads();
     forall(6, 0x200, |_case, rng| {
         let k = usize_in(rng, 1, zoo.len() + 1);
         let schemes: Vec<MitigationScheme> = zoo.iter().copied().take(k).collect();
-        let grid = run_workload_grid(&cfg, &schemes, &w[..1], 1_500, &[31]);
-        let direct = run_workload(&cfg, schemes[k - 1], &w[0], 1_500, 31);
+        let grid = ScenarioGrid::new(cfg)
+            .schemes(&schemes)
+            .workloads(&w[..1])
+            .requests_per_core(1_500)
+            .seeds(&[31])
+            .run();
+        let direct = run_cell(&cfg, schemes[k - 1], &w[0], 1_500, 31);
         assert_eq!(grid[0][k - 1].duration_ps, direct.duration_ps);
         assert_eq!(grid[0][k - 1].result, direct.result);
     });

@@ -3,22 +3,21 @@
 //! channel — the end-to-end contract of the trace frontend.
 
 use mint_rh::memsys::{
-    read_trace_file, run_trace, AddressMapping, MitigationScheme, NormalizedPerf, SchedulePolicy,
-    SystemConfig, TraceSource,
+    read_trace_file, MitigationScheme, NormalizedPerf, SchedulePolicy, Sim, SystemConfig,
+    TraceSource,
 };
 
 const SAMPLE: &str = "examples/traces/sample100.trace";
 
 fn replay(scheme: MitigationScheme, policy: SchedulePolicy, seed: u64) -> NormalizedPerf {
     let entries = read_trace_file(SAMPLE).expect("sample trace parses");
-    run_trace(
-        &SystemConfig::table6(),
-        scheme,
-        policy,
-        AddressMapping::default(),
-        &entries,
-        seed,
-    )
+    Sim::ddr5()
+        .scheme(scheme)
+        .policy(policy)
+        .trace(&entries)
+        .seed(seed)
+        .run()
+        .perf
 }
 
 #[test]
