@@ -1,6 +1,9 @@
 //! CI smoke: one tiny workload grid through **both** schedulers, a small
 //! red-team scheme × pattern grid, and the checked-in `ScenarioSpec`
-//! grid file — each diffed for determinism at jobs 1 vs 4.
+//! grid file — each diffed for determinism at jobs 1 vs 4 — plus the
+//! reduced `BENCH_perf.json` / quick `BENCH_security.json` payloads
+//! diffed byte-for-byte between the incremental planner and the scratch
+//! reference.
 //!
 //! ```bash
 //! cargo run --release -p mint-bench --bin ci_smoke
@@ -11,10 +14,11 @@
 //! `mint-exp` fan-out rests on, checked here in seconds instead of the
 //! full test suite's minutes.
 
-use mint_bench::redteam::patterns;
+use mint_bench::perf::{perf_json, zoo_perf_summaries};
+use mint_bench::redteam::{patterns, redteam_report, security_json};
 use mint_memsys::{
-    parse_any, workload_by_name, MitigationScheme, NormalizedPerf, Scenario, ScenarioGrid,
-    SchedulePolicy, SystemConfig,
+    parse_any, set_reference_planner_default, workload_by_name, MitigationScheme, NormalizedPerf,
+    Scenario, ScenarioGrid, SchedulePolicy, SystemConfig,
 };
 use mint_redteam::{redteam_sweep, RedteamConfig, RedteamReport};
 
@@ -135,7 +139,34 @@ fn main() {
         one.len(),
         one[0].len(),
     );
+
+    // Planner oracle at artifact granularity: the exact JSON payloads of
+    // BENCH_perf.json (reduced request budget) and BENCH_security.json
+    // (quick red-team config) must be byte-identical whether the channel
+    // plans incrementally (default) or with the scratch reference.
+    let payloads = || {
+        let perf = perf_json(&zoo_perf_summaries(2_000), 2_000);
+        let rc = RedteamConfig::quick();
+        let security = security_json(&redteam_report(&rc), &rc);
+        (perf, security)
+    };
+    let incremental = payloads();
+    set_reference_planner_default(true);
+    let reference = payloads();
+    set_reference_planner_default(false);
+    assert_eq!(
+        incremental.0, reference.0,
+        "BENCH_perf.json differs between incremental and reference planners"
+    );
+    assert_eq!(
+        incremental.1, reference.1,
+        "BENCH_security.json differs between incremental and reference planners"
+    );
     println!(
-        "ci_smoke OK: schedulers, redteam grid and scenario file bit-identical at jobs 1 vs 4"
+        "planner oracle: BENCH_perf + BENCH_security byte-identical, incremental vs reference"
+    );
+
+    println!(
+        "ci_smoke OK: schedulers, redteam grid, scenario file and both planners bit-identical"
     );
 }

@@ -1,0 +1,26 @@
+//! Measures the simulator's own command throughput — host-side ns per
+//! scheduling decision, requests/sec and DRAM commands/sec across the
+//! scheme × policy × queue-depth cell set, each cell timed under both the
+//! incremental planner and the scratch reference — and writes the tracked
+//! `BENCH_throughput.json` trajectory artifact next to the table.
+//!
+//! ```bash
+//! cargo run --release -p mint-bench --bin figx_throughput [-- --quick] [--out PATH]
+//! ```
+//!
+//! `--quick` trims the cell set and repetition count for CI. The cells
+//! run serially even under `--jobs N` (timing must not contend), but the
+//! flag is accepted so the shared CLI contract holds.
+
+use mint_bench::throughput::{
+    cells, measure_cells, throughput_json, throughput_table, DEFAULT_REPS,
+};
+
+fn main() {
+    let cli = mint_exp::cli::parse();
+    let quick = cli.free.iter().any(|a| a == "--quick");
+    let reps = if quick { 2 } else { DEFAULT_REPS };
+    let records = measure_cells(&cells(quick), reps);
+    println!("{}", throughput_table(&records));
+    cli.write_artifact("BENCH_throughput.json", &throughput_json(&records, reps));
+}

@@ -1,0 +1,407 @@
+//! Raw simulator speed: wall-clock throughput of the command scheduler.
+//!
+//! Every other experiment in this crate measures *simulated* performance;
+//! this one measures the simulator itself — how many scheduling decisions,
+//! serviced requests and DRAM commands per second of host time the
+//! [`Sim`] pipeline sustains, cell by cell across three axes:
+//!
+//! * **scheme** — the full tracker zoo on a realistic mcf stream, since
+//!   backend per-ACT cost rides the same hot path;
+//! * **policy** — FCFS vs FR-FCFS arbitration on a saturated stream;
+//! * **depth** — a saturated stream at 4/16/32 cores, growing the live
+//!   transaction-queue population the planner must arbitrate over (one
+//!   outstanding request per core, so live depth tracks the core count).
+//!
+//! Each cell is timed under **both** planners — the incremental default
+//! and the retained scratch reference ([`set_reference_planner_default`])
+//! — taking the minimum over alternating repetitions so load spikes on
+//! the host cannot bias one side, and asserting along the way that the
+//! two planners produced bit-identical [`SimResult`]s. The machine-
+//! readable `BENCH_throughput.json` is the tracked trajectory artifact
+//! (`figx_throughput`). Unlike `BENCH_perf.json`/`BENCH_security.json`,
+//! its numbers are wall-clock and therefore machine-dependent: compare
+//! runs from the same host, and prefer the planner-speedup ratios, which
+//! divide the host speed out. `repro_all` — whose output is byte-compared
+//! across runs — gets the deterministic [`volume_table`] rendering
+//! instead.
+
+use std::time::Duration;
+
+use mint_analysis::textable::TexTable;
+use mint_memsys::{
+    set_reference_planner_default, workload_by_name, MitigationScheme, SchedulePolicy, Sim,
+    SimResult, SystemConfig, WorkloadSpec,
+};
+
+/// Alternating repetitions per cell (min taken); single-digit because a
+/// cell is already a multi-millisecond batch of simulated work.
+pub const DEFAULT_REPS: u32 = 3;
+
+/// A synthetic stream that keeps every core's outstanding request slot
+/// full (MPKI high enough that think time rounds to zero), so the channel
+/// queue holds one live transaction per core at every decision.
+#[must_use]
+pub fn saturated_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "saturate",
+        mpki: 1000.0,
+        row_buffer_locality: 0.6,
+        read_fraction: 0.67,
+    }
+}
+
+/// One measured configuration: a full [`Sim`] run timed wall-clock.
+#[derive(Debug, Clone)]
+pub struct ThroughputCell {
+    /// Axis-qualified label (e.g. `"zoo/MINT"`, `"depth/x32"`).
+    pub label: String,
+    /// Mitigation scheme under measurement.
+    pub scheme: MitigationScheme,
+    /// Arbitration policy under measurement.
+    pub policy: SchedulePolicy,
+    /// Core count (every core runs `spec`; live queue depth ≤ cores).
+    pub cores: u32,
+    /// Requests per core per timed run.
+    pub requests_per_core: u32,
+    /// The per-core synthetic stream.
+    pub spec: WorkloadSpec,
+}
+
+/// The measured outcome of one cell.
+#[derive(Debug, Clone)]
+pub struct ThroughputRecord {
+    /// Cell label (see [`ThroughputCell::label`]).
+    pub label: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Policy label.
+    pub policy: String,
+    /// Core count of the run.
+    pub cores: u32,
+    /// Transaction-queue bound of the run.
+    pub queue_depth: u32,
+    /// Requests serviced per timed run.
+    pub requests: u64,
+    /// DRAM commands executed per timed run (ACTs, CAS bursts, RFM and
+    /// DRFM — the command stream the scheduler actually planned).
+    pub commands: u64,
+    /// Best host-side ns per scheduling decision, incremental planner.
+    pub ns_per_decision: f64,
+    /// Best host-side ns per scheduling decision, scratch reference.
+    pub reference_ns_per_decision: f64,
+    /// Serviced requests per host second (incremental planner).
+    pub requests_per_sec: f64,
+    /// Executed DRAM commands per host second (incremental planner).
+    pub commands_per_sec: f64,
+}
+
+impl ThroughputRecord {
+    /// Reference-over-incremental time ratio (> 1 means the incremental
+    /// planner is faster).
+    #[must_use]
+    pub fn planner_speedup(&self) -> f64 {
+        self.reference_ns_per_decision / self.ns_per_decision
+    }
+}
+
+/// The measured cell set. `quick` trims it for CI: fewer schemes, fewer
+/// requests, and the 32-core depth point dropped.
+#[must_use]
+pub fn cells(quick: bool) -> Vec<ThroughputCell> {
+    let mcf = workload_by_name("mcf").expect("mcf in the suite");
+    let sat = saturated_spec();
+    let zoo: Vec<MitigationScheme> = if quick {
+        vec![
+            MitigationScheme::Baseline,
+            MitigationScheme::Mint,
+            MitigationScheme::MintRfm { rfm_th: 16 },
+        ]
+    } else {
+        MitigationScheme::zoo()
+    };
+    let zoo_rpc = if quick { 4_000 } else { 40_000 };
+    let sat_rpc = if quick { 2_000 } else { 10_000 };
+    let mut out = Vec::new();
+    for scheme in zoo {
+        out.push(ThroughputCell {
+            label: format!("zoo/{}", scheme.label()),
+            scheme,
+            policy: SchedulePolicy::frfcfs(),
+            cores: 4,
+            requests_per_core: zoo_rpc,
+            spec: mcf,
+        });
+    }
+    for policy in [SchedulePolicy::Fcfs, SchedulePolicy::frfcfs()] {
+        out.push(ThroughputCell {
+            label: format!("policy/{}", policy.label()),
+            scheme: MitigationScheme::Baseline,
+            policy,
+            cores: 4,
+            requests_per_core: sat_rpc,
+            spec: sat,
+        });
+    }
+    let depths: &[u32] = if quick { &[4, 16] } else { &[4, 16, 32] };
+    for &cores in depths {
+        out.push(ThroughputCell {
+            label: format!("depth/x{cores}"),
+            scheme: MitigationScheme::Baseline,
+            policy: SchedulePolicy::frfcfs(),
+            cores,
+            requests_per_core: sat_rpc,
+            spec: sat,
+        });
+    }
+    out
+}
+
+/// One timed run of `cell` under the selected planner. Restores the
+/// incremental default before returning.
+fn timed_run(cell: &ThroughputCell, reference: bool) -> (Duration, SimResult) {
+    set_reference_planner_default(reference);
+    let cfg = SystemConfig {
+        cores: cell.cores,
+        ..SystemConfig::table6()
+    };
+    let specs = vec![cell.spec; cell.cores as usize];
+    let mut result = None;
+    let m = mint_exp::stopwatch::measure(Duration::ZERO, || {
+        let report = Sim::new(cfg)
+            .scheme(cell.scheme)
+            .policy(cell.policy)
+            .workload(&specs, cell.requests_per_core)
+            .seed(1)
+            .run();
+        result = Some(report.perf.result);
+    });
+    set_reference_planner_default(false);
+    (m.elapsed, result.expect("measure ran the body"))
+}
+
+/// Times one cell under both planners, `reps` alternating repetitions
+/// each, and reports the minima.
+///
+/// # Panics
+///
+/// Panics if the two planners disagree on any [`SimResult`] — the
+/// throughput sweep doubles as a coarse end-to-end oracle.
+#[must_use]
+pub fn measure_cell(cell: &ThroughputCell, reps: u32) -> ThroughputRecord {
+    let mut inc = Duration::MAX;
+    let mut refp = Duration::MAX;
+    let mut result = None;
+    for _ in 0..reps.max(1) {
+        let (d, r) = timed_run(cell, false);
+        inc = inc.min(d);
+        let (dr, rr) = timed_run(cell, true);
+        refp = refp.min(dr);
+        assert_eq!(
+            r, rr,
+            "{}: reference and incremental planners diverged",
+            cell.label
+        );
+        result = Some(r);
+    }
+    let r = result.expect("at least one repetition ran");
+    let requests = r.requests;
+    let commands =
+        r.demand_acts + r.mitigative_acts + r.requests + r.rfm_commands + r.drfm_commands;
+    let secs = inc.as_secs_f64();
+    ThroughputRecord {
+        label: cell.label.clone(),
+        scheme: cell.scheme.label(),
+        policy: cell.policy.label(),
+        cores: cell.cores,
+        queue_depth: SystemConfig::table6().queue_depth,
+        requests,
+        commands,
+        ns_per_decision: inc.as_nanos() as f64 / requests.max(1) as f64,
+        reference_ns_per_decision: refp.as_nanos() as f64 / requests.max(1) as f64,
+        requests_per_sec: requests as f64 / secs,
+        commands_per_sec: commands as f64 / secs,
+    }
+}
+
+/// Measures every cell in order (serially — timing cells must not contend
+/// with each other, so this sweep ignores the `--jobs` fan-out).
+#[must_use]
+pub fn measure_cells(cells: &[ThroughputCell], reps: u32) -> Vec<ThroughputRecord> {
+    cells.iter().map(|c| measure_cell(c, reps)).collect()
+}
+
+/// Renders the records as the human-readable table.
+#[must_use]
+pub fn throughput_table(records: &[ThroughputRecord]) -> String {
+    let mut tab = TexTable::new(vec![
+        "Cell",
+        "Policy",
+        "Cores",
+        "ns/decision",
+        "ref ns/decision",
+        "Speedup",
+        "Mreq/s",
+        "Mcmd/s",
+    ]);
+    for r in records {
+        tab.row(vec![
+            r.label.clone(),
+            r.policy.clone(),
+            r.cores.to_string(),
+            format!("{:.1}", r.ns_per_decision),
+            format!("{:.1}", r.reference_ns_per_decision),
+            format!("{:.2}x", r.planner_speedup()),
+            format!("{:.2}", r.requests_per_sec / 1e6),
+            format!("{:.2}", r.commands_per_sec / 1e6),
+        ]);
+    }
+    crate::titled(
+        "Fig X: simulator command throughput (host wall-clock; incremental vs scratch planner)",
+        &tab.to_text(),
+    )
+}
+
+/// Renders the records as the machine-readable `BENCH_throughput.json`
+/// payload. Hand-rendered JSON — the workspace is dependency-free by
+/// design. Cell order follows the sweep order ([`cells`]), pinned by test
+/// so trajectory diffs stay clean.
+#[must_use]
+pub fn throughput_json(records: &[ThroughputRecord], reps: u32) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"source\": \"figx_throughput\",\n");
+    out.push_str("  \"unit_note\": \"host wall-clock; min over alternating reps\",\n");
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str("  \"cells\": [\n");
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"cell\": \"{}\", \"scheme\": \"{}\", \"policy\": \"{}\", \
+                 \"cores\": {}, \"queue_depth\": {}, \"requests\": {}, \"commands\": {}, \
+                 \"ns_per_decision\": {:.1}, \"reference_ns_per_decision\": {:.1}, \
+                 \"planner_speedup\": {:.3}, \"requests_per_sec\": {:.0}, \
+                 \"commands_per_sec\": {:.0}}}",
+                r.label,
+                r.scheme,
+                r.policy,
+                r.cores,
+                r.queue_depth,
+                r.requests,
+                r.commands,
+                r.ns_per_decision,
+                r.reference_ns_per_decision,
+                r.planner_speedup(),
+                r.requests_per_sec,
+                r.commands_per_sec,
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Renders only the records' *deterministic* columns: the simulated
+/// command volume each cell schedules, not how fast the host scheduled
+/// it. This is the [`throughput`] (`repro_all`) rendering — `repro_all`
+/// output is byte-compared across runs and worker counts, so wall-clock
+/// digits must not appear in it. The timed table and the
+/// `BENCH_throughput.json` trajectory come from `figx_throughput`.
+#[must_use]
+pub fn volume_table(records: &[ThroughputRecord]) -> String {
+    let mut tab = TexTable::new(vec![
+        "Cell", "Scheme", "Policy", "Cores", "Requests", "Commands", "Cmd/req",
+    ]);
+    for r in records {
+        tab.row(vec![
+            r.label.clone(),
+            r.scheme.clone(),
+            r.policy.clone(),
+            r.cores.to_string(),
+            r.requests.to_string(),
+            r.commands.to_string(),
+            format!("{:.3}", r.commands as f64 / r.requests.max(1) as f64),
+        ]);
+    }
+    crate::titled(
+        "Fig X: scheduler cell set, command volume (wall-clock trajectory: figx_throughput -> BENCH_throughput.json)",
+        &tab.to_text(),
+    )
+}
+
+/// The `repro_all` entry: the quick cell set, one repetition per planner.
+/// Still times every cell under both planners (so the per-cell
+/// planner-equality assert runs), but renders the deterministic volume
+/// columns only — see [`volume_table`].
+#[must_use]
+pub fn throughput() -> String {
+    volume_table(&measure_cells(&cells(true), 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cell() -> ThroughputCell {
+        ThroughputCell {
+            label: "test/tiny".into(),
+            scheme: MitigationScheme::Mint,
+            policy: SchedulePolicy::frfcfs(),
+            cores: 4,
+            requests_per_core: 500,
+            spec: saturated_spec(),
+        }
+    }
+
+    #[test]
+    fn cell_measures_and_planners_agree() {
+        let r = measure_cell(&tiny_cell(), 1);
+        assert_eq!(r.requests, 4 * 500, "every request serviced");
+        assert!(r.commands >= r.requests, "every request costs >= 1 command");
+        assert!(r.ns_per_decision > 0.0 && r.reference_ns_per_decision > 0.0);
+        assert!(r.requests_per_sec > 0.0 && r.commands_per_sec > 0.0);
+        assert!(r.planner_speedup() > 0.0);
+    }
+
+    #[test]
+    fn quick_cells_are_a_strict_subset_axis_wise() {
+        let quick = cells(true);
+        let full = cells(false);
+        assert!(quick.len() < full.len());
+        for prefix in ["zoo/", "policy/", "depth/"] {
+            assert!(
+                quick.iter().any(|c| c.label.starts_with(prefix)),
+                "quick mode keeps the {prefix} axis"
+            );
+        }
+        let full_labels: Vec<&str> = full.iter().map(|c| c.label.as_str()).collect();
+        for c in &quick {
+            assert!(full_labels.contains(&c.label.as_str()));
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_ordered() {
+        let r = measure_cell(&tiny_cell(), 1);
+        let json = throughput_json(std::slice::from_ref(&r), 1);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+        assert!(json.contains("\"cell\": \"test/tiny\""));
+        assert!(json.contains("\"ns_per_decision\": "));
+        assert!(json.contains("\"planner_speedup\": "));
+        let table = throughput_table(std::slice::from_ref(&r));
+        assert!(table.contains("test/tiny") && table.contains("Speedup"));
+    }
+
+    #[test]
+    fn volume_table_is_deterministic_across_measurements() {
+        // The repro_all rendering must not leak wall-clock digits: two
+        // independent measurements of the same cell render identically.
+        let a = volume_table(&[measure_cell(&tiny_cell(), 1)]);
+        let b = volume_table(&[measure_cell(&tiny_cell(), 1)]);
+        assert_eq!(a, b, "volume table must be byte-stable run to run");
+        assert!(!a.contains("ns/decision") && !a.contains("Speedup"));
+    }
+}

@@ -16,6 +16,52 @@ const TARGET: Duration = Duration::from_millis(200);
 /// Iteration cap for very slow benchmarks.
 const MAX_ITERS: u64 = 1 << 24;
 
+/// One timed batch: how many iterations ran and how long they took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measurement {
+    /// Iterations in the measured batch.
+    pub iters: u64,
+    /// Wall time of the whole batch.
+    pub elapsed: Duration,
+}
+
+impl Measurement {
+    /// Mean nanoseconds per iteration.
+    #[must_use]
+    pub fn ns_per_iter(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iters.max(1) as f64
+    }
+}
+
+/// Times `f` until the measured batch lasts at least `target` (one
+/// warm-up call first, then the iteration count is scaled up from the
+/// observed rate). `Duration::ZERO` times exactly one post-warm-up call —
+/// the mode throughput cells use, where a single call is already
+/// milliseconds of simulated work and the caller takes a min over
+/// repetitions instead.
+pub fn measure(target: Duration, mut f: impl FnMut()) -> Measurement {
+    f(); // warm-up (page in code and data)
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= target || iters >= MAX_ITERS {
+            return Measurement { iters, elapsed };
+        }
+        // Aim straight for the target from the observed rate (at least
+        // doubling to converge when early measurements are noisy).
+        let scaled = if elapsed.is_zero() {
+            iters.saturating_mul(16)
+        } else {
+            (iters as f64 * target.as_secs_f64() / elapsed.as_secs_f64()).ceil() as u64
+        };
+        iters = scaled.max(iters.saturating_mul(2)).min(MAX_ITERS);
+    }
+}
+
 /// Prints `group/name  <mean> ns/iter (<iters> iters)` lines to stdout.
 pub struct Runner {
     group: String,
@@ -32,33 +78,15 @@ impl Runner {
     }
 
     /// Times `f`, printing the per-iteration mean.
-    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
-        f(); // warm-up (page in code and data)
-        let mut iters: u64 = 1;
-        loop {
-            let start = Instant::now();
-            for _ in 0..iters {
-                f();
-            }
-            let elapsed = start.elapsed();
-            if elapsed >= TARGET || iters >= MAX_ITERS {
-                let per_iter = elapsed.as_nanos() / u128::from(iters);
-                println!(
-                    "{}/{name}  {per_iter} ns/iter ({iters} iters, {:.3} s)",
-                    self.group,
-                    elapsed.as_secs_f64(),
-                );
-                return;
-            }
-            // Aim straight for the target from the observed rate (at least
-            // doubling to converge when early measurements are noisy).
-            let scaled = if elapsed.is_zero() {
-                iters.saturating_mul(16)
-            } else {
-                (iters as f64 * TARGET.as_secs_f64() / elapsed.as_secs_f64()).ceil() as u64
-            };
-            iters = scaled.max(iters.saturating_mul(2)).min(MAX_ITERS);
-        }
+    pub fn bench(&mut self, name: &str, f: impl FnMut()) {
+        let m = measure(TARGET, f);
+        println!(
+            "{}/{name}  {} ns/iter ({} iters, {:.3} s)",
+            self.group,
+            m.elapsed.as_nanos() / u128::from(m.iters),
+            m.iters,
+            m.elapsed.as_secs_f64(),
+        );
     }
 }
 
@@ -76,5 +104,14 @@ mod tests {
             black_box(());
         });
         assert!(calls > 1, "benchmark body should run many iterations");
+    }
+
+    #[test]
+    fn zero_target_times_one_call_after_warmup() {
+        let mut calls = 0u64;
+        let m = measure(Duration::ZERO, || calls += 1);
+        assert_eq!(m.iters, 1, "a zero target reports the first batch");
+        assert_eq!(calls, 2, "warm-up call plus one measured call");
+        assert!(m.ns_per_iter() >= 0.0);
     }
 }

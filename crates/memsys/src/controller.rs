@@ -76,15 +76,23 @@ pub struct ServiceOutcome {
     pub row_hit: bool,
 }
 
+/// The *cold* per-bank state: mitigation bookkeeping touched only when a
+/// bank is actually serviced. The two *hot* fields the channel scheduler
+/// scans every decision — ready time and open row — live in dense
+/// struct-of-arrays form on [`MemoryController`] (`bank_ready_ps` /
+/// `bank_open_row`) so the FR-FCFS lookahead walks two flat arrays
+/// instead of striding through backend-sized structs.
 #[derive(Debug)]
 struct BankState {
-    ready_at_ps: u64,
-    open_row: Option<u32>,
     raa: u32,
     /// REF index this bank has processed mitigations up to.
     ref_cursor: u64,
     backend: MitigationBackend,
 }
+
+/// Sentinel for "no row open" in the dense `bank_open_row` array (rows are
+/// decoder outputs bounded by `rows_per_bank`, which never reaches it).
+pub(crate) const OPEN_NONE: u32 = u32::MAX;
 
 /// Pushes `start` past the all-bank REF window it collides with, without
 /// touching any per-bank state — the pure timing rule shared by the bank
@@ -115,12 +123,24 @@ pub struct MemoryController {
     scheme: MitigationScheme,
     decoder: AddressDecoder,
     banks: Vec<BankState>,
+    /// When each bank finishes its current work (hot, scheduler-scanned).
+    bank_ready_ps: Vec<u64>,
+    /// Open row per bank, [`OPEN_NONE`] when closed (hot,
+    /// scheduler-scanned).
+    bank_open_row: Vec<u32>,
     rng: Xoshiro256StarStar,
     result: SimResult,
     /// Executed-command log (service order); only fed when
     /// [`enable_event_log`](Self::enable_event_log) was called.
     events: Vec<MemEvent>,
     log_events: bool,
+    /// Memoised tREFI quotient of the last service: the REF index and the
+    /// start of the period after it. Service times are near-monotone, so
+    /// the per-service `start / tREFI` runs only on period crossings
+    /// (both bounds are checked — an out-of-order caller just pays the
+    /// division again, never gets a stale quotient).
+    ref_quot: u64,
+    ref_next_ps: u64,
 }
 
 /// The victims of `decision` that actually exist in a bank of `rows` rows
@@ -207,8 +227,6 @@ impl MemoryController {
         let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
         let banks = (0..cfg.banks)
             .map(|_| BankState {
-                ready_at_ps: 0,
-                open_row: None,
                 raa: 0,
                 ref_cursor: 0,
                 backend: MitigationBackend::for_scheme(scheme, &cfg, &mut rng),
@@ -219,18 +237,28 @@ impl MemoryController {
             scheme,
             decoder,
             banks,
+            bank_ready_ps: vec![0; cfg.banks as usize],
+            bank_open_row: vec![OPEN_NONE; cfg.banks as usize],
             rng,
             result: SimResult::default(),
             events: Vec::new(),
             log_events: false,
+            ref_quot: 0,
+            ref_next_ps: cfg.t_refi_ps,
         }
     }
 
     /// Turns on the executed-command log ([`MemEvent`] per ACT/PRE/REF/
     /// RFM/DRFM/victim-refresh, in service order). Off by default — the
-    /// perf sweeps pay nothing for the hook.
+    /// perf sweeps pay nothing for the hook. The buffer is preallocated
+    /// here and recycled by [`drain_events`](Self::drain_events) (drain
+    /// keeps capacity), so `capture_events` runs don't regrow it every
+    /// batch.
     pub fn enable_event_log(&mut self) {
         self.log_events = true;
+        if self.events.capacity() == 0 {
+            self.events.reserve(4096);
+        }
     }
 
     /// Drains the executed-command log accumulated since the last drain
@@ -265,7 +293,7 @@ impl MemoryController {
     /// Panics if `bank` is out of range.
     #[must_use]
     pub fn bank_ready_ps(&self, bank: u32) -> u64 {
-        self.banks[bank as usize].ready_at_ps
+        self.bank_ready_ps[bank as usize]
     }
 
     /// The row currently open in `bank`'s row buffer, if any. This is the
@@ -278,7 +306,16 @@ impl MemoryController {
     /// Panics if `bank` is out of range.
     #[must_use]
     pub fn open_row(&self, bank: u32) -> Option<u32> {
-        self.banks[bank as usize].open_row
+        let row = self.bank_open_row[bank as usize];
+        (row != OPEN_NONE).then_some(row)
+    }
+
+    /// The dense per-bank hot state — `(ready_ps, open_row)` arrays, the
+    /// latter with [`OPEN_NONE`] sentinels — scanned by the channel
+    /// scheduler's earliest-start lookahead without per-bank accessor
+    /// calls.
+    pub(crate) fn bank_tables(&self) -> (&[u64], &[u32]) {
+        (&self.bank_ready_ps, &self.bank_open_row)
     }
 
     /// The mitigation backend of one bank (introspection for tests and
@@ -306,16 +343,23 @@ impl MemoryController {
         let blast = self.cfg.blast_radius;
         let refw = refis_per_refw();
         // Process REF-boundary mitigations this bank has crossed.
-        let current_ref = start / refi;
+        let current_ref = if self.ref_quot * refi <= start && start < self.ref_next_ps {
+            self.ref_quot
+        } else {
+            let q = start / refi;
+            self.ref_quot = q;
+            self.ref_next_ps = (q + 1) * refi;
+            q
+        };
         if self.banks[bank].ref_cursor < current_ref {
             // REF is an all-bank precharge: the row buffer does not survive.
-            if self.banks[bank].open_row.is_some() && self.log_events {
+            if self.bank_open_row[bank] != OPEN_NONE && self.log_events {
                 self.events.push(MemEvent::Pre {
                     bank: bank as u32,
                     at_ps: (self.banks[bank].ref_cursor + 1) * refi,
                 });
             }
-            self.banks[bank].open_row = None;
+            self.bank_open_row[bank] = OPEN_NONE;
         }
         while self.banks[bank].ref_cursor < current_ref {
             self.banks[bank].ref_cursor += 1;
@@ -362,7 +406,14 @@ impl MemoryController {
                 b.raa = b.raa.saturating_sub(rfm_th);
             }
         }
-        past_ref_window(&self.cfg, start)
+        // past_ref_window, reusing this call's `start / refi` quotient
+        // instead of dividing a second time.
+        let offset = start - current_ref * refi;
+        if offset < self.cfg.t_rfc_ps {
+            current_ref * refi + self.cfg.t_rfc_ps
+        } else {
+            start
+        }
     }
 
     /// Services one request arriving at `arrival_ps`; returns its
@@ -397,13 +448,14 @@ impl MemoryController {
             self.result.writes += 1;
         }
         let row = decoded.row;
-        let start0 = not_before_ps.max(self.banks[bank_idx].ready_at_ps);
+        debug_assert!(row != OPEN_NONE, "row collides with the open-row sentinel");
+        let start0 = not_before_ps.max(self.bank_ready_ps[bank_idx]);
         let start = self.align_with_refresh(bank_idx, start0);
 
-        let prev_open = self.banks[bank_idx].open_row;
-        let is_hit = prev_open == Some(row);
+        let prev_open = self.bank_open_row[bank_idx];
+        let is_hit = prev_open == row;
         if self.log_events && !is_hit {
-            if prev_open.is_some() {
+            if prev_open != OPEN_NONE {
                 // Row conflict: the miss precharges the old row first.
                 self.events.push(MemEvent::Pre {
                     bank: bank_idx as u32,
@@ -550,9 +602,8 @@ impl MemoryController {
                 at_ps: ready,
             });
         }
-        let bank = &mut self.banks[bank_idx];
-        bank.open_row = if row_survives { Some(row) } else { None };
-        bank.ready_at_ps = ready;
+        self.bank_open_row[bank_idx] = if row_survives { row } else { OPEN_NONE };
+        self.bank_ready_ps[bank_idx] = ready;
         ServiceOutcome {
             start_ps: start,
             completion_ps: completion,

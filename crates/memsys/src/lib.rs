@@ -77,7 +77,7 @@ pub use scenario::{
     parse_any, Scenario, ScenarioFrontend, ScenarioGrid, ScenarioParseError, ScenarioSpec,
     SeedAxis, WorkloadCell,
 };
-pub use sched::{Channel, Completion, SchedulePolicy};
+pub use sched::{set_reference_planner_default, Channel, Completion, SchedulePolicy};
 pub use sim::{CoreOutcome, NormalizedPerf, RunReport, Session, Sim};
 pub use timing::{InterBankTiming, TimingState};
 pub use workload::{

@@ -400,8 +400,17 @@ impl Session<'_> {
         if observe {
             channel.enable_event_log();
         }
-        let mut events = Vec::new();
+        // Captured runs produce one event per executed command; reserve a
+        // chunk up front so the early doublings never land in the hot loop.
+        let mut events = Vec::with_capacity(if self.capture_events { 4096 } else { 0 });
         let mlp = u64::from(self.cfg.core_mlp).max(1);
+        // The common MLP values are powers of two; divide by shift then
+        // (the stall division runs once per serviced request).
+        let mlp_shift = if mlp.is_power_of_two() {
+            Some(mlp.trailing_zeros())
+        } else {
+            None
+        };
         let mut cores: Vec<CoreCtx> = self
             .sources
             .into_iter()
@@ -453,7 +462,10 @@ impl Session<'_> {
                     let core = &mut cores[c.core as usize];
                     // Blocking-miss core with an MLP overlap factor: the
                     // core absorbs 1/MLP of the memory stall.
-                    let stall = (c.completion_ps - c.arrival_ps) / mlp;
+                    let stall = match mlp_shift {
+                        Some(s) => (c.completion_ps - c.arrival_ps) >> s,
+                        None => (c.completion_ps - c.arrival_ps) / mlp,
+                    };
                     core.ready_at = c.arrival_ps + stall;
                     core.finish = core.finish.max(c.completion_ps);
                     core.serviced += 1;

@@ -60,11 +60,21 @@ impl InterBankTiming {
 }
 
 /// Rolling command history answering earliest-issue queries.
+///
+/// The tFAW window is a fixed four-entry ring buffer (`acts` + `head`):
+/// recording an ACT overwrites the oldest slot in place, so the scheduler
+/// hot path never shifts or allocates.
 #[derive(Debug, Clone)]
 pub struct TimingState {
     t: InterBankTiming,
-    /// Issue times of the most recent four ACTs (ascending; tFAW window).
-    recent_acts: Vec<u64>,
+    /// Issue times of the most recent four ACTs (ring buffer; `head`
+    /// indexes the oldest entry once `act_count >= 4`, which is also the
+    /// next slot to overwrite).
+    acts: [u64; 4],
+    /// Next write position / oldest entry of the full ring.
+    head: u8,
+    /// ACTs recorded so far, saturating at 4 (the ring is full then).
+    act_count: u8,
     /// Last ACT: time and bank group.
     last_act: Option<(u64, u32)>,
     /// Last CAS: time and bank group.
@@ -77,7 +87,9 @@ impl TimingState {
     pub fn new(t: InterBankTiming) -> Self {
         Self {
             t,
-            recent_acts: Vec::with_capacity(4),
+            acts: [0; 4],
+            head: 0,
+            act_count: 0,
             last_act: None,
             last_cas: None,
         }
@@ -95,10 +107,11 @@ impl TimingState {
             };
             earliest = earliest.max(t_last + rrd);
         }
-        if self.recent_acts.len() == 4 {
+        if self.act_count >= 4 {
             // A fifth ACT must wait until the oldest of the last four
-            // falls out of the rolling tFAW window.
-            earliest = earliest.max(self.recent_acts[0] + self.t.t_faw_ps);
+            // falls out of the rolling tFAW window; the oldest entry of
+            // the full ring sits exactly at `head`.
+            earliest = earliest.max(self.acts[usize::from(self.head)] + self.t.t_faw_ps);
         }
         earliest
     }
@@ -130,6 +143,26 @@ impl TimingState {
         }
     }
 
+    /// A time at or after which no inter-bank constraint can delay any
+    /// command, whatever its bank group: past the last ACT by the larger
+    /// tRRD, past the rolling tFAW window, and past the last CAS by the
+    /// larger tCCD. The scheduler's planner uses it as a one-compare fast
+    /// path for far-future starts.
+    #[must_use]
+    pub fn quiet_ps(&self) -> u64 {
+        let mut q = 0;
+        if let Some((t, _)) = self.last_act {
+            q = q.max(t + self.t.t_rrd_l_ps.max(self.t.t_rrd_s_ps));
+        }
+        if self.act_count >= 4 {
+            q = q.max(self.acts[usize::from(self.head)] + self.t.t_faw_ps);
+        }
+        if let Some((t, _)) = self.last_cas {
+            q = q.max(t + self.t.t_ccd_l_ps.max(self.t.t_ccd_s_ps));
+        }
+        q
+    }
+
     /// Records an ACT issued at `at_ps` to `bank_group`.
     ///
     /// The scheduler issues commands in chronological order; a debug
@@ -140,10 +173,9 @@ impl TimingState {
             self.last_act.map_or(true, |(t, _)| at_ps >= t),
             "ACTs must be recorded chronologically"
         );
-        if self.recent_acts.len() == 4 {
-            self.recent_acts.remove(0);
-        }
-        self.recent_acts.push(at_ps);
+        self.acts[usize::from(self.head)] = at_ps;
+        self.head = (self.head + 1) & 3;
+        self.act_count = (self.act_count + 1).min(4);
         self.last_act = Some((at_ps, bank_group));
     }
 

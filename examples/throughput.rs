@@ -1,0 +1,43 @@
+//! How fast does the simulator itself run? Times one tracker-zoo
+//! throughput cell — MINT on a 4-core mcf rate stream under FR-FCFS —
+//! under both the incremental planner (the default) and the retained
+//! scratch reference, and prints host-side ns per scheduling decision,
+//! requests/sec and DRAM commands/sec.
+//!
+//! ```bash
+//! cargo run --release --example throughput
+//! ```
+//!
+//! The full scheme × policy × queue-depth sweep (and the tracked
+//! `BENCH_throughput.json` trajectory) lives in the `figx_throughput`
+//! binary of `mint-bench`; this example is the one-cell taste of it.
+
+use mint_bench::throughput::{measure_cell, ThroughputCell, DEFAULT_REPS};
+use mint_memsys::{workload_by_name, MitigationScheme, SchedulePolicy};
+
+fn main() {
+    let cell = ThroughputCell {
+        label: "zoo/MINT".into(),
+        scheme: MitigationScheme::Mint,
+        policy: SchedulePolicy::frfcfs(),
+        cores: 4,
+        requests_per_core: 40_000,
+        spec: workload_by_name("mcf").expect("mcf in the suite"),
+    };
+    let r = measure_cell(&cell, DEFAULT_REPS);
+    println!(
+        "{} ({} on {} cores, {} requests, queue depth {}):",
+        r.label, r.policy, r.cores, r.requests, r.queue_depth
+    );
+    println!(
+        "  incremental planner: {:7.1} ns/decision  ({:.2} Mreq/s, {:.2} Mcmd/s)",
+        r.ns_per_decision,
+        r.requests_per_sec / 1e6,
+        r.commands_per_sec / 1e6
+    );
+    println!(
+        "  scratch reference:   {:7.1} ns/decision  ({:.2}x slower)",
+        r.reference_ns_per_decision,
+        r.planner_speedup()
+    );
+}
