@@ -1,5 +1,6 @@
-//! CI smoke: one tiny workload grid through **both** schedulers, a small
-//! red-team scheme × pattern grid, and the checked-in `ScenarioSpec`
+//! CI smoke: one tiny workload grid through **both** schedulers, the
+//! same grid scaled to a 2-channel × 2-rank DIMM, a small red-team
+//! scheme × pattern grid, and the checked-in `ScenarioSpec`
 //! grid file — each diffed for determinism at jobs 1 vs 4 — plus the
 //! reduced `BENCH_perf.json` / quick `BENCH_security.json` payloads
 //! diffed byte-for-byte between the incremental planner and the scratch
@@ -37,6 +38,25 @@ fn tiny_grid(policy: SchedulePolicy) -> Vec<Vec<NormalizedPerf>> {
             MitigationScheme::MintRfm { rfm_th: 16 },
         ])
         .policy(policy)
+        .workloads(&[[mcf; 4]])
+        .requests_per_core(2_000)
+        .seeds(&[77])
+        .run()
+}
+
+/// The same tiny grid scaled out to a 2-channel × 2-rank DIMM: the
+/// multi-channel [`System`](mint_memsys::System) admission loop and the
+/// per-channel pipeline fan-out must be just as worker-count-invariant
+/// as the single-channel path.
+fn tiny_multichannel_grid() -> Vec<Vec<NormalizedPerf>> {
+    let mcf = workload_by_name("mcf").expect("mcf in the suite");
+    let cfg = SystemConfig {
+        channels: 2,
+        ranks: 2,
+        ..SystemConfig::table6()
+    };
+    ScenarioGrid::new(cfg)
+        .schemes(&[MitigationScheme::Baseline, MitigationScheme::Mint])
         .workloads(&[[mcf; 4]])
         .requests_per_core(2_000)
         .seeds(&[77])
@@ -113,6 +133,13 @@ fn main() {
             mint.result.row_hit_rate(),
         );
     }
+
+    let (one, four) = at_jobs_1_and_4(tiny_multichannel_grid);
+    assert_grids_identical(&one, &four, "2ch x 2rk system");
+    println!(
+        "system: jobs 1 == jobs 4 on a 2-channel x 2-rank DIMM ({} requests)",
+        one[0][0].result.requests,
+    );
 
     let (one, four) = at_jobs_1_and_4(tiny_redteam);
     assert_eq!(

@@ -10,7 +10,10 @@
 //! * **policy** — FCFS vs FR-FCFS arbitration on a saturated stream;
 //! * **depth** — a saturated stream at 4/16/32 cores, growing the live
 //!   transaction-queue population the planner must arbitrate over (one
-//!   outstanding request per core, so live depth tracks the core count).
+//!   outstanding request per core, so live depth tracks the core count);
+//! * **channels** — a saturated stream over a 1/2/4-channel
+//!   [`System`](mint_memsys::System) topology, exercising the frontend
+//!   routing and per-channel pipelines of the DIMM scale-out.
 //!
 //! Each cell is timed under **both** planners — the incremental default
 //! and the retained scratch reference ([`set_reference_planner_default`])
@@ -61,6 +64,8 @@ pub struct ThroughputCell {
     pub policy: SchedulePolicy,
     /// Core count (every core runs `spec`; live queue depth ≤ cores).
     pub cores: u32,
+    /// Memory channels of the simulated topology.
+    pub channels: u32,
     /// Requests per core per timed run.
     pub requests_per_core: u32,
     /// The per-core synthetic stream.
@@ -78,7 +83,9 @@ pub struct ThroughputRecord {
     pub policy: String,
     /// Core count of the run.
     pub cores: u32,
-    /// Transaction-queue bound of the run.
+    /// Memory channels of the run.
+    pub channels: u32,
+    /// Transaction-queue bound of the run (per channel).
     pub queue_depth: u32,
     /// Requests serviced per timed run.
     pub requests: u64,
@@ -128,6 +135,7 @@ pub fn cells(quick: bool) -> Vec<ThroughputCell> {
             scheme,
             policy: SchedulePolicy::frfcfs(),
             cores: 4,
+            channels: 1,
             requests_per_core: zoo_rpc,
             spec: mcf,
         });
@@ -139,6 +147,7 @@ pub fn cells(quick: bool) -> Vec<ThroughputCell> {
             policy,
             cores: 4,
             requests_per_core: sat_rpc,
+            channels: 1,
             spec: sat,
         });
     }
@@ -149,6 +158,19 @@ pub fn cells(quick: bool) -> Vec<ThroughputCell> {
             scheme: MitigationScheme::Baseline,
             policy: SchedulePolicy::frfcfs(),
             cores,
+            channels: 1,
+            requests_per_core: sat_rpc,
+            spec: sat,
+        });
+    }
+    let channel_counts: &[u32] = if quick { &[1, 2] } else { &[1, 2, 4] };
+    for &channels in channel_counts {
+        out.push(ThroughputCell {
+            label: format!("channels/x{channels}"),
+            scheme: MitigationScheme::Baseline,
+            policy: SchedulePolicy::frfcfs(),
+            cores: 4,
+            channels,
             requests_per_core: sat_rpc,
             spec: sat,
         });
@@ -162,6 +184,7 @@ fn timed_run(cell: &ThroughputCell, reference: bool) -> (Duration, SimResult) {
     set_reference_planner_default(reference);
     let cfg = SystemConfig {
         cores: cell.cores,
+        channels: cell.channels,
         ..SystemConfig::table6()
     };
     let specs = vec![cell.spec; cell.cores as usize];
@@ -213,6 +236,7 @@ pub fn measure_cell(cell: &ThroughputCell, reps: u32) -> ThroughputRecord {
         scheme: cell.scheme.label(),
         policy: cell.policy.label(),
         cores: cell.cores,
+        channels: cell.channels,
         queue_depth: SystemConfig::table6().queue_depth,
         requests,
         commands,
@@ -237,6 +261,7 @@ pub fn throughput_table(records: &[ThroughputRecord]) -> String {
         "Cell",
         "Policy",
         "Cores",
+        "Ch",
         "ns/decision",
         "ref ns/decision",
         "Speedup",
@@ -248,6 +273,7 @@ pub fn throughput_table(records: &[ThroughputRecord]) -> String {
             r.label.clone(),
             r.policy.clone(),
             r.cores.to_string(),
+            r.channels.to_string(),
             format!("{:.1}", r.ns_per_decision),
             format!("{:.1}", r.reference_ns_per_decision),
             format!("{:.2}x", r.planner_speedup()),
@@ -277,7 +303,8 @@ pub fn throughput_json(records: &[ThroughputRecord], reps: u32) -> String {
         .map(|r| {
             format!(
                 "    {{\"cell\": \"{}\", \"scheme\": \"{}\", \"policy\": \"{}\", \
-                 \"cores\": {}, \"queue_depth\": {}, \"requests\": {}, \"commands\": {}, \
+                 \"cores\": {}, \"channels\": {}, \"queue_depth\": {}, \"requests\": {}, \
+                 \"commands\": {}, \
                  \"ns_per_decision\": {:.1}, \"reference_ns_per_decision\": {:.1}, \
                  \"planner_speedup\": {:.3}, \"requests_per_sec\": {:.0}, \
                  \"commands_per_sec\": {:.0}}}",
@@ -285,6 +312,7 @@ pub fn throughput_json(records: &[ThroughputRecord], reps: u32) -> String {
                 r.scheme,
                 r.policy,
                 r.cores,
+                r.channels,
                 r.queue_depth,
                 r.requests,
                 r.commands,
@@ -310,7 +338,7 @@ pub fn throughput_json(records: &[ThroughputRecord], reps: u32) -> String {
 #[must_use]
 pub fn volume_table(records: &[ThroughputRecord]) -> String {
     let mut tab = TexTable::new(vec![
-        "Cell", "Scheme", "Policy", "Cores", "Requests", "Commands", "Cmd/req",
+        "Cell", "Scheme", "Policy", "Cores", "Ch", "Requests", "Commands", "Cmd/req",
     ]);
     for r in records {
         tab.row(vec![
@@ -318,6 +346,7 @@ pub fn volume_table(records: &[ThroughputRecord]) -> String {
             r.scheme.clone(),
             r.policy.clone(),
             r.cores.to_string(),
+            r.channels.to_string(),
             r.requests.to_string(),
             r.commands.to_string(),
             format!("{:.3}", r.commands as f64 / r.requests.max(1) as f64),
@@ -348,6 +377,7 @@ mod tests {
             scheme: MitigationScheme::Mint,
             policy: SchedulePolicy::frfcfs(),
             cores: 4,
+            channels: 1,
             requests_per_core: 500,
             spec: saturated_spec(),
         }
@@ -368,7 +398,7 @@ mod tests {
         let quick = cells(true);
         let full = cells(false);
         assert!(quick.len() < full.len());
-        for prefix in ["zoo/", "policy/", "depth/"] {
+        for prefix in ["zoo/", "policy/", "depth/", "channels/"] {
             assert!(
                 quick.iter().any(|c| c.label.starts_with(prefix)),
                 "quick mode keeps the {prefix} axis"
@@ -381,6 +411,23 @@ mod tests {
     }
 
     #[test]
+    fn channel_cells_run_the_multi_channel_system() {
+        let cell = ThroughputCell {
+            channels: 2,
+            label: "channels/x2".into(),
+            ..tiny_cell()
+        };
+        let r = measure_cell(&cell, 1);
+        assert_eq!(r.channels, 2);
+        assert_eq!(
+            r.requests,
+            4 * 500,
+            "every request serviced across channels"
+        );
+        assert!(r.commands >= r.requests);
+    }
+
+    #[test]
     fn json_is_well_formed_and_ordered() {
         let r = measure_cell(&tiny_cell(), 1);
         let json = throughput_json(std::slice::from_ref(&r), 1);
@@ -389,6 +436,7 @@ mod tests {
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert!(!json.contains("NaN") && !json.contains("inf"));
         assert!(json.contains("\"cell\": \"test/tiny\""));
+        assert!(json.contains("\"channels\": 1"));
         assert!(json.contains("\"ns_per_decision\": "));
         assert!(json.contains("\"planner_speedup\": "));
         let table = throughput_table(std::slice::from_ref(&r));

@@ -13,7 +13,12 @@
 //!
 //! All field widths are powers of two, so encode→decode is a bijection on
 //! `addr_bits()`-wide addresses (pinned by property tests in
-//! `tests/address_properties.rs`).
+//! `tests/address_properties.rs`). Addresses beyond the organisation's
+//! capacity are **rejected, not wrapped**: DRAMsim3-class integrations
+//! have historically lost rank/channel bits by silently truncating
+//! out-of-range addresses, so [`AddressDecoder::decode`] panics (and
+//! [`AddressDecoder::try_decode`] errors) instead of aliasing two
+//! physical addresses onto one bank.
 
 use crate::config::SystemConfig;
 
@@ -35,17 +40,35 @@ pub struct DecodedAddr {
 }
 
 impl DecodedAddr {
-    /// The flat bank index (`bank_group × banks_per_group + bank`) — what
-    /// the per-bank controller state is indexed by.
+    /// The flat bank index within one rank
+    /// (`bank_group × banks_per_group + bank`).
     #[must_use]
     pub fn flat_bank(&self, banks_per_group: u32) -> u32 {
         self.bank_group * banks_per_group + self.bank
     }
+
+    /// The channel-local bank index across all ranks of the channel
+    /// (`rank × banks_per_rank + flat_bank`) — what the controller's
+    /// per-bank state and the `bank` field of every
+    /// [`MemEvent`](crate::MemEvent) are indexed by.
+    #[must_use]
+    pub fn channel_bank(&self, org: &DramOrg) -> u32 {
+        self.rank * org.banks_per_rank() + self.flat_bank(org.banks_per_group)
+    }
+
+    /// The system-global bank index
+    /// (`channel × ranks × banks_per_rank + channel_bank`) — what
+    /// topology-wide consumers such as the red-team oracle address banks
+    /// by.
+    #[must_use]
+    pub fn system_bank(&self, org: &DramOrg) -> u32 {
+        self.channel * org.ranks * org.banks_per_rank() + self.channel_bank(org)
+    }
 }
 
-/// The address fields a mapping orders (channel/rank are degenerate
-/// zero-width fields in the current single-channel, single-rank org, but
-/// the slicer handles any power-of-two width).
+/// The address fields a mapping orders (channel/rank widths follow the
+/// configured topology — zero-width in the Table VI 1×1 system — and the
+/// slicer handles any power-of-two width).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Field {
     Channel,
@@ -155,8 +178,8 @@ pub struct DramOrg {
 }
 
 impl DramOrg {
-    /// The organisation implied by a [`SystemConfig`] (single channel,
-    /// single rank).
+    /// The organisation implied by a [`SystemConfig`]: `cfg.channels`
+    /// channels of `cfg.ranks` ranks each (Table VI configures 1×1).
     ///
     /// # Panics
     ///
@@ -164,8 +187,8 @@ impl DramOrg {
     #[must_use]
     pub fn from_system(cfg: &SystemConfig) -> Self {
         let org = Self {
-            channels: 1,
-            ranks: 1,
+            channels: cfg.channels,
+            ranks: cfg.ranks,
             bank_groups: cfg.bank_groups,
             banks_per_group: cfg.banks_per_group(),
             rows: cfg.rows_per_bank,
@@ -173,6 +196,19 @@ impl DramOrg {
         };
         org.assert_pow2();
         org
+    }
+
+    /// Banks per rank (`bank_groups × banks_per_group`).
+    #[must_use]
+    pub fn banks_per_rank(&self) -> u32 {
+        self.bank_groups * self.banks_per_group
+    }
+
+    /// Banks in the whole organisation
+    /// (`channels × ranks × banks_per_rank`).
+    #[must_use]
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.ranks * self.banks_per_rank()
     }
 
     fn assert_pow2(&self) {
@@ -217,6 +253,31 @@ impl DramOrg {
 
 /// Bits of the cache-line offset within an address (64-byte lines).
 pub const LINE_OFFSET_BITS: u32 = 6;
+
+/// An address whose high bits exceed the organisation's capacity — the
+/// silent-wrap failure mode DRAMsim3-style integrations are known for
+/// (rank/channel bits truncated, two physical addresses aliased onto one
+/// bank). The decoder refuses such addresses instead of wrapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressOutOfRange {
+    /// The offending byte address.
+    pub addr: u64,
+    /// Significant bits the organisation can address.
+    pub addr_bits: u32,
+}
+
+impl std::fmt::Display for AddressOutOfRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "address {:#x} out of range: the organisation spans {} address \
+             bits (refusing to wrap — see DramOrg)",
+            self.addr, self.addr_bits
+        )
+    }
+}
+
+impl std::error::Error for AddressOutOfRange {}
 
 /// A bidirectional physical-address ↔ DRAM-coordinate translator for one
 /// organisation and one named mapping.
@@ -269,7 +330,8 @@ impl AddressDecoder {
     }
 
     /// Significant byte-address bits (line offset + all field widths).
-    /// Addresses are taken modulo `2^addr_bits()`.
+    /// Addresses at or beyond `2^addr_bits()` are rejected by
+    /// [`decode`](Self::decode) / [`try_decode`](Self::try_decode).
     #[must_use]
     pub fn addr_bits(&self) -> u32 {
         LINE_OFFSET_BITS
@@ -281,12 +343,35 @@ impl AddressDecoder {
                 .sum::<u32>()
     }
 
-    /// Slices a byte address into DRAM coordinates. Bits above
-    /// [`addr_bits`](Self::addr_bits) and the intra-line offset are
-    /// ignored, so any `u64` (e.g. from a trace) decodes to in-range
-    /// coordinates.
+    /// Slices a byte address into DRAM coordinates. The intra-line offset
+    /// is ignored; bits above [`addr_bits`](Self::addr_bits) are **not**
+    /// — an address beyond the organisation's capacity panics rather than
+    /// silently wrapping onto the wrong channel/rank/bank (use
+    /// [`try_decode`](Self::try_decode) for a recoverable error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr >= 2^addr_bits()`.
     #[must_use]
     pub fn decode(&self, addr: u64) -> DecodedAddr {
+        match self.try_decode(addr) {
+            Ok(a) => a,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`decode`](Self::decode): `Err` when the address lies
+    /// beyond the organisation's `2^addr_bits()` capacity, instead of
+    /// wrapping it onto an aliased bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddressOutOfRange`] if `addr >= 2^addr_bits()`.
+    pub fn try_decode(&self, addr: u64) -> Result<DecodedAddr, AddressOutOfRange> {
+        let addr_bits = self.addr_bits();
+        if addr_bits < u64::BITS && (addr >> addr_bits) != 0 {
+            return Err(AddressOutOfRange { addr, addr_bits });
+        }
         let mut line = addr >> LINE_OFFSET_BITS;
         let mut out = DecodedAddr {
             channel: 0,
@@ -311,7 +396,7 @@ impl AddressDecoder {
                 Field::Column => out.column = v,
             }
         }
-        out
+        Ok(out)
     }
 
     /// Packs DRAM coordinates back into the byte address of the line's
@@ -340,21 +425,28 @@ impl AddressDecoder {
         line << LINE_OFFSET_BITS
     }
 
-    /// Convenience: the address of `(flat_bank, row, column)` in the
-    /// single-channel, single-rank organisation — what the synthetic
-    /// workload generator and unit tests build requests from.
+    /// Convenience: the address of `(system_bank, row, column)`, where
+    /// `system_bank` is a system-global bank index spanning the whole
+    /// topology (channel-major, then rank, then in-rank flat bank — the
+    /// inverse of [`DecodedAddr::system_bank`]). In the 1-channel ×
+    /// 1-rank organisation this is exactly the in-rank flat bank index.
+    /// What the synthetic workload generator and unit tests build
+    /// requests from.
     ///
     /// # Panics
     ///
     /// Panics if any coordinate is out of range.
     #[must_use]
-    pub fn encode_bank_row(&self, flat_bank: u32, row: u32, column: u32) -> u64 {
+    pub fn encode_bank_row(&self, system_bank: u32, row: u32, column: u32) -> u64 {
         let bpg = self.org.banks_per_group;
+        let bpr = self.org.banks_per_rank();
+        let (rank_major, flat) = (system_bank / bpr, system_bank % bpr);
+        let (channel, rank) = (rank_major / self.org.ranks, rank_major % self.org.ranks);
         self.encode(DecodedAddr {
-            channel: 0,
-            rank: 0,
-            bank_group: flat_bank / bpg,
-            bank: flat_bank % bpg,
+            channel,
+            rank,
+            bank_group: flat / bpg,
+            bank: flat % bpg,
             row,
             column,
         })
@@ -430,12 +522,96 @@ mod tests {
         assert_eq!(next_row.flat_bank(4), a.flat_bank(4));
     }
 
+    /// A 2-channel × 4-rank organisation, small enough that exhaustive
+    /// bank sweeps stay fast.
+    fn multi_org() -> DramOrg {
+        DramOrg {
+            channels: 2,
+            ranks: 4,
+            bank_groups: 8,
+            banks_per_group: 4,
+            rows: 1024,
+            columns: 128,
+        }
+    }
+
     #[test]
-    fn high_bits_and_offset_are_ignored() {
+    fn offset_is_ignored_but_high_bits_are_rejected() {
         let d = decoder(AddressMapping::RoBaRaCoCh);
         let base = 0x3_ABCD_1234_u64 & !(64 - 1);
         assert_eq!(d.decode(base), d.decode(base + 63));
-        assert_eq!(d.decode(base), d.decode(base + (1u64 << d.addr_bits())));
+        // Beyond 2^addr_bits the decoder must refuse, not wrap: wrapping
+        // silently aliases two physical addresses onto one bank (the
+        // DRAMsim3 out-of-range-rank-bits pitfall).
+        let above = base + (1u64 << d.addr_bits());
+        let err = d.try_decode(above).unwrap_err();
+        assert_eq!(err.addr, above);
+        assert_eq!(err.addr_bits, d.addr_bits());
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decode_panics_beyond_capacity() {
+        let d = decoder(AddressMapping::RoBaRaCoCh);
+        let _ = d.decode(1u64 << d.addr_bits());
+    }
+
+    #[test]
+    fn out_of_range_rank_and_channel_bits_rejected_not_wrapped() {
+        // For every mapping of the multi-rank org: the first address past
+        // capacity is exactly the one a wrap would alias back to address
+        // 0 / channel 0 / rank 0 — which is how rank bits get silently
+        // lost. It must be rejected instead.
+        for m in AddressMapping::all() {
+            let d = AddressDecoder::with_org(multi_org(), m);
+            assert!(d.try_decode((1u64 << d.addr_bits()) - 64).is_ok());
+            let err = d.try_decode(1u64 << d.addr_bits()).unwrap_err();
+            assert_eq!(err.addr_bits, d.addr_bits(), "{}", m.label());
+        }
+    }
+
+    #[test]
+    fn multi_channel_rank_round_trip_every_mapping() {
+        // Encode↔decode bijection over every channel × rank corner of the
+        // multi-topology org, for all three named mappings.
+        for m in AddressMapping::all() {
+            let d = AddressDecoder::with_org(multi_org(), m);
+            for channel in 0..2 {
+                for rank in 0..4 {
+                    for (bank_group, bank, row, column) in
+                        [(0, 0, 0, 0), (7, 3, 1023, 127), (5, 2, 513, 64)]
+                    {
+                        let a = DecodedAddr {
+                            channel,
+                            rank,
+                            bank_group,
+                            bank,
+                            row,
+                            column,
+                        };
+                        assert_eq!(d.decode(d.encode(a)), a, "{}", m.label());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn channel_and_system_bank_indices_are_dense_and_bijective() {
+        let org = multi_org();
+        let d = AddressDecoder::with_org(org, AddressMapping::RoBaRaCoCh);
+        let mut seen = std::collections::HashSet::new();
+        for sys_bank in 0..org.total_banks() {
+            let a = d.decode(d.encode_bank_row(sys_bank, 9, 3));
+            assert_eq!(a.system_bank(&org), sys_bank);
+            assert_eq!(
+                a.channel_bank(&org),
+                sys_bank % (org.ranks * org.banks_per_rank())
+            );
+            assert!(seen.insert((a.channel, a.rank, a.bank_group, a.bank)));
+        }
+        assert_eq!(seen.len() as u32, org.total_banks());
     }
 
     #[test]

@@ -137,6 +137,13 @@ impl MitigationScheme {
 pub struct SystemConfig {
     /// Number of cores (4).
     pub cores: u32,
+    /// Independently-clocked DDR5 channels in the system (Table VI: 1;
+    /// must be a power of two for bit-sliced address mapping).
+    pub channels: u32,
+    /// Ranks per channel (Table VI: 1; must be a power of two). Each rank
+    /// carries its own `banks` banks and its own tFAW/tRRD activation
+    /// window; the CAS bus is shared per channel.
+    pub ranks: u32,
     /// Core clock in GHz (3).
     pub core_ghz: u32,
     /// Effective non-memory IPC of the 8-wide core (how fast compute
@@ -199,6 +206,8 @@ impl SystemConfig {
         let t = DdrTimings::ddr5_5200b();
         Self {
             cores: 4,
+            channels: 1,
+            ranks: 1,
             core_ghz: 3,
             core_ipc: 3,
             core_mlp: 4,
@@ -238,6 +247,21 @@ impl SystemConfig {
         self.banks / self.bank_groups
     }
 
+    /// Banks per channel across all of its ranks (`ranks × banks`). The
+    /// controller's bank tables (and the `bank` field of every
+    /// [`MemEvent`](crate::MemEvent)) are indexed by
+    /// `rank × banks + flat_bank` inside one channel.
+    #[must_use]
+    pub fn banks_per_channel(&self) -> u32 {
+        self.ranks * self.banks
+    }
+
+    /// Banks in the whole system (`channels × ranks × banks`).
+    #[must_use]
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.ranks * self.banks
+    }
+
     /// Picoseconds per core cycle.
     #[must_use]
     pub fn core_cycle_ps(&self) -> u64 {
@@ -272,6 +296,9 @@ mod tests {
         let c = SystemConfig::table6();
         assert_eq!(c.cores, 4);
         assert_eq!(c.banks, 32);
+        assert_eq!((c.channels, c.ranks), (1, 1), "Table VI is 1 ch x 1 rank");
+        assert_eq!(c.banks_per_channel(), 32);
+        assert_eq!(c.total_banks(), 32);
         assert_eq!(c.t_rc_ps, 48_000);
         assert_eq!(c.core_cycle_ps(), 333);
         assert_eq!(c.miss_latency_ps(), 48_000);
@@ -302,6 +329,17 @@ mod tests {
             ..SystemConfig::table6()
         };
         let _ = c.banks_per_group();
+    }
+
+    #[test]
+    fn bank_totals_scale_with_topology() {
+        let c = SystemConfig {
+            channels: 2,
+            ranks: 4,
+            ..SystemConfig::table6()
+        };
+        assert_eq!(c.banks_per_channel(), 128);
+        assert_eq!(c.total_banks(), 256);
     }
 
     #[test]

@@ -61,6 +61,21 @@ impl SimResult {
         }
         self.row_hits as f64 / self.requests as f64
     }
+
+    /// Accumulates another controller's statistics into this one — how a
+    /// multi-channel [`System`](crate::System) folds per-channel results
+    /// into the run total.
+    pub fn absorb(&mut self, other: &SimResult) {
+        self.requests += other.requests;
+        self.row_hits += other.row_hits;
+        self.demand_acts += other.demand_acts;
+        self.mitigative_acts += other.mitigative_acts;
+        self.rfm_commands += other.rfm_commands;
+        self.drfm_commands += other.drfm_commands;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.refs += other.refs;
+    }
 }
 
 /// When one serviced request started, finished, and whether it hit the
@@ -225,7 +240,10 @@ impl MemoryController {
     ) -> Self {
         let decoder = AddressDecoder::new(&cfg, mapping);
         let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
-        let banks = (0..cfg.banks)
+        // One bank state per (rank, bank) of the channel, rank-major —
+        // indexed by `DecodedAddr::channel_bank`.
+        let channel_banks = cfg.banks_per_channel();
+        let banks = (0..channel_banks)
             .map(|_| BankState {
                 raa: 0,
                 ref_cursor: 0,
@@ -237,8 +255,8 @@ impl MemoryController {
             scheme,
             decoder,
             banks,
-            bank_ready_ps: vec![0; cfg.banks as usize],
-            bank_open_row: vec![OPEN_NONE; cfg.banks as usize],
+            bank_ready_ps: vec![0; channel_banks as usize],
+            bank_open_row: vec![OPEN_NONE; channel_banks as usize],
             rng,
             result: SimResult::default(),
             events: Vec::new(),
@@ -427,11 +445,14 @@ impl MemoryController {
     }
 
     /// Services one decoded request no earlier than `not_before_ps`;
-    /// reports start, completion and hit/miss.
+    /// reports start, completion and hit/miss. Bank state is indexed by
+    /// the decoded `(rank, bank_group, bank)` coordinates
+    /// ([`DecodedAddr::channel_bank`]); the decoded channel is the
+    /// [`System`](crate::System) router's concern, not this controller's.
     ///
     /// # Panics
     ///
-    /// Panics if the decoded bank is out of range for the configured
+    /// Panics if the decoded rank/bank is out of range for the configured
     /// channel.
     pub fn service_decoded(
         &mut self,
@@ -439,7 +460,7 @@ impl MemoryController {
         is_read: bool,
         not_before_ps: u64,
     ) -> ServiceOutcome {
-        let bank_idx = decoded.flat_bank(self.cfg.banks_per_group()) as usize;
+        let bank_idx = decoded.channel_bank(self.decoder.org()) as usize;
         assert!(bank_idx < self.banks.len(), "bank out of range");
         self.result.requests += 1;
         if is_read {
@@ -615,14 +636,16 @@ impl MemoryController {
     ///
     /// A REF command fires at every tREFI boundary starting at t = 0 (the
     /// controller blocks `[k·tREFI, k·tREFI + tRFC)` for every `k ≥ 0`),
-    /// and each all-bank REF refreshes all `banks` banks — so the run
-    /// elapses `(⌊end/tREFI⌋ + 1) × banks` per-bank REF events. Rounding
+    /// and each all-bank REF refreshes every bank of every rank of the
+    /// channel — so the run elapses
+    /// `(⌊end/tREFI⌋ + 1) × ranks × banks` per-bank REF events. Rounding
     /// is *up* to the REF whose window has started: a partial final tREFI
     /// has already paid its REF energy, which keeps [`SimResult::refs`]
     /// consistent with the per-REF-per-bank energy the
     /// [`EnergyModel`](crate::EnergyModel) multiplies by.
     pub fn finish(&mut self, end_ps: u64) {
-        self.result.refs = (end_ps / self.cfg.t_refi_ps + 1) * u64::from(self.cfg.banks);
+        self.result.refs =
+            (end_ps / self.cfg.t_refi_ps + 1) * u64::from(self.cfg.banks_per_channel());
     }
 }
 
@@ -957,6 +980,59 @@ mod tests {
         assert_eq!(m.result().refs, 2 * banks);
         m.finish(10 * cfg.t_refi_ps + 1);
         assert_eq!(m.result().refs, 11 * banks);
+    }
+
+    #[test]
+    fn refs_scale_with_ranks() {
+        // Regression: `finish` used to multiply by `cfg.banks` alone,
+        // silently under-counting REF energy on multi-rank channels.
+        let cfg = SystemConfig {
+            ranks: 2,
+            ..SystemConfig::table6()
+        };
+        let mut m = MemoryController::new(cfg, MitigationScheme::Baseline, 7);
+        m.finish(0);
+        assert_eq!(
+            m.result().refs,
+            2 * u64::from(cfg.banks),
+            "an all-bank REF sweeps every rank"
+        );
+        m.finish(cfg.t_refi_ps);
+        assert_eq!(m.result().refs, 2 * 2 * u64::from(cfg.banks));
+    }
+
+    #[test]
+    fn ranks_carry_independent_bank_state() {
+        // Regression: bank state used to be indexed by the in-rank flat
+        // bank only, so the same bank number on two ranks aliased one row
+        // buffer. The same (bank_group, bank, row) on rank 0 and rank 1
+        // must be two independent row buffers.
+        let cfg = SystemConfig {
+            ranks: 2,
+            ..SystemConfig::table6()
+        };
+        let mut m = MemoryController::new(cfg, MitigationScheme::Baseline, 7);
+        let at = |rank| DecodedAddr {
+            channel: 0,
+            rank,
+            bank_group: 2,
+            bank: 1,
+            row: 42,
+            column: 0,
+        };
+        let t0 = cfg.t_rfc_ps;
+        let o0 = m.service_decoded(at(0), true, t0);
+        assert!(!o0.row_hit);
+        // Same coordinates on rank 1: its own bank, so this is a miss —
+        // and it is not delayed by rank 0's busy bank either.
+        let o1 = m.service_decoded(at(1), true, t0);
+        assert!(!o1.row_hit, "rank 1 must not see rank 0's open row");
+        assert_eq!(o0.start_ps, o1.start_ps, "independent bank ready times");
+        // Re-touching rank 0's row is a genuine hit.
+        let o2 = m.service_decoded(at(0), true, o0.completion_ps);
+        assert!(o2.row_hit);
+        assert_eq!(m.result().row_hits, 1);
+        assert_eq!(m.result().demand_acts, 2);
     }
 
     #[test]

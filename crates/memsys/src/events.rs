@@ -20,14 +20,18 @@
 
 /// One device-level command executed by the channel.
 ///
-/// Times are picoseconds on the channel's clock. `bank` is always the flat
-/// bank index (`bank_group × banks_per_group + bank`), matching
-/// [`DecodedAddr::flat_bank`](crate::DecodedAddr::flat_bank).
+/// Times are picoseconds on the channel's clock. `bank` is the
+/// channel-local bank index (`rank × banks_per_rank + flat_bank`, matching
+/// [`DecodedAddr::channel_bank`](crate::DecodedAddr::channel_bank)) as
+/// emitted by the engine; when a [`System`](crate::System) forwards events
+/// from channel `c` it rebases them with
+/// [`with_bank_offset`](MemEvent::with_bank_offset) so observers see
+/// system-global bank indices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemEvent {
     /// A demand activation: `row` opened in `bank` (a row miss).
     Act {
-        /// Flat bank index.
+        /// Channel-local bank index.
         bank: u32,
         /// Activated row.
         row: u32,
@@ -37,7 +41,7 @@ pub enum MemEvent {
     /// A precharge closing `bank`'s open row (row conflict, REF boundary,
     /// or a mitigation command behind the ACT).
     Pre {
-        /// Flat bank index.
+        /// Channel-local bank index.
         bank: u32,
         /// When the row buffer closed.
         at_ps: u64,
@@ -45,7 +49,7 @@ pub enum MemEvent {
     /// An all-bank REF boundary this bank crossed; `ref_index` counts
     /// boundaries from t = 0 (the boundary at `k·tREFI` has index `k`).
     Ref {
-        /// Flat bank index.
+        /// Channel-local bank index.
         bank: u32,
         /// 1-based REF boundary index (`at_ps / tREFI`).
         ref_index: u64,
@@ -54,7 +58,7 @@ pub enum MemEvent {
     },
     /// An RFM command blocking `bank` (MINT+RFM threshold crossing).
     Rfm {
-        /// Flat bank index.
+        /// Channel-local bank index.
         bank: u32,
         /// When the command was issued.
         at_ps: u64,
@@ -62,7 +66,7 @@ pub enum MemEvent {
     /// A directed-RFM command blocking `bank` (MC-PARA sample or Graphene
     /// threshold crossing).
     Drfm {
-        /// Flat bank index.
+        /// Channel-local bank index.
         bank: u32,
         /// When the command was issued.
         at_ps: u64,
@@ -71,7 +75,7 @@ pub enum MemEvent {
     /// `row` was refreshed (clearing its disturbance) — and, being an
     /// activation, it silently hammers *its* neighbours.
     MitigativeRefresh {
-        /// Flat bank index.
+        /// Channel-local bank index.
         bank: u32,
         /// The refreshed victim row.
         row: u32,
@@ -81,7 +85,8 @@ pub enum MemEvent {
 }
 
 impl MemEvent {
-    /// The flat bank the event happened on.
+    /// The bank the event happened on (channel-local as emitted; global
+    /// after [`with_bank_offset`](Self::with_bank_offset)).
     #[must_use]
     pub fn bank(&self) -> u32 {
         match *self {
@@ -92,6 +97,25 @@ impl MemEvent {
             | MemEvent::Drfm { bank, .. }
             | MemEvent::MitigativeRefresh { bank, .. } => bank,
         }
+    }
+
+    /// The same event with its bank index shifted up by `offset` — how a
+    /// multi-channel [`System`](crate::System) rebases a channel-local
+    /// event stream into the system-global bank space (offset
+    /// `channel × banks_per_channel`; an offset of 0 is the identity, so
+    /// single-channel observers are untouched).
+    #[must_use]
+    pub fn with_bank_offset(self, offset: u32) -> Self {
+        let mut out = self;
+        match &mut out {
+            MemEvent::Act { bank, .. }
+            | MemEvent::Pre { bank, .. }
+            | MemEvent::Ref { bank, .. }
+            | MemEvent::Rfm { bank, .. }
+            | MemEvent::Drfm { bank, .. }
+            | MemEvent::MitigativeRefresh { bank, .. } => *bank += offset,
+        }
+        out
     }
 
     /// The event's timestamp (ps).
@@ -148,6 +172,36 @@ mod tests {
         for (i, e) in events.iter().enumerate() {
             assert_eq!(e.bank(), i as u32 + 1);
             assert_eq!(e.at_ps(), (i as u64 + 1) * 10);
+        }
+    }
+
+    #[test]
+    fn bank_offset_shifts_every_variant_and_zero_is_identity() {
+        let events = [
+            MemEvent::Act {
+                bank: 1,
+                row: 2,
+                at_ps: 10,
+            },
+            MemEvent::Pre { bank: 2, at_ps: 20 },
+            MemEvent::Ref {
+                bank: 3,
+                ref_index: 1,
+                at_ps: 30,
+            },
+            MemEvent::Rfm { bank: 4, at_ps: 40 },
+            MemEvent::Drfm { bank: 5, at_ps: 50 },
+            MemEvent::MitigativeRefresh {
+                bank: 6,
+                row: 9,
+                at_ps: 60,
+            },
+        ];
+        for e in events {
+            assert_eq!(e.with_bank_offset(0), e);
+            let shifted = e.with_bank_offset(64);
+            assert_eq!(shifted.bank(), e.bank() + 64);
+            assert_eq!(shifted.at_ps(), e.at_ps(), "only the bank moves");
         }
     }
 }

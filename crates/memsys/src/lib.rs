@@ -10,9 +10,11 @@
 //!   `RFM_TH` activations per bank;
 //! * MC-side PARA issues a blocking DRFM (410 ns) per sampled activation.
 //!
-//! This crate reproduces those mechanisms in a command-level single-channel
-//! DDR5 pipeline, and exposes **one run surface** over it — the [`Sim`]
-//! builder:
+//! This crate reproduces those mechanisms in a command-level DDR5
+//! pipeline scaled out to a full DIMM — a [`System`] of N independently
+//! clocked channels × R ranks per channel, each channel its own
+//! [`Channel`] command pipeline — and exposes **one run surface** over it:
+//! the [`Sim`] builder.
 //!
 //! ```text
 //!  Sim builder ──► Session ─────────────────────────────────► RunReport
@@ -30,11 +32,13 @@
 //! ([`workload::TraceSource`]); attacker sources plug in through
 //! [`Sim::sources`]. Requests carry physical byte addresses, sliced by a
 //! configurable [`AddressDecoder`] (three named mappings, see
-//! [`address`]). The [`Channel`] schedules the bounded transaction queue
-//! with FCFS or FR-FCFS (row-hit-first, oldest-first, starvation-capped)
-//! under the DDR5 inter-bank constraints, and executes on per-bank state
-//! carrying a real [`MitigationBackend`] for any tracker of the
-//! `mint-trackers` zoo. A DRAMPower-style energy model ([`energy`]) prices
+//! [`address`]). The frontend routes each request to its channel by
+//! decoded address; each [`Channel`] schedules its bounded transaction
+//! queue with FCFS or FR-FCFS (row-hit-first, oldest-first,
+//! starvation-capped) under the DDR5 inter-bank constraints — tRRD/tFAW
+//! tracked per rank, the CAS bus shared per channel — and executes on
+//! rank-indexed per-bank state carrying a real [`MitigationBackend`] for
+//! any tracker of the `mint-trackers` zoo. A DRAMPower-style energy model ([`energy`]) prices
 //! every [`RunReport`].
 //!
 //! Scenarios can also be described *as data*: a [`ScenarioSpec`] is one
@@ -59,10 +63,11 @@ pub mod runner;
 pub mod scenario;
 pub mod sched;
 pub mod sim;
+pub mod system;
 pub mod timing;
 pub mod workload;
 
-pub use address::{AddressDecoder, AddressMapping, DecodedAddr, DramOrg};
+pub use address::{AddressDecoder, AddressMapping, AddressOutOfRange, DecodedAddr, DramOrg};
 pub use backend::MitigationBackend;
 pub use config::{MitigationScheme, SystemConfig};
 pub use controller::{MemoryController, ServiceOutcome, SimResult};
@@ -79,6 +84,7 @@ pub use scenario::{
 };
 pub use sched::{set_reference_planner_default, Channel, Completion, SchedulePolicy};
 pub use sim::{CoreOutcome, NormalizedPerf, RunReport, Session, Sim};
+pub use system::System;
 pub use timing::{InterBankTiming, TimingState};
 pub use workload::{
     mixes, parse_trace, read_trace_file, spec_rate_workloads, workload_by_name, CoreStream,

@@ -169,6 +169,8 @@ pub enum ScenarioFrontend {
 /// | `policy` | a [`SchedulePolicy::parse`] label | FR-FCFS |
 /// | `mapping` | an [`AddressMapping::parse`] label | `RoBaRaCoCh` |
 /// | `seed` | master seed (u64) | 0 |
+/// | `channels` | memory channels (nonzero power of two) | target config's |
+/// | `ranks` | ranks per channel (nonzero power of two) | target config's |
 /// | `workload` | a [`WorkloadCell`] token | — |
 /// | `requests` | LLC misses per core (workload frontend) | 10000 |
 /// | `trace` | path to a trace file | — |
@@ -186,6 +188,10 @@ pub struct ScenarioSpec {
     pub mapping: AddressMapping,
     /// Master seed.
     pub seed: u64,
+    /// Memory-channel override (`None` = the target config's topology).
+    pub channels: Option<u32>,
+    /// Ranks-per-channel override (`None` = the target config's topology).
+    pub ranks: Option<u32>,
     /// Requests per core (workload frontend; traces run dry).
     pub requests_per_core: u32,
     /// Where requests come from.
@@ -210,6 +216,8 @@ impl ScenarioSpec {
             policy: crate::sched::SchedulePolicy::default(),
             mapping: AddressMapping::default(),
             seed: 0,
+            channels: None,
+            ranks: None,
             requests_per_core: DEFAULT_REQUESTS_PER_CORE,
             frontend: ScenarioFrontend::Trace(String::new()), // placeholder
         };
@@ -236,6 +244,12 @@ impl ScenarioSpec {
                 }
                 "requests" => {
                     spec.requests_per_core = parse_requests(&value).map_err(&err)?;
+                }
+                "channels" => {
+                    spec.channels = Some(parse_topology("channels", &value).map_err(&err)?);
+                }
+                "ranks" => {
+                    spec.ranks = Some(parse_topology("ranks", &value).map_err(&err)?);
                 }
                 "workload" => {
                     set_frontend(
@@ -266,6 +280,12 @@ impl ScenarioSpec {
         out.push_str(&format!("policy = {}\n", self.policy.label()));
         out.push_str(&format!("mapping = {}\n", self.mapping.label()));
         out.push_str(&format!("seed = {}\n", self.seed));
+        if let Some(channels) = self.channels {
+            out.push_str(&format!("channels = {channels}\n"));
+        }
+        if let Some(ranks) = self.ranks {
+            out.push_str(&format!("ranks = {ranks}\n"));
+        }
         match &self.frontend {
             ScenarioFrontend::Workload(cell) => {
                 out.push_str(&format!("workload = {}\n", cell.to_token()));
@@ -279,13 +299,21 @@ impl ScenarioSpec {
         out
     }
 
-    /// Deserializes the spec into a ready-to-run [`Sim`] on `cfg`.
+    /// Deserializes the spec into a ready-to-run [`Sim`] on `cfg` (with
+    /// the spec's `channels`/`ranks` overrides applied, when present).
     ///
     /// # Errors
     ///
     /// Returns I/O and parse errors for a trace frontend whose file is
     /// unreadable or malformed.
     pub fn to_sim(&self, cfg: SystemConfig) -> Result<Sim<'static>, Box<dyn std::error::Error>> {
+        let mut cfg = cfg;
+        if let Some(channels) = self.channels {
+            cfg.channels = channels;
+        }
+        if let Some(ranks) = self.ranks {
+            cfg.ranks = ranks;
+        }
         let sim = Sim::new(cfg)
             .scheme(self.scheme)
             .policy(self.policy)
@@ -321,8 +349,9 @@ impl ScenarioSpec {
 ///
 /// The text form shares the [`ScenarioSpec`] conventions with plural
 /// axes: `schemes = <label>…` (or `zoo`), `workloads = <cell>…`,
-/// `requests = N`, and either `seed_base = N` (workload `w` seeds at
-/// `seed_base + w`) or an explicit `seeds = <u64>…` list.
+/// `requests = N`, `channels = N` / `ranks = R` topology overrides
+/// (nonzero powers of two), and either `seed_base = N` (workload `w`
+/// seeds at `seed_base + w`) or an explicit `seeds = <u64>…` list.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioGrid {
     /// The system under test.
@@ -470,6 +499,12 @@ impl ScenarioGrid {
                 "requests" => {
                     grid.requests_per_core = parse_requests(&value).map_err(&err)?;
                 }
+                "channels" => {
+                    grid.cfg.channels = parse_topology("channels", &value).map_err(&err)?;
+                }
+                "ranks" => {
+                    grid.cfg.ranks = parse_topology("ranks", &value).map_err(&err)?;
+                }
                 "seed_base" => {
                     had_seed_base = true;
                     grid.seeds = SeedAxis::Base(
@@ -595,6 +630,18 @@ fn parse_requests(value: &str) -> Result<u32, String> {
     }
 }
 
+/// Parses a topology axis (`channels` / `ranks`): a nonzero power of two,
+/// because the decoder slices the physical address with bit masks — any
+/// other count would silently alias banks instead of failing here with a
+/// line number.
+fn parse_topology(key: &str, value: &str) -> Result<u32, String> {
+    match value.parse::<u32>() {
+        Ok(n) if n.is_power_of_two() => Ok(n),
+        Ok(n) => Err(format!("bad {key} {n}: need a nonzero power of two")),
+        Err(e) => Err(format!("bad {key} {value:?}: {e}")),
+    }
+}
+
 /// One `key = value` line.
 struct Pair {
     line: usize,
@@ -663,6 +710,8 @@ mod tests {
         assert_eq!(spec.policy, SchedulePolicy::frfcfs());
         assert_eq!(spec.mapping, AddressMapping::RoBaRaCoCh);
         assert_eq!(spec.seed, 0);
+        assert_eq!(spec.channels, None);
+        assert_eq!(spec.ranks, None);
         assert_eq!(spec.requests_per_core, DEFAULT_REQUESTS_PER_CORE);
         assert_eq!(
             spec.frontend,
@@ -678,6 +727,8 @@ mod tests {
                 policy: SchedulePolicy::Fcfs,
                 mapping: AddressMapping::RoCoRaBaCh,
                 seed: 99,
+                channels: Some(4),
+                ranks: Some(2),
                 requests_per_core: 1234,
                 frontend: ScenarioFrontend::Workload(WorkloadCell::Mix(3)),
             },
@@ -686,6 +737,8 @@ mod tests {
                 policy: SchedulePolicy::FrFcfs { starvation_cap: 7 },
                 mapping: AddressMapping::ChRaBaRoCo,
                 seed: 0,
+                channels: Some(2),
+                ranks: None,
                 requests_per_core: 1,
                 frontend: ScenarioFrontend::Workload(WorkloadCell::PerCore(vec![
                     "lbm".into(),
@@ -699,6 +752,8 @@ mod tests {
                 policy: SchedulePolicy::default(),
                 mapping: AddressMapping::default(),
                 seed: 7,
+                channels: None,
+                ranks: None,
                 requests_per_core: DEFAULT_REQUESTS_PER_CORE,
                 frontend: ScenarioFrontend::Trace("examples/traces/sample100.trace".into()),
             },
@@ -718,6 +773,10 @@ mod tests {
             ("workload = lbm\nseed = -3\n", 2, "bad seed"),
             ("workload = lbm\nrequests = many\n", 2, "bad requests"),
             ("workload = lbm\nrequests = 0\n", 2, "at least 1 per core"),
+            ("workload = lbm\nchannels = 3\n", 2, "nonzero power of two"),
+            ("workload = lbm\nchannels = x\n", 2, "bad channels"),
+            ("workload = lbm\nranks = 0\n", 2, "nonzero power of two"),
+            ("workload = lbm\nranks = -1\n", 2, "bad ranks"),
             ("workload = nosuch\n", 1, "unknown workload"),
             ("workload = mix99\n", 1, "out of range"),
             ("workload = lbm\nworkload = mcf\n", 2, "duplicate key"),
@@ -770,6 +829,36 @@ mod tests {
         let zoo = ScenarioGrid::parse("schemes = zoo\nworkloads = mcf\n").unwrap();
         assert_eq!(zoo.schemes, MitigationScheme::zoo());
         assert_eq!(zoo.seeds, SeedAxis::Base(0));
+    }
+
+    #[test]
+    fn topology_keys_set_the_grid_config_and_reject_bad_counts() {
+        let grid = ScenarioGrid::parse("schemes = zoo\nworkloads = mcf\nchannels = 2\nranks = 4\n")
+            .unwrap();
+        assert_eq!(grid.cfg.channels, 2);
+        assert_eq!(grid.cfg.ranks, 4);
+        let dflt = ScenarioGrid::parse("schemes = zoo\nworkloads = mcf\n").unwrap();
+        assert_eq!(
+            (dflt.cfg.channels, dflt.cfg.ranks),
+            (1, 1),
+            "topology defaults to the Table VI single-channel DIMM"
+        );
+        let e = ScenarioGrid::parse("schemes = zoo\nworkloads = mcf\nchannels = 6\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.reason.contains("nonzero power of two"), "{}", e.reason);
+    }
+
+    #[test]
+    fn cell_topology_overrides_apply_to_the_sim_config() {
+        let spec = ScenarioSpec::parse("workload = lbm\nchannels = 2\nranks = 2\nrequests = 10\n")
+            .unwrap();
+        assert_eq!((spec.channels, spec.ranks), (Some(2), Some(2)));
+        let report = spec.run().unwrap();
+        assert_eq!(
+            report.perf.result.requests,
+            4 * 10,
+            "the overridden sim runs"
+        );
     }
 
     #[test]

@@ -110,8 +110,9 @@ struct Transaction {
     core: u32,
     arrival_ps: u64,
     decoded: DecodedAddr,
-    /// Flat bank index (`decoded.flat_bank(..)`), resolved once at
-    /// admission — the planner reads it per slot per decision.
+    /// Channel-local bank index (`decoded.channel_bank(..)`, rank-major),
+    /// resolved once at admission — the planner reads it per slot per
+    /// decision.
     bank: u32,
     is_read: bool,
     /// Times an older issuable transaction was passed over for a younger
@@ -238,8 +239,8 @@ impl PlanCtx<'_> {
         if slot.start_ps >= self.quiet_ps {
             return true;
         }
-        let bg = slot.tx.decoded.bank_group;
-        (slot.cas_off_ps == 0 || slot.start_ps >= self.timing.earliest_act(bg))
+        let (rank, bg) = (slot.tx.decoded.rank, slot.tx.decoded.bank_group);
+        (slot.cas_off_ps == 0 || slot.start_ps >= self.timing.earliest_act(rank, bg))
             && self.timing.cas_slot(slot.start_ps + slot.cas_off_ps, bg)
                 == slot.start_ps + slot.cas_off_ps
     }
@@ -263,12 +264,12 @@ impl PlanCtx<'_> {
             // fixpoint (window ends never sit inside a window).
             return (self.wins.adjust(self.cfg, t), cas_off);
         }
-        let bg = tx.decoded.bank_group;
+        let (rank, bg) = (tx.decoded.rank, tx.decoded.bank_group);
         for _ in 0..4 {
             let prev = t;
             t = self.wins.adjust(self.cfg, t);
             if !predicted_hit {
-                t = t.max(self.timing.earliest_act(bg));
+                t = t.max(self.timing.earliest_act(rank, bg));
             }
             t = self.timing.cas_slot(t + cas_off, bg) - cas_off;
             if t == prev {
@@ -407,7 +408,7 @@ impl Channel {
             cfg,
             policy,
             engine: MemoryController::with_mapping(cfg, scheme, mapping, seed),
-            timing: TimingState::new(InterBankTiming::from_system(&cfg)),
+            timing: TimingState::with_ranks(InterBankTiming::from_system(&cfg), cfg.ranks),
             slots: Vec::with_capacity(cfg.queue_depth as usize),
             free: Vec::with_capacity(cfg.queue_depth as usize),
             active: Vec::with_capacity(cfg.queue_depth as usize),
@@ -529,7 +530,7 @@ impl Channel {
             core,
             arrival_ps,
             decoded,
-            bank: decoded.flat_bank(self.cfg.banks_per_group()),
+            bank: decoded.channel_bank(self.engine.decoder().org()),
             is_read: req.is_read,
             bypassed: 0,
         };
@@ -621,7 +622,7 @@ impl Channel {
     /// couple of rounds; the cap only guards degenerate configs). Returns
     /// `(start, cas_off)`.
     fn earliest_start_scratch(&self, tx: &Transaction) -> (u64, u64) {
-        let bg = tx.decoded.bank_group;
+        let (rank, bg) = (tx.decoded.rank, tx.decoded.bank_group);
         let predicted_hit = self.engine.open_row(tx.bank) == Some(tx.decoded.row);
         let cas_offset = if predicted_hit {
             0
@@ -636,7 +637,7 @@ impl Channel {
             let prev = t;
             t = past_ref_window(&self.cfg, t);
             if !predicted_hit {
-                t = t.max(self.timing.earliest_act(bg));
+                t = t.max(self.timing.earliest_act(rank, bg));
             }
             t = self.timing.cas_slot(t + cas_offset, bg) - cas_offset;
             if t == prev {
@@ -819,9 +820,9 @@ impl Channel {
         debug_assert!(outcome.start_ps >= start, "engine may not start early");
         // Record the commands for the rolling inter-bank windows. The CAS
         // of a miss trails the ACT by tRP + tRCD.
-        let bg = tx.decoded.bank_group;
+        let (rank, bg) = (tx.decoded.rank, tx.decoded.bank_group);
         if !outcome.row_hit {
-            self.timing.record_act(outcome.start_ps, bg);
+            self.timing.record_act(outcome.start_ps, rank, bg);
         }
         self.timing.record_cas(
             outcome.start_ps
@@ -1045,6 +1046,38 @@ mod tests {
             cfg.t_faw_ps,
             "the fifth ACT waits for the rolling four-activate window"
         );
+    }
+
+    #[test]
+    fn act_spacing_is_rank_local_but_cas_bus_is_shared() {
+        // Five misses alternating between two ranks, each in its own bank
+        // group: neither tRRD nor tFAW binds across ranks, so only the
+        // shared CAS bus (tCCD_S between groups) paces the burst — well
+        // inside what a single rank's four-activate window would allow.
+        let cfg = SystemConfig {
+            ranks: 2,
+            ..SystemConfig::table6()
+        };
+        let mut ch = Channel::new(
+            cfg,
+            MitigationScheme::Baseline,
+            SchedulePolicy::Fcfs,
+            AddressMapping::default(),
+            5,
+        );
+        let t0 = cfg.t_rfc_ps;
+        for (i, bg) in [0u32, 1, 2, 3, 4].into_iter().enumerate() {
+            let rank = (i as u32) % 2;
+            let r = req(&ch, rank * cfg.banks + bg * cfg.banks_per_group(), 1, 0);
+            ch.push(r, i as u32, t0);
+        }
+        let served = drain(&mut ch);
+        assert_eq!(
+            served[4].start_ps - served[0].start_ps,
+            4 * cfg.t_ccd_s_ps,
+            "cross-rank ACTs are paced only by the shared CAS bus"
+        );
+        assert!(4 * cfg.t_ccd_s_ps < cfg.t_faw_ps);
     }
 
     #[test]

@@ -44,7 +44,8 @@ use crate::config::{MitigationScheme, SystemConfig};
 use crate::controller::SimResult;
 use crate::energy::{EnergyModel, EnergyReport};
 use crate::events::{ChannelObserver, MemEvent};
-use crate::sched::{Channel, SchedulePolicy};
+use crate::sched::SchedulePolicy;
+use crate::system::System;
 use crate::workload::{CoreStream, Request, RequestSource, TraceEntry, TraceSource, WorkloadSpec};
 use mint_rng::derive_seed;
 
@@ -375,30 +376,29 @@ pub struct Session<'a> {
 }
 
 impl Session<'_> {
-    /// Drives every source through a fresh channel until all are
+    /// Drives every source through a fresh [`System`] until all are
     /// exhausted (or have issued their budget) and returns the unified
     /// [`RunReport`].
     ///
-    /// Admission and service interleave deterministically: a request is
-    /// admitted whenever it arrives no later than the channel's next
-    /// scheduling decision (so the scheduler always arbitrates over every
-    /// request that has actually arrived), otherwise the channel serves.
-    /// Drained command events go to the observer (and the report, when
-    /// captured) after every scheduling decision, in service order —
-    /// bit-deterministic regardless of how a surrounding sweep is
-    /// parallelised.
+    /// Admission and service interleave deterministically at the system
+    /// level: each pending request routes to its channel by decoded
+    /// address, the earliest issuable request whose routed channel can
+    /// admit it (room in the queue, issue no later than that channel's
+    /// next scheduling decision — so every channel's scheduler arbitrates
+    /// over all of its arrived traffic) is admitted first, and otherwise
+    /// the earliest-ready channel serves (ties to the lowest channel
+    /// index). With one channel this is exactly the legacy single-channel
+    /// loop. Drained command events go to the observer (and the report,
+    /// when captured) after every scheduling decision, in service order
+    /// with system-global bank indices — bit-deterministic regardless of
+    /// how a surrounding sweep is parallelised.
     #[must_use]
     pub fn run(mut self) -> RunReport {
-        let mut channel = Channel::new(
-            self.cfg,
-            self.scheme,
-            self.policy,
-            self.mapping,
-            derive_seed(self.seed, 0xC0),
-        );
+        let mut system = System::new(self.cfg, self.scheme, self.policy, self.mapping, self.seed);
+        let single_channel = system.channel_count() == 1;
         let observe = self.observer.is_some() || self.capture_events;
         if observe {
-            channel.enable_event_log();
+            system.enable_event_log();
         }
         // Captured runs produce one event per executed command; reserve a
         // chunk up front so the early doublings never land in the hot loop.
@@ -428,55 +428,72 @@ impl Session<'_> {
             })
             .collect();
 
+        // Pending arrivals sorted by (issue, core) each iteration; the
+        // buffer is reused so the hot loop never allocates.
+        let mut arrivals: Vec<(u64, usize)> = Vec::with_capacity(cores.len());
         loop {
-            // The earliest core ready to issue (ties: lowest core index).
-            let next_arrival = cores
-                .iter()
-                .enumerate()
-                .filter_map(|(i, c)| c.pending.as_ref().map(|&(_, issue)| (issue, i)))
-                .min();
-            let next_start = channel.next_start_ps();
-            match (next_arrival, next_start) {
-                (None, None) => break,
-                // Admit when the next request arrives no later than the
-                // next scheduling decision — the scheduler must see all
-                // arrived traffic before committing a command.
-                (Some((issue, i)), start)
-                    if channel.has_room() && start.map_or(true, |s| issue <= s) =>
-                {
-                    let (req, issue) = cores[i].pending.take().expect("pending checked");
-                    channel.push(req, i as u32, issue);
-                }
-                _ => {
-                    let c = channel.service_next().expect("queue is non-empty");
-                    if observe {
-                        for e in channel.drain_events() {
-                            if let Some(obs) = self.observer.as_deref_mut() {
-                                obs.on_event(&e);
-                            }
-                            if self.capture_events {
-                                events.push(e);
-                            }
-                        }
-                    }
-                    let core = &mut cores[c.core as usize];
-                    // Blocking-miss core with an MLP overlap factor: the
-                    // core absorbs 1/MLP of the memory stall.
-                    let stall = match mlp_shift {
-                        Some(s) => (c.completion_ps - c.arrival_ps) >> s,
-                        None => (c.completion_ps - c.arrival_ps) / mlp,
-                    };
-                    core.ready_at = c.arrival_ps + stall;
-                    core.finish = core.finish.max(c.completion_ps);
-                    core.serviced += 1;
-                    core.fetch();
+            arrivals.clear();
+            for (i, c) in cores.iter().enumerate() {
+                if let Some(&(_, issue)) = c.pending.as_ref() {
+                    arrivals.push((issue, i));
                 }
             }
+            arrivals.sort_unstable();
+            // Admit the earliest issuable request whose routed channel
+            // can take it — each channel's scheduler must see all of its
+            // arrived traffic before committing a command. (A blocked
+            // channel is never empty, so the service arm below always
+            // makes progress towards unblocking it.)
+            let mut admitted = None;
+            for &(issue, i) in &arrivals {
+                let ch = if single_channel {
+                    0
+                } else {
+                    let &(req, _) = cores[i].pending.as_ref().expect("pending checked");
+                    system.route(req.addr)
+                };
+                if system.admissible(ch, issue) {
+                    admitted = Some((i, ch));
+                    break;
+                }
+            }
+            if let Some((i, ch)) = admitted {
+                let (req, issue) = cores[i].pending.take().expect("pending checked");
+                system.push_to(ch, req, i as u32, issue);
+                continue;
+            }
+            let Some(ch) = system.earliest_ready() else {
+                break;
+            };
+            let c = system
+                .service_channel(ch)
+                .expect("earliest-ready channel is non-empty");
+            if observe {
+                for e in system.drain_events_global(ch) {
+                    if let Some(obs) = self.observer.as_deref_mut() {
+                        obs.on_event(&e);
+                    }
+                    if self.capture_events {
+                        events.push(e);
+                    }
+                }
+            }
+            let core = &mut cores[c.core as usize];
+            // Blocking-miss core with an MLP overlap factor: the core
+            // absorbs 1/MLP of the memory stall.
+            let stall = match mlp_shift {
+                Some(s) => (c.completion_ps - c.arrival_ps) >> s,
+                None => (c.completion_ps - c.arrival_ps) / mlp,
+            };
+            core.ready_at = c.arrival_ps + stall;
+            core.finish = core.finish.max(c.completion_ps);
+            core.serviced += 1;
+            core.fetch();
         }
 
         let duration = cores.iter().map(|c| c.finish).max().unwrap_or(0);
-        channel.finish(duration);
-        let result = channel.result();
+        system.finish(duration);
+        let result = system.result();
         let with_hw = !matches!(self.scheme, MitigationScheme::Baseline);
         RunReport {
             perf: NormalizedPerf {

@@ -4,12 +4,17 @@
 //! commands (tRC, hit/miss latencies, REF windows); this module layers the
 //! *cross-bank* DDR5 constraints on top:
 //!
-//! * **tRRD** — two ACTs anywhere in the channel must be at least
+//! * **tRRD** — two ACTs anywhere in one rank must be at least
 //!   tRRD_S apart (tRRD_L when they hit the same bank group);
-//! * **tFAW** — any rolling tFAW window holds at most four ACTs;
+//! * **tFAW** — any rolling tFAW window holds at most four ACTs per rank;
 //! * **tCCD** — two CAS bursts must be at least tCCD_S apart
 //!   (tCCD_L within one bank group), which is what serialises the data
 //!   bus.
+//!
+//! ACT constraints (tRRD, tFAW) are *rank-local*: each rank has its own
+//! activation power budget, so [`TimingState`] keeps one rolling ACT
+//! history per rank. The CAS exclusion zone stays channel-global — all
+//! ranks of a channel share one data bus.
 //!
 //! [`TimingState`] is fed *chronologically* by the channel scheduler
 //! (which always issues the earliest-startable transaction, so command
@@ -59,47 +64,77 @@ impl InterBankTiming {
     }
 }
 
-/// Rolling command history answering earliest-issue queries.
-///
-/// The tFAW window is a fixed four-entry ring buffer (`acts` + `head`):
-/// recording an ACT overwrites the oldest slot in place, so the scheduler
-/// hot path never shifts or allocates.
+/// One rank's rolling ACT history: the tFAW ring plus the last ACT for
+/// tRRD spacing.
 #[derive(Debug, Clone)]
-pub struct TimingState {
-    t: InterBankTiming,
-    /// Issue times of the most recent four ACTs (ring buffer; `head`
-    /// indexes the oldest entry once `act_count >= 4`, which is also the
-    /// next slot to overwrite).
+struct RankActs {
+    /// Issue times of the rank's most recent four ACTs (ring buffer;
+    /// `head` indexes the oldest entry once `act_count >= 4`, which is
+    /// also the next slot to overwrite).
     acts: [u64; 4],
     /// Next write position / oldest entry of the full ring.
     head: u8,
     /// ACTs recorded so far, saturating at 4 (the ring is full then).
     act_count: u8,
-    /// Last ACT: time and bank group.
+    /// Last ACT of this rank: time and bank group.
     last_act: Option<(u64, u32)>,
-    /// Last CAS: time and bank group.
-    last_cas: Option<(u64, u32)>,
 }
 
-impl TimingState {
-    /// Fresh state (no command history) under the given constraints.
-    #[must_use]
-    pub fn new(t: InterBankTiming) -> Self {
+impl RankActs {
+    fn fresh() -> Self {
         Self {
-            t,
             acts: [0; 4],
             head: 0,
             act_count: 0,
             last_act: None,
+        }
+    }
+}
+
+/// Rolling command history answering earliest-issue queries.
+///
+/// Each rank's tFAW window is a fixed four-entry ring buffer
+/// (`acts` + `head`): recording an ACT overwrites the oldest slot in
+/// place, so the scheduler hot path never shifts or allocates. The CAS
+/// horizon is shared across ranks (one data bus per channel).
+#[derive(Debug, Clone)]
+pub struct TimingState {
+    t: InterBankTiming,
+    /// Per-rank ACT histories (tRRD and tFAW are rank-local).
+    ranks: Vec<RankActs>,
+    /// Last CAS on the channel's shared data bus: time and bank group.
+    last_cas: Option<(u64, u32)>,
+}
+
+impl TimingState {
+    /// Fresh single-rank state (no command history) under the given
+    /// constraints.
+    #[must_use]
+    pub fn new(t: InterBankTiming) -> Self {
+        Self::with_ranks(t, 1)
+    }
+
+    /// Fresh state for a channel of `ranks` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks == 0`.
+    #[must_use]
+    pub fn with_ranks(t: InterBankTiming, ranks: u32) -> Self {
+        assert!(ranks > 0, "a channel needs at least one rank");
+        Self {
+            t,
+            ranks: (0..ranks).map(|_| RankActs::fresh()).collect(),
             last_cas: None,
         }
     }
 
-    /// Earliest time an ACT to `bank_group` may issue.
+    /// Earliest time an ACT to `bank_group` of `rank` may issue.
     #[must_use]
-    pub fn earliest_act(&self, bank_group: u32) -> u64 {
+    pub fn earliest_act(&self, rank: u32, bank_group: u32) -> u64 {
+        let r = &self.ranks[rank as usize];
         let mut earliest = 0;
-        if let Some((t_last, bg)) = self.last_act {
+        if let Some((t_last, bg)) = r.last_act {
             let rrd = if bg == bank_group {
                 self.t.t_rrd_l_ps
             } else {
@@ -107,11 +142,11 @@ impl TimingState {
             };
             earliest = earliest.max(t_last + rrd);
         }
-        if self.act_count >= 4 {
-            // A fifth ACT must wait until the oldest of the last four
-            // falls out of the rolling tFAW window; the oldest entry of
-            // the full ring sits exactly at `head`.
-            earliest = earliest.max(self.acts[usize::from(self.head)] + self.t.t_faw_ps);
+        if r.act_count >= 4 {
+            // A fifth ACT must wait until the oldest of the rank's last
+            // four falls out of the rolling tFAW window; the oldest entry
+            // of the full ring sits exactly at `head`.
+            earliest = earliest.max(r.acts[usize::from(r.head)] + self.t.t_faw_ps);
         }
         earliest
     }
@@ -123,7 +158,8 @@ impl TimingState {
     /// miss trails its ACT by tRP + tRCD), so the data bus is modelled as
     /// an exclusion zone of ±tCCD around the latest CAS: a desired slot
     /// clear of that zone — before or after — is granted as is; a
-    /// conflicting one is pushed past it.
+    /// conflicting one is pushed past it. The bus is shared by every rank
+    /// of the channel, so there is no rank parameter.
     #[must_use]
     pub fn cas_slot(&self, desired_ps: u64, bank_group: u32) -> u64 {
         match self.last_cas {
@@ -144,18 +180,20 @@ impl TimingState {
     }
 
     /// A time at or after which no inter-bank constraint can delay any
-    /// command, whatever its bank group: past the last ACT by the larger
-    /// tRRD, past the rolling tFAW window, and past the last CAS by the
-    /// larger tCCD. The scheduler's planner uses it as a one-compare fast
-    /// path for far-future starts.
+    /// command, whatever its rank or bank group: past every rank's last
+    /// ACT by the larger tRRD, past every rank's rolling tFAW window, and
+    /// past the last CAS by the larger tCCD. The scheduler's planner uses
+    /// it as a one-compare fast path for far-future starts.
     #[must_use]
     pub fn quiet_ps(&self) -> u64 {
         let mut q = 0;
-        if let Some((t, _)) = self.last_act {
-            q = q.max(t + self.t.t_rrd_l_ps.max(self.t.t_rrd_s_ps));
-        }
-        if self.act_count >= 4 {
-            q = q.max(self.acts[usize::from(self.head)] + self.t.t_faw_ps);
+        for r in &self.ranks {
+            if let Some((t, _)) = r.last_act {
+                q = q.max(t + self.t.t_rrd_l_ps.max(self.t.t_rrd_s_ps));
+            }
+            if r.act_count >= 4 {
+                q = q.max(r.acts[usize::from(r.head)] + self.t.t_faw_ps);
+            }
         }
         if let Some((t, _)) = self.last_cas {
             q = q.max(t + self.t.t_ccd_l_ps.max(self.t.t_ccd_s_ps));
@@ -163,20 +201,21 @@ impl TimingState {
         q
     }
 
-    /// Records an ACT issued at `at_ps` to `bank_group`.
+    /// Records an ACT issued at `at_ps` to `bank_group` of `rank`.
     ///
     /// The scheduler issues commands in chronological order; a debug
     /// assertion pins that contract (the rolling-window bookkeeping relies
     /// on it).
-    pub fn record_act(&mut self, at_ps: u64, bank_group: u32) {
+    pub fn record_act(&mut self, at_ps: u64, rank: u32, bank_group: u32) {
+        let r = &mut self.ranks[rank as usize];
         debug_assert!(
-            self.last_act.map_or(true, |(t, _)| at_ps >= t),
+            r.last_act.map_or(true, |(t, _)| at_ps >= t),
             "ACTs must be recorded chronologically"
         );
-        self.acts[usize::from(self.head)] = at_ps;
-        self.head = (self.head + 1) & 3;
-        self.act_count = (self.act_count + 1).min(4);
-        self.last_act = Some((at_ps, bank_group));
+        r.acts[usize::from(r.head)] = at_ps;
+        r.head = (r.head + 1) & 3;
+        r.act_count = (r.act_count + 1).min(4);
+        r.last_act = Some((at_ps, bank_group));
     }
 
     /// Records a CAS issued at `at_ps` to `bank_group`. Only the latest
@@ -201,7 +240,7 @@ mod tests {
     #[test]
     fn fresh_state_never_delays() {
         let s = TimingState::new(timing());
-        assert_eq!(s.earliest_act(0), 0);
+        assert_eq!(s.earliest_act(0, 0), 0);
         assert_eq!(s.cas_slot(0, 0), 0);
         assert_eq!(s.cas_slot(12_345, 3), 12_345);
     }
@@ -210,9 +249,9 @@ mod tests {
     fn rrd_long_within_group_short_across() {
         let t = timing();
         let mut s = TimingState::new(t);
-        s.record_act(1_000_000, 3);
-        assert_eq!(s.earliest_act(3), 1_000_000 + t.t_rrd_l_ps);
-        assert_eq!(s.earliest_act(4), 1_000_000 + t.t_rrd_s_ps);
+        s.record_act(1_000_000, 0, 3);
+        assert_eq!(s.earliest_act(0, 3), 1_000_000 + t.t_rrd_l_ps);
+        assert_eq!(s.earliest_act(0, 4), 1_000_000 + t.t_rrd_s_ps);
     }
 
     #[test]
@@ -221,9 +260,9 @@ mod tests {
         let mut s = TimingState::new(t);
         // Four ACTs packed at the RRD_S rate across different groups.
         for i in 0..4u64 {
-            s.record_act(i * t.t_rrd_s_ps, i as u32);
+            s.record_act(i * t.t_rrd_s_ps, 0, i as u32);
         }
-        let fifth = s.earliest_act(5);
+        let fifth = s.earliest_act(0, 5);
         assert_eq!(fifth, t.t_faw_ps, "fifth ACT waits for the FAW window");
         assert!(fifth > 3 * t.t_rrd_s_ps + t.t_rrd_s_ps);
     }
@@ -233,14 +272,42 @@ mod tests {
         let t = timing();
         let mut s = TimingState::new(t);
         for i in 0..4u64 {
-            s.record_act(i * t.t_rrd_s_ps, i as u32);
+            s.record_act(i * t.t_rrd_s_ps, 0, i as u32);
         }
-        s.record_act(t.t_faw_ps, 4);
+        s.record_act(t.t_faw_ps, 0, 4);
         // The window now starts at the second ACT (t = tRRD_S), so the
         // next ACT waits for exactly tRRD_S + tFAW — which also dominates
         // the tRRD_S-after-last-ACT constraint (tFAW > 4·tRRD_S). An
         // unevicted oldest ACT (stuck at t = 0) would yield only tFAW.
-        assert_eq!(s.earliest_act(7), t.t_rrd_s_ps + t.t_faw_ps);
+        assert_eq!(s.earliest_act(0, 7), t.t_rrd_s_ps + t.t_faw_ps);
+    }
+
+    #[test]
+    fn act_constraints_are_rank_local() {
+        let t = timing();
+        let mut s = TimingState::with_ranks(t, 2);
+        // Saturate rank 0's tFAW window and tRRD horizon.
+        for i in 0..4u64 {
+            s.record_act(i * t.t_rrd_s_ps, 0, i as u32);
+        }
+        assert_eq!(s.earliest_act(0, 5), t.t_faw_ps);
+        // Rank 1 has its own activation budget: entirely unconstrained.
+        assert_eq!(s.earliest_act(1, 5), 0);
+        s.record_act(0, 1, 5);
+        assert_eq!(s.earliest_act(1, 5), t.t_rrd_l_ps);
+        // ...and rank 1's history never leaks back into rank 0.
+        assert_eq!(s.earliest_act(0, 5), t.t_faw_ps);
+    }
+
+    #[test]
+    fn cas_bus_is_shared_across_ranks() {
+        let t = timing();
+        let mut s = TimingState::with_ranks(t, 2);
+        s.record_cas(500_000, 2);
+        // Whatever rank wants the bus, the exclusion zone applies: the
+        // channel has one data bus.
+        assert_eq!(s.cas_slot(500_000, 2), 500_000 + t.t_ccd_l_ps);
+        assert_eq!(s.cas_slot(500_000, 0), 500_000 + t.t_ccd_s_ps);
     }
 
     #[test]
@@ -275,10 +342,10 @@ mod tests {
     fn unconstrained_is_free() {
         let mut s = TimingState::new(InterBankTiming::unconstrained());
         for i in 0..10 {
-            s.record_act(i, 0);
+            s.record_act(i, 0, 0);
             s.record_cas(i, 0);
         }
-        assert_eq!(s.earliest_act(0), 9);
+        assert_eq!(s.earliest_act(0, 0), 9);
         assert_eq!(s.cas_slot(0, 0), 0);
         assert_eq!(s.cas_slot(42, 0), 42);
     }

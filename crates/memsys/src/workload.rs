@@ -178,7 +178,11 @@ impl CoreStream {
             spec,
             rng: SplitMix64::new(seed),
             decoder,
-            banks: org.bank_groups * org.banks_per_group,
+            // System-global bank range: a core's misses spread over every
+            // channel and rank of the topology, not just channel 0 / rank
+            // 0 (at 1 channel × 1 rank this is the historical range, so
+            // the RNG draws — and the streams — are unchanged).
+            banks: org.total_banks(),
             rows: org.rows,
             columns: org.columns,
             think_ps,

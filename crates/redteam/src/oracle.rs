@@ -46,14 +46,16 @@ pub struct GroundTruthOracle {
 }
 
 impl GroundTruthOracle {
-    /// An oracle watching flat bank `bank` of `cfg`.
+    /// An oracle watching system-global bank `bank` of `cfg` (the bank
+    /// index space of the [`System`](mint_memsys::System)-rebased event
+    /// stream: `channel × banks_per_channel + rank × banks + flat_bank`).
     ///
     /// # Panics
     ///
-    /// Panics if `bank` is out of range.
+    /// Panics if `bank` is beyond the topology's total bank count.
     #[must_use]
     pub fn new(cfg: &SystemConfig, bank: u32) -> Self {
-        assert!(bank < cfg.banks, "bank {bank} out of range");
+        assert!(bank < cfg.total_banks(), "bank {bank} out of range");
         Self {
             bank,
             rows: cfg.rows_per_bank,
@@ -71,7 +73,7 @@ impl GroundTruthOracle {
         }
     }
 
-    /// The watched flat bank.
+    /// The watched system-global bank.
     #[must_use]
     pub fn bank(&self) -> u32 {
         self.bank
@@ -373,6 +375,31 @@ mod tests {
         assert_eq!(v.margin_acts, 100);
         assert!(v.near_miss_rows.is_empty(), "95 < 90% of 200");
         assert_eq!(v.demand_acts, 205);
+    }
+
+    #[test]
+    fn watches_banks_on_any_rank_or_channel() {
+        // Regression: the range assert used to read `cfg.banks` (one
+        // rank of one channel), rejecting every bank beyond rank 0 of
+        // channel 0 even on multi-rank/multi-channel topologies.
+        let cfg = SystemConfig {
+            channels: 2,
+            ranks: 2,
+            ..SystemConfig::table6()
+        };
+        let bank = cfg.banks_per_channel() + cfg.banks + 3; // channel 1, rank 1
+        let mut o = GroundTruthOracle::new(&cfg, bank);
+        o.on_event(&act(bank, 100));
+        o.on_event(&act(3, 100)); // channel 0's bank 3: a different bank
+        assert_eq!(o.summary().demand_acts, 1);
+        assert_eq!(o.hammers(101), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bank_beyond_the_topology_rejected() {
+        let cfg = SystemConfig::table6();
+        let _ = GroundTruthOracle::new(&cfg, cfg.total_banks());
     }
 
     #[test]

@@ -52,12 +52,15 @@ pub struct AttackSource {
 }
 
 impl AttackSource {
-    /// Mounts `pattern` on flat bank `bank` of `cfg` for `refi_limit`
-    /// refresh intervals, encoding addresses with `mapping`.
+    /// Mounts `pattern` on system-global bank `bank` of `cfg` (any
+    /// channel/rank of the topology; the decoder's bijective
+    /// `encode_bank_row` places the traffic) for `refi_limit` refresh
+    /// intervals, encoding addresses with `mapping`.
     ///
     /// # Panics
     ///
-    /// Panics if `bank` is out of range or `refi_limit == 0`.
+    /// Panics if `bank` is beyond the topology's total bank count or
+    /// `refi_limit == 0`.
     #[must_use]
     pub fn new(
         cfg: &SystemConfig,
@@ -67,7 +70,7 @@ impl AttackSource {
         name: &'static str,
         refi_limit: u64,
     ) -> Self {
-        assert!(bank < cfg.banks, "bank {bank} out of range");
+        assert!(bank < cfg.total_banks(), "bank {bank} out of range");
         assert!(refi_limit > 0, "need at least one tREFI to attack");
         let max_act = u32::try_from(max_act_per_trefi()).expect("MaxACT fits u32");
         Self {
@@ -95,7 +98,7 @@ impl AttackSource {
         self.name
     }
 
-    /// The attacked flat bank.
+    /// The attacked system-global bank.
     #[must_use]
     pub fn target_bank(&self) -> u32 {
         self.bank
@@ -261,6 +264,33 @@ mod tests {
             // With a stall-free core both paths issue at the slot time.
             assert_eq!(a.fallback_clock_ps, clock);
         }
+    }
+
+    #[test]
+    fn attacks_mount_on_any_channel_and_rank() {
+        // Regression: the range assert used to read `cfg.banks`, limiting
+        // attacks to rank 0 of channel 0.
+        let cfg = SystemConfig {
+            channels: 2,
+            ranks: 2,
+            ..SystemConfig::table6()
+        };
+        let bank = cfg.banks_per_channel() + cfg.banks + 5; // channel 1, rank 1
+        let mut s = AttackSource::new(
+            &cfg,
+            AddressMapping::default(),
+            bank,
+            Box::new(Pattern1::new(RowId(4000))),
+            "far-bank",
+            2,
+        );
+        let d = AddressDecoder::new(&cfg, AddressMapping::default());
+        let r = s.next_request_at(0).unwrap();
+        let a = d.decode(r.addr);
+        assert_eq!(a.channel, 1);
+        assert_eq!(a.rank, 1);
+        assert_eq!(a.flat_bank(cfg.banks_per_group()), 5);
+        assert_eq!(a.row, 4000);
     }
 
     #[test]

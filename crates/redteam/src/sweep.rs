@@ -23,7 +23,8 @@ pub struct RedteamConfig {
     pub mapping: AddressMapping,
     /// Channel arbitration policy.
     pub policy: SchedulePolicy,
-    /// The flat bank the attacker hammers.
+    /// The system-global bank the attacker hammers (any channel/rank of
+    /// the topology).
     pub target_bank: u32,
     /// First attack row (patterns spread upward from here).
     pub base_row: RowId,
@@ -418,6 +419,27 @@ mod tests {
             max_act
         );
         assert_eq!(summary.demand_acts, rc.attack_refis * max_act);
+    }
+
+    #[test]
+    fn attack_on_a_far_channel_reaches_its_bank() {
+        // The same campaign mounted on channel 1 / rank 1 of a 2×2
+        // topology: routing, the rank-aware pipeline, and the
+        // system-global event rebase all have to line up for the oracle
+        // to see the attack at all.
+        let mut rc = quick();
+        rc.cfg = SystemConfig {
+            channels: 2,
+            ranks: 2,
+            ..rc.cfg
+        };
+        rc.target_bank = rc.cfg.banks_per_channel() + rc.cfg.banks + 5;
+        let specs = patterns(&rc);
+        let p1 = specs.iter().find(|p| p.name() == "pattern-1").unwrap();
+        let (summary, run) = run_attack(&rc, MitigationScheme::Baseline, p1, 3);
+        assert_eq!(summary.demand_acts, rc.attack_refis);
+        assert_eq!(run.perf.result.requests, rc.attack_refis);
+        assert!(summary.max_hammers >= (rc.attack_refis as u32) * 3 / 4);
     }
 
     #[test]

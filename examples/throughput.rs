@@ -21,6 +21,7 @@ fn main() {
         scheme: MitigationScheme::Mint,
         policy: SchedulePolicy::frfcfs(),
         cores: 4,
+        channels: 1,
         requests_per_core: 40_000,
         spec: workload_by_name("mcf").expect("mcf in the suite"),
     };
