@@ -1,26 +1,61 @@
 //! Measures the simulator's own command throughput — host-side ns per
 //! scheduling decision, requests/sec and DRAM commands/sec across the
-//! scheme × policy × queue-depth cell set, each cell timed under both the
-//! incremental planner and the scratch reference — and writes the tracked
-//! `BENCH_throughput.json` trajectory artifact next to the table.
+//! scheme × policy × queue-depth × channels × sat32 cell set, each cell
+//! timed under the optimized defaults, the scratch planner reference and
+//! the shared-path references (admission/generation/refresh) — and
+//! writes the tracked `BENCH_throughput.json` trajectory artifact next
+//! to the table, schema-checking it first.
 //!
 //! ```bash
 //! cargo run --release -p mint-bench --bin figx_throughput [-- --quick] [--out PATH]
+//! cargo run --release -p mint-bench --bin figx_throughput -- --check BENCH_throughput.json
 //! ```
 //!
-//! `--quick` trims the cell set and repetition count for CI. The cells
-//! run serially even under `--jobs N` (timing must not contend), but the
-//! flag is accepted so the shared CLI contract holds.
+//! `--quick` trims the cell set and repetition count for CI. `--check
+//! FILE` validates an existing artifact against the schema instead of
+//! measuring (exit 1 on failure) — CI runs this against the artifact it
+//! just wrote so a truncated or malformed trajectory cannot ship. The
+//! cells run serially even under `--jobs N` (timing must not contend),
+//! but the flag is accepted so the shared CLI contract holds.
+
+use std::process::ExitCode;
 
 use mint_bench::throughput::{
-    cells, measure_cells, throughput_json, throughput_table, DEFAULT_REPS,
+    cells, check_throughput_schema, measure_cells, throughput_json, throughput_table, DEFAULT_REPS,
+    QUICK_REPS,
 };
 
-fn main() {
+fn main() -> ExitCode {
     let cli = mint_exp::cli::parse();
+    if let Some(pos) = cli.free.iter().position(|a| a == "--check") {
+        let Some(path) = cli.free.get(pos + 1) else {
+            eprintln!("figx_throughput: --check needs a FILE argument");
+            return ExitCode::FAILURE;
+        };
+        let payload = match std::fs::read_to_string(path) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("figx_throughput: read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match check_throughput_schema(&payload) {
+            Ok(()) => {
+                println!("{path}: schema OK");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("figx_throughput: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let quick = cli.free.iter().any(|a| a == "--quick");
-    let reps = if quick { 2 } else { DEFAULT_REPS };
+    let reps = if quick { QUICK_REPS } else { DEFAULT_REPS };
     let records = measure_cells(&cells(quick), reps);
     println!("{}", throughput_table(&records));
-    cli.write_artifact("BENCH_throughput.json", &throughput_json(&records, reps));
+    let json = throughput_json(&records, reps);
+    check_throughput_schema(&json).expect("freshly rendered payload passes the schema");
+    cli.write_artifact("BENCH_throughput.json", &json);
+    ExitCode::SUCCESS
 }

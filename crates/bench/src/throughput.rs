@@ -13,43 +13,100 @@
 //!   outstanding request per core, so live depth tracks the core count);
 //! * **channels** — a saturated stream over a 1/2/4-channel
 //!   [`System`](mint_memsys::System) topology, exercising the frontend
-//!   routing and per-channel pipelines of the DIMM scale-out.
+//!   routing and per-channel pipelines of the DIMM scale-out;
+//! * **sat32** — the checked-in `examples/scenarios/saturation32.scn`
+//!   cell: 32 cores on one FR-FCFS channel, so nearly every decision is
+//!   a deep-queue arbitration pass (the cell where shared per-request
+//!   cost — admission, generation, refresh alignment — dominates).
 //!
-//! Each cell is timed under **both** planners — the incremental default
-//! and the retained scratch reference ([`set_reference_planner_default`])
-//! — taking the minimum over alternating repetitions so load spikes on
-//! the host cannot bias one side, and asserting along the way that the
-//! two planners produced bit-identical [`SimResult`]s. The machine-
-//! readable `BENCH_throughput.json` is the tracked trajectory artifact
-//! (`figx_throughput`). Unlike `BENCH_perf.json`/`BENCH_security.json`,
-//! its numbers are wall-clock and therefore machine-dependent: compare
-//! runs from the same host, and prefer the planner-speedup ratios, which
-//! divide the host speed out. `repro_all` — whose output is byte-compared
-//! across runs — gets the deterministic [`volume_table`] rendering
-//! instead.
+//! Each cell is timed three ways — the optimized defaults, the retained
+//! scratch planner ([`set_reference_planner_default`]), and the retained
+//! *shared-path* references (sorted-vec admission, unbatched generation
+//! and division-based refresh alignment, the three knobs this sweep's
+//! `shared_speedup` isolates) — taking the minimum over alternating
+//! repetitions so load spikes on the host cannot bias one side, and
+//! asserting along the way that all three modes produced bit-identical
+//! [`SimResult`]s. Each record also carries a per-stage attribution
+//! estimate — `gen`/`plan`/`engine` ns per request, where generation and
+//! the bare engine are timed standalone and plan is the (clamped)
+//! residual — so a trajectory diff shows *which* stage a shave moved.
+//! The machine-readable `BENCH_throughput.json` is the tracked
+//! trajectory artifact (`figx_throughput`), schema-checked by
+//! [`check_throughput_schema`] before every write. Unlike
+//! `BENCH_perf.json`/`BENCH_security.json`, its numbers are wall-clock
+//! and therefore machine-dependent: compare runs from the same host, and
+//! prefer the speedup ratios, which divide the host speed out.
+//! `repro_all` — whose output is byte-compared across runs — gets the
+//! deterministic [`volume_table`] rendering instead.
 
 use std::time::Duration;
 
 use mint_analysis::textable::TexTable;
 use mint_memsys::{
-    set_reference_planner_default, workload_by_name, MitigationScheme, SchedulePolicy, Sim,
-    SimResult, SystemConfig, WorkloadSpec,
+    set_reference_admission_default, set_reference_generation_default,
+    set_reference_planner_default, set_reference_refresh_default, workload_by_name, AddressDecoder,
+    AddressMapping, CoreStream, MemoryController, MitigationScheme, Request, RequestSource,
+    ScenarioFrontend, ScenarioSpec, SchedulePolicy, Sim, SimResult, SystemConfig, WorkloadSpec,
 };
+use mint_rng::derive_seed;
 
-/// Alternating repetitions per cell (min taken); single-digit because a
-/// cell is already a multi-millisecond batch of simulated work.
-pub const DEFAULT_REPS: u32 = 3;
+/// Alternating repetitions per cell (min taken). A cell is a
+/// multi-millisecond batch of simulated work, so even a dozen reps stay
+/// cheap — and the shared-path ratio compares sums of small per-request
+/// shaves, which the historical two reps could not resolve above host
+/// jitter.
+pub const DEFAULT_REPS: u32 = 12;
+
+/// Repetitions in `--quick` (CI) mode: fewer than the full sweep, but
+/// still enough for stable minima on the ratio columns.
+pub const QUICK_REPS: u32 = 8;
 
 /// A synthetic stream that keeps every core's outstanding request slot
 /// full (MPKI high enough that think time rounds to zero), so the channel
-/// queue holds one live transaction per core at every decision.
+/// queue holds one live transaction per core at every decision. This is
+/// the suite's `saturate` workload ([`mint_memsys::saturation_spec`]),
+/// re-exported under the bench's historical name.
 #[must_use]
 pub fn saturated_spec() -> WorkloadSpec {
-    WorkloadSpec {
-        name: "saturate",
-        mpki: 1000.0,
-        row_buffer_locality: 0.6,
-        read_fraction: 0.67,
+    mint_memsys::saturation_spec()
+}
+
+/// The checked-in 32-core saturation scenario ([`saturation32_cell`]).
+pub const SATURATION32_SCN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../examples/scenarios/saturation32.scn"
+);
+
+/// Loads `examples/scenarios/saturation32.scn` as the sweep's
+/// arbitration-dominated cell (CI times exactly what users can run by
+/// hand with `run_scenario`). `quick` quarters the request budget.
+///
+/// # Panics
+///
+/// Panics if the checked-in scenario file is missing, malformed, or no
+/// longer the 32-core rate cell this sweep expects.
+#[must_use]
+pub fn saturation32_cell(quick: bool) -> ThroughputCell {
+    let text = std::fs::read_to_string(SATURATION32_SCN)
+        .unwrap_or_else(|e| panic!("read {SATURATION32_SCN}: {e}"));
+    let spec = ScenarioSpec::parse(&text).unwrap_or_else(|e| panic!("{SATURATION32_SCN}: {e}"));
+    let cores = spec.cores.expect("saturation32.scn pins a core count");
+    let ScenarioFrontend::Workload(cell) = &spec.frontend else {
+        panic!("saturation32.scn is a workload cell");
+    };
+    let workload = cell.resolve(cores)[0];
+    ThroughputCell {
+        label: format!("sat32/x{cores}"),
+        scheme: spec.scheme,
+        policy: spec.policy,
+        cores,
+        channels: spec.channels.unwrap_or(1),
+        requests_per_core: if quick {
+            spec.requests_per_core / 4
+        } else {
+            spec.requests_per_core
+        },
+        spec: workload,
     }
 }
 
@@ -92,13 +149,25 @@ pub struct ThroughputRecord {
     /// DRAM commands executed per timed run (ACTs, CAS bursts, RFM and
     /// DRFM — the command stream the scheduler actually planned).
     pub commands: u64,
-    /// Best host-side ns per scheduling decision, incremental planner.
+    /// Best host-side ns per scheduling decision, optimized defaults.
     pub ns_per_decision: f64,
-    /// Best host-side ns per scheduling decision, scratch reference.
+    /// Best host-side ns per scheduling decision, scratch planner
+    /// reference.
     pub reference_ns_per_decision: f64,
-    /// Serviced requests per host second (incremental planner).
+    /// Best host-side ns per scheduling decision with the shared-path
+    /// references selected (sorted-vec admission, unbatched generation,
+    /// division-based refresh alignment; planner stays optimized).
+    pub shared_reference_ns_per_decision: f64,
+    /// Standalone generation cost: ns per request to draw the cell's
+    /// per-core synthetic streams, nothing else.
+    pub gen_ns_per_req: f64,
+    /// Standalone engine cost: ns per request to service the same
+    /// stream closed-loop on a bare [`MemoryController`] (no queue, no
+    /// arbitration).
+    pub engine_ns_per_req: f64,
+    /// Serviced requests per host second (optimized defaults).
     pub requests_per_sec: f64,
-    /// Executed DRAM commands per host second (incremental planner).
+    /// Executed DRAM commands per host second (optimized defaults).
     pub commands_per_sec: f64,
 }
 
@@ -108,6 +177,24 @@ impl ThroughputRecord {
     #[must_use]
     pub fn planner_speedup(&self) -> f64 {
         self.reference_ns_per_decision / self.ns_per_decision
+    }
+
+    /// Shared-path-reference-over-optimized time ratio (> 1 means the
+    /// heap admission + batched generation + refresh strength reduction
+    /// are a net win on this cell).
+    #[must_use]
+    pub fn shared_speedup(&self) -> f64 {
+        self.shared_reference_ns_per_decision / self.ns_per_decision
+    }
+
+    /// Arbitration-and-bookkeeping residual: whatever of the end-to-end
+    /// per-request cost the standalone generation and engine benches do
+    /// not account for (clamped at zero — the stages are measured in
+    /// separate cache regimes, so tiny negative residuals can occur on
+    /// engine-dominated cells).
+    #[must_use]
+    pub fn plan_ns_per_req(&self) -> f64 {
+        (self.ns_per_decision - self.gen_ns_per_req - self.engine_ns_per_req).max(0.0)
     }
 }
 
@@ -175,13 +262,31 @@ pub fn cells(quick: bool) -> Vec<ThroughputCell> {
             spec: sat,
         });
     }
+    out.push(saturation32_cell(quick));
     out
 }
 
-/// One timed run of `cell` under the selected planner. Restores the
-/// incremental default before returning.
-fn timed_run(cell: &ThroughputCell, reference: bool) -> (Duration, SimResult) {
-    set_reference_planner_default(reference);
+/// Which retained reference implementations a timed run selects.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RunMode {
+    /// All optimized defaults.
+    Optimized,
+    /// The scratch planner reference; shared paths stay optimized.
+    ReferencePlanner,
+    /// The shared-path references — sorted-vec admission, unbatched
+    /// generation, division-based refresh alignment; the planner stays
+    /// optimized so the ratio isolates the shared per-request costs.
+    ReferenceShared,
+}
+
+/// One timed run of `cell` under `mode`. Restores the optimized defaults
+/// before returning.
+fn timed_run(cell: &ThroughputCell, mode: RunMode) -> (Duration, SimResult) {
+    set_reference_planner_default(mode == RunMode::ReferencePlanner);
+    let shared = mode == RunMode::ReferenceShared;
+    set_reference_admission_default(shared);
+    set_reference_generation_default(shared);
+    set_reference_refresh_default(shared);
     let cfg = SystemConfig {
         cores: cell.cores,
         channels: cell.channels,
@@ -199,33 +304,97 @@ fn timed_run(cell: &ThroughputCell, reference: bool) -> (Duration, SimResult) {
         result = Some(report.perf.result);
     });
     set_reference_planner_default(false);
+    set_reference_admission_default(false);
+    set_reference_generation_default(false);
+    set_reference_refresh_default(false);
     (m.elapsed, result.expect("measure ran the body"))
 }
 
-/// Times one cell under both planners, `reps` alternating repetitions
-/// each, and reports the minima.
+/// Times the cell's generation and bare-engine stages standalone: the
+/// same per-core streams the [`Sim`] builds (seeded the same way), drawn
+/// dry into a request buffer, then serviced closed-loop on a bare
+/// [`MemoryController`]. Both run on a single-channel config — the
+/// router split is arbitration work and belongs to the plan residual.
+/// Returns best `(gen, engine)` ns per request over `reps` repetitions.
+fn stage_ns_per_req(cell: &ThroughputCell, reps: u32) -> (f64, f64) {
+    let cfg = SystemConfig {
+        cores: cell.cores,
+        ..SystemConfig::table6()
+    };
+    let total = u64::from(cell.cores) * u64::from(cell.requests_per_core);
+    let mut gen = Duration::MAX;
+    let mut engine = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let mut streams: Vec<CoreStream> = (0..cell.cores)
+            .map(|i| {
+                CoreStream::new(
+                    cell.spec,
+                    AddressDecoder::new(&cfg, AddressMapping::default()),
+                    cell.spec.think_time_ps(&cfg),
+                    derive_seed(1, u64::from(i)),
+                )
+            })
+            .collect();
+        let mut reqs: Vec<Request> = Vec::with_capacity(total as usize);
+        let m = mint_exp::stopwatch::measure(Duration::ZERO, || {
+            for _ in 0..cell.requests_per_core {
+                for s in &mut streams {
+                    reqs.push(s.next_request().expect("synthetic streams never run dry"));
+                }
+            }
+        });
+        gen = gen.min(m.elapsed);
+        let mut ctrl = MemoryController::new(cfg, cell.scheme, 1);
+        let m = mint_exp::stopwatch::measure(Duration::ZERO, || {
+            let mut clock = 0u64;
+            for &req in &reqs {
+                clock = ctrl.service(req, clock);
+            }
+        });
+        engine = engine.min(m.elapsed);
+    }
+    (
+        gen.as_nanos() as f64 / total.max(1) as f64,
+        engine.as_nanos() as f64 / total.max(1) as f64,
+    )
+}
+
+/// Times one cell under all three run modes (optimized, scratch-planner
+/// reference, shared-path reference), `reps` alternating
+/// repetitions each, plus the standalone stage benches, and reports the
+/// minima.
 ///
 /// # Panics
 ///
-/// Panics if the two planners disagree on any [`SimResult`] — the
-/// throughput sweep doubles as a coarse end-to-end oracle.
+/// Panics if any mode disagrees on a [`SimResult`] — the throughput
+/// sweep doubles as a coarse end-to-end oracle over the planner *and*
+/// the shared-path references.
 #[must_use]
 pub fn measure_cell(cell: &ThroughputCell, reps: u32) -> ThroughputRecord {
     let mut inc = Duration::MAX;
     let mut refp = Duration::MAX;
+    let mut shared = Duration::MAX;
     let mut result = None;
     for _ in 0..reps.max(1) {
-        let (d, r) = timed_run(cell, false);
+        let (d, r) = timed_run(cell, RunMode::Optimized);
         inc = inc.min(d);
-        let (dr, rr) = timed_run(cell, true);
+        let (dr, rr) = timed_run(cell, RunMode::ReferencePlanner);
         refp = refp.min(dr);
         assert_eq!(
             r, rr,
             "{}: reference and incremental planners diverged",
             cell.label
         );
+        let (ds, rs) = timed_run(cell, RunMode::ReferenceShared);
+        shared = shared.min(ds);
+        assert_eq!(
+            r, rs,
+            "{}: shared-path references and optimized defaults diverged",
+            cell.label
+        );
         result = Some(r);
     }
+    let (gen_ns, engine_ns) = stage_ns_per_req(cell, reps);
     let r = result.expect("at least one repetition ran");
     let requests = r.requests;
     let commands =
@@ -242,6 +411,9 @@ pub fn measure_cell(cell: &ThroughputCell, reps: u32) -> ThroughputRecord {
         commands,
         ns_per_decision: inc.as_nanos() as f64 / requests.max(1) as f64,
         reference_ns_per_decision: refp.as_nanos() as f64 / requests.max(1) as f64,
+        shared_reference_ns_per_decision: shared.as_nanos() as f64 / requests.max(1) as f64,
+        gen_ns_per_req: gen_ns,
+        engine_ns_per_req: engine_ns,
         requests_per_sec: requests as f64 / secs,
         commands_per_sec: commands as f64 / secs,
     }
@@ -265,6 +437,8 @@ pub fn throughput_table(records: &[ThroughputRecord]) -> String {
         "ns/decision",
         "ref ns/decision",
         "Speedup",
+        "Shared",
+        "gen/plan/eng ns",
         "Mreq/s",
         "Mcmd/s",
     ]);
@@ -277,12 +451,19 @@ pub fn throughput_table(records: &[ThroughputRecord]) -> String {
             format!("{:.1}", r.ns_per_decision),
             format!("{:.1}", r.reference_ns_per_decision),
             format!("{:.2}x", r.planner_speedup()),
+            format!("{:.2}x", r.shared_speedup()),
+            format!(
+                "{:.1}/{:.1}/{:.1}",
+                r.gen_ns_per_req,
+                r.plan_ns_per_req(),
+                r.engine_ns_per_req
+            ),
             format!("{:.2}", r.requests_per_sec / 1e6),
             format!("{:.2}", r.commands_per_sec / 1e6),
         ]);
     }
     crate::titled(
-        "Fig X: simulator command throughput (host wall-clock; incremental vs scratch planner)",
+        "Fig X: simulator command throughput (host wall-clock; optimized vs retained references)",
         &tab.to_text(),
     )
 }
@@ -306,7 +487,10 @@ pub fn throughput_json(records: &[ThroughputRecord], reps: u32) -> String {
                  \"cores\": {}, \"channels\": {}, \"queue_depth\": {}, \"requests\": {}, \
                  \"commands\": {}, \
                  \"ns_per_decision\": {:.1}, \"reference_ns_per_decision\": {:.1}, \
-                 \"planner_speedup\": {:.3}, \"requests_per_sec\": {:.0}, \
+                 \"shared_reference_ns_per_decision\": {:.1}, \
+                 \"planner_speedup\": {:.3}, \"shared_speedup\": {:.3}, \
+                 \"gen_ns_per_req\": {:.1}, \"plan_ns_per_req\": {:.1}, \
+                 \"engine_ns_per_req\": {:.1}, \"requests_per_sec\": {:.0}, \
                  \"commands_per_sec\": {:.0}}}",
                 r.label,
                 r.scheme,
@@ -318,7 +502,12 @@ pub fn throughput_json(records: &[ThroughputRecord], reps: u32) -> String {
                 r.commands,
                 r.ns_per_decision,
                 r.reference_ns_per_decision,
+                r.shared_reference_ns_per_decision,
                 r.planner_speedup(),
+                r.shared_speedup(),
+                r.gen_ns_per_req,
+                r.plan_ns_per_req(),
+                r.engine_ns_per_req,
                 r.requests_per_sec,
                 r.commands_per_sec,
             )
@@ -327,6 +516,74 @@ pub fn throughput_json(records: &[ThroughputRecord], reps: u32) -> String {
     out.push_str(&rows.join(",\n"));
     out.push_str("\n  ]\n}\n");
     out
+}
+
+/// The top-level keys every `BENCH_throughput.json` must carry.
+pub const REQUIRED_TOP_KEYS: &[&str] = &["source", "unit_note", "reps", "cells"];
+
+/// The per-cell keys every `BENCH_throughput.json` cell must carry,
+/// including the per-stage attribution and shared-path columns.
+pub const REQUIRED_CELL_KEYS: &[&str] = &[
+    "cell",
+    "scheme",
+    "policy",
+    "cores",
+    "channels",
+    "queue_depth",
+    "requests",
+    "commands",
+    "ns_per_decision",
+    "reference_ns_per_decision",
+    "shared_reference_ns_per_decision",
+    "planner_speedup",
+    "shared_speedup",
+    "gen_ns_per_req",
+    "plan_ns_per_req",
+    "engine_ns_per_req",
+    "requests_per_sec",
+    "commands_per_sec",
+];
+
+/// Validates a `BENCH_throughput.json` payload against the trajectory
+/// schema: balanced structure, no non-finite numbers, every
+/// [`REQUIRED_TOP_KEYS`] entry present, and every [`REQUIRED_CELL_KEYS`]
+/// entry present on *every* cell. Key matching is on the rendered
+/// `"key": ` needle (this workspace carries no JSON parser by design),
+/// which is exact for the hand-rendered payload this crate writes.
+///
+/// # Errors
+///
+/// Returns what is missing or malformed; `figx_throughput` refuses to
+/// write (and CI refuses to pass) a payload that fails this check.
+pub fn check_throughput_schema(json: &str) -> Result<(), String> {
+    if json.matches('{').count() != json.matches('}').count()
+        || json.matches('[').count() != json.matches(']').count()
+    {
+        return Err("unbalanced braces/brackets".to_owned());
+    }
+    for bad in ["NaN", "inf"] {
+        if json.contains(bad) {
+            return Err(format!("non-finite number ({bad}) in payload"));
+        }
+    }
+    for key in REQUIRED_TOP_KEYS {
+        if !json.contains(&format!("\"{key}\": ")) {
+            return Err(format!("missing top-level key {key:?}"));
+        }
+    }
+    let cells = json.matches("\"cell\": ").count();
+    if cells == 0 {
+        return Err("no cells in payload".to_owned());
+    }
+    for key in REQUIRED_CELL_KEYS {
+        let n = json.matches(&format!("\"{key}\": ")).count();
+        if n != cells {
+            return Err(format!(
+                "cell key {key:?} appears {n} times for {cells} cells"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Renders only the records' *deterministic* columns: the simulated
@@ -389,8 +646,28 @@ mod tests {
         assert_eq!(r.requests, 4 * 500, "every request serviced");
         assert!(r.commands >= r.requests, "every request costs >= 1 command");
         assert!(r.ns_per_decision > 0.0 && r.reference_ns_per_decision > 0.0);
+        assert!(r.shared_reference_ns_per_decision > 0.0);
         assert!(r.requests_per_sec > 0.0 && r.commands_per_sec > 0.0);
-        assert!(r.planner_speedup() > 0.0);
+        assert!(r.planner_speedup() > 0.0 && r.shared_speedup() > 0.0);
+        assert!(r.gen_ns_per_req > 0.0 && r.engine_ns_per_req > 0.0);
+        assert!(r.plan_ns_per_req() >= 0.0, "plan residual is clamped");
+    }
+
+    #[test]
+    fn sat32_cell_loads_the_checked_in_scenario() {
+        let full = saturation32_cell(false);
+        assert_eq!(full.cores, 32);
+        assert_eq!(full.channels, 1);
+        assert_eq!(full.policy, SchedulePolicy::frfcfs());
+        assert_eq!(full.scheme, MitigationScheme::Baseline);
+        assert_eq!(full.spec, saturated_spec());
+        assert!(full.label.starts_with("sat32/"));
+        let quick = saturation32_cell(true);
+        assert_eq!(
+            quick.requests_per_core * 4,
+            full.requests_per_core,
+            "quick mode quarters the scenario's request budget"
+        );
     }
 
     #[test]
@@ -398,7 +675,7 @@ mod tests {
         let quick = cells(true);
         let full = cells(false);
         assert!(quick.len() < full.len());
-        for prefix in ["zoo/", "policy/", "depth/", "channels/"] {
+        for prefix in ["zoo/", "policy/", "depth/", "channels/", "sat32/"] {
             assert!(
                 quick.iter().any(|c| c.label.starts_with(prefix)),
                 "quick mode keeps the {prefix} axis"
@@ -439,8 +716,36 @@ mod tests {
         assert!(json.contains("\"channels\": 1"));
         assert!(json.contains("\"ns_per_decision\": "));
         assert!(json.contains("\"planner_speedup\": "));
+        assert!(json.contains("\"shared_speedup\": "));
+        assert!(json.contains("\"gen_ns_per_req\": "));
+        assert!(json.contains("\"plan_ns_per_req\": "));
+        assert!(json.contains("\"engine_ns_per_req\": "));
+        check_throughput_schema(&json).expect("rendered payload passes its own schema");
         let table = throughput_table(std::slice::from_ref(&r));
         assert!(table.contains("test/tiny") && table.contains("Speedup"));
+        assert!(table.contains("Shared") && table.contains("gen/plan/eng"));
+    }
+
+    #[test]
+    fn schema_check_rejects_malformed_payloads() {
+        let r = measure_cell(&tiny_cell(), 1);
+        let json = throughput_json(&[r.clone(), r], 1);
+        check_throughput_schema(&json).unwrap();
+        // A dropped column fails with the key named.
+        let e = check_throughput_schema(&json.replacen("\"gen_ns_per_req\": ", "\"g\": ", 1))
+            .unwrap_err();
+        assert!(e.contains("gen_ns_per_req"), "{e}");
+        // A column present on only *some* cells fails too.
+        let e = check_throughput_schema(&json.replacen("\"shared_speedup\": ", "\"s\": ", 1))
+            .unwrap_err();
+        assert!(
+            e.contains("shared_speedup") && e.contains("1 times for 2 cells"),
+            "{e}"
+        );
+        assert!(check_throughput_schema("{\"cells\": []}").is_err());
+        assert!(check_throughput_schema("{").is_err());
+        let e = check_throughput_schema(&json.replacen("\"reps\": ", "\"r\": ", 1)).unwrap_err();
+        assert!(e.contains("reps"), "{e}");
     }
 
     #[test]

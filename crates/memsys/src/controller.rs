@@ -21,6 +21,31 @@ use crate::workload::Request;
 use mint_core::{InDramTracker, MitigationDecision};
 use mint_dram::RowId;
 use mint_rng::{Rng64, Xoshiro256StarStar};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide default refresh-alignment mode for newly created engines
+/// (see [`set_reference_refresh_default`]).
+static REFERENCE_REFRESH_DEFAULT: AtomicBool = AtomicBool::new(false);
+
+/// Makes every subsequently created [`MemoryController`] (and the channel
+/// scheduler's REF lookahead) locate tREFI boundaries with the retained
+/// division-per-call reference rule instead of the monotone
+/// boundary-tracking fast path.
+///
+/// Like [`set_reference_planner_default`](crate::set_reference_planner_default),
+/// this is a differential-testing oracle: both modes are exact and
+/// bit-identical — `ci_smoke` re-renders the benchmark artifacts under
+/// both and asserts byte equality. Leave it off outside of tests.
+pub fn set_reference_refresh_default(on: bool) {
+    REFERENCE_REFRESH_DEFAULT.store(on, Ordering::SeqCst);
+}
+
+/// Whether newly created engines use the division-per-call reference
+/// refresh alignment (crate-internal: the channel scheduler mirrors the
+/// mode for its REF-window lookahead).
+pub(crate) fn reference_refresh_default() -> bool {
+    REFERENCE_REFRESH_DEFAULT.load(Ordering::SeqCst)
+}
 
 /// Aggregate statistics of one simulation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -149,13 +174,20 @@ pub struct MemoryController {
     /// [`enable_event_log`](Self::enable_event_log) was called.
     events: Vec<MemEvent>,
     log_events: bool,
-    /// Memoised tREFI quotient of the last service: the REF index and the
-    /// start of the period after it. Service times are near-monotone, so
-    /// the per-service `start / tREFI` runs only on period crossings
-    /// (both bounds are checked — an out-of-order caller just pays the
-    /// division again, never gets a stale quotient).
+    /// Memoised tREFI quotient of the last service: the REF index, the
+    /// start of its period and the start of the period after it. Service
+    /// times are near-monotone, so the per-service `start / tREFI` is
+    /// strength-reduced to compares: in-period calls reuse the quotient,
+    /// small forward crossings *step* the boundary pair one period at a
+    /// time, and only long jumps (or out-of-order callers) pay a real
+    /// division — never a stale quotient, both bounds are checked.
     ref_quot: u64,
+    ref_base_ps: u64,
     ref_next_ps: u64,
+    /// Locate boundaries with the division-per-call reference rule
+    /// instead (differential-testing oracle, see
+    /// [`set_reference_refresh_default`]).
+    reference_refresh: bool,
 }
 
 /// The victims of `decision` that actually exist in a bank of `rows` rows
@@ -262,7 +294,9 @@ impl MemoryController {
             events: Vec::new(),
             log_events: false,
             ref_quot: 0,
+            ref_base_ps: 0,
             ref_next_ps: cfg.t_refi_ps,
+            reference_refresh: reference_refresh_default(),
         }
     }
 
@@ -361,14 +395,7 @@ impl MemoryController {
         let blast = self.cfg.blast_radius;
         let refw = refis_per_refw();
         // Process REF-boundary mitigations this bank has crossed.
-        let current_ref = if self.ref_quot * refi <= start && start < self.ref_next_ps {
-            self.ref_quot
-        } else {
-            let q = start / refi;
-            self.ref_quot = q;
-            self.ref_next_ps = (q + 1) * refi;
-            q
-        };
+        let (current_ref, ref_base) = self.ref_index_at(start);
         if self.banks[bank].ref_cursor < current_ref {
             // REF is an all-bank precharge: the row buffer does not survive.
             if self.bank_open_row[bank] != OPEN_NONE && self.log_events {
@@ -424,14 +451,51 @@ impl MemoryController {
                 b.raa = b.raa.saturating_sub(rfm_th);
             }
         }
-        // past_ref_window, reusing this call's `start / refi` quotient
-        // instead of dividing a second time.
-        let offset = start - current_ref * refi;
+        // past_ref_window, reusing this call's period base instead of
+        // dividing a second time.
+        let offset = start - ref_base;
         if offset < self.cfg.t_rfc_ps {
-            current_ref * refi + self.cfg.t_rfc_ps
+            ref_base + self.cfg.t_rfc_ps
         } else {
             start
         }
+    }
+
+    /// The tREFI index and period base containing `start`, via the
+    /// memoised boundary pair: in-period calls are two compares, small
+    /// forward crossings step the pair one period at a time, and only
+    /// long jumps (or out-of-order starts) divide. The reference mode
+    /// divides every call — same answer, differential oracle.
+    #[inline]
+    fn ref_index_at(&mut self, start: u64) -> (u64, u64) {
+        let refi = self.cfg.t_refi_ps;
+        if self.reference_refresh {
+            let q = start / refi;
+            return (q, q * refi);
+        }
+        if start < self.ref_base_ps || start >= self.ref_next_ps {
+            // Step forward for near crossings (the steady-state case:
+            // service times advance by less than a few tREFI per call);
+            // rebuild by division for long idle gaps or regressions.
+            let mut steps = 4u32;
+            loop {
+                if start >= self.ref_base_ps && start < self.ref_next_ps {
+                    break;
+                }
+                if start < self.ref_base_ps || steps == 0 {
+                    let q = start / refi;
+                    self.ref_quot = q;
+                    self.ref_base_ps = q * refi;
+                    self.ref_next_ps = self.ref_base_ps + refi;
+                    break;
+                }
+                steps -= 1;
+                self.ref_quot += 1;
+                self.ref_base_ps = self.ref_next_ps;
+                self.ref_next_ps += refi;
+            }
+        }
+        (self.ref_quot, self.ref_base_ps)
     }
 
     /// Services one request arriving at `arrival_ps`; returns its

@@ -70,7 +70,7 @@ pub mod workload;
 pub use address::{AddressDecoder, AddressMapping, AddressOutOfRange, DecodedAddr, DramOrg};
 pub use backend::MitigationBackend;
 pub use config::{MitigationScheme, SystemConfig};
-pub use controller::{MemoryController, ServiceOutcome, SimResult};
+pub use controller::{set_reference_refresh_default, MemoryController, ServiceOutcome, SimResult};
 pub use energy::{EnergyModel, EnergyReport};
 pub use events::{ChannelObserver, MemEvent};
 #[allow(deprecated)]
@@ -83,10 +83,13 @@ pub use scenario::{
     SeedAxis, WorkloadCell,
 };
 pub use sched::{set_reference_planner_default, Channel, Completion, SchedulePolicy};
-pub use sim::{CoreOutcome, NormalizedPerf, RunReport, Session, Sim};
+pub use sim::{
+    set_reference_admission_default, set_reference_generation_default, CoreOutcome, NormalizedPerf,
+    RunReport, Session, Sim,
+};
 pub use system::System;
 pub use timing::{InterBankTiming, TimingState};
 pub use workload::{
-    mixes, parse_trace, read_trace_file, spec_rate_workloads, workload_by_name, CoreStream,
-    Request, RequestSource, TraceEntry, TraceParseError, TraceSource, WorkloadSpec,
+    mixes, parse_trace, read_trace_file, saturation_spec, spec_rate_workloads, workload_by_name,
+    CoreStream, Request, RequestSource, TraceEntry, TraceParseError, TraceSource, WorkloadSpec,
 };

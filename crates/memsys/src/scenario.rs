@@ -169,6 +169,7 @@ pub enum ScenarioFrontend {
 /// | `policy` | a [`SchedulePolicy::parse`] label | FR-FCFS |
 /// | `mapping` | an [`AddressMapping::parse`] label | `RoBaRaCoCh` |
 /// | `seed` | master seed (u64) | 0 |
+/// | `cores` | request-generating cores (nonzero) | target config's |
 /// | `channels` | memory channels (nonzero power of two) | target config's |
 /// | `ranks` | ranks per channel (nonzero power of two) | target config's |
 /// | `workload` | a [`WorkloadCell`] token | — |
@@ -188,6 +189,10 @@ pub struct ScenarioSpec {
     pub mapping: AddressMapping,
     /// Master seed.
     pub seed: u64,
+    /// Core-count override (`None` = the target config's cores). Mix and
+    /// per-core workload cells still demand one spec per core, so this
+    /// mainly scales *rate* cells (`workload = saturate`, 32 cores).
+    pub cores: Option<u32>,
     /// Memory-channel override (`None` = the target config's topology).
     pub channels: Option<u32>,
     /// Ranks-per-channel override (`None` = the target config's topology).
@@ -216,6 +221,7 @@ impl ScenarioSpec {
             policy: crate::sched::SchedulePolicy::default(),
             mapping: AddressMapping::default(),
             seed: 0,
+            cores: None,
             channels: None,
             ranks: None,
             requests_per_core: DEFAULT_REQUESTS_PER_CORE,
@@ -244,6 +250,9 @@ impl ScenarioSpec {
                 }
                 "requests" => {
                     spec.requests_per_core = parse_requests(&value).map_err(&err)?;
+                }
+                "cores" => {
+                    spec.cores = Some(parse_cores(&value).map_err(&err)?);
                 }
                 "channels" => {
                     spec.channels = Some(parse_topology("channels", &value).map_err(&err)?);
@@ -280,6 +289,9 @@ impl ScenarioSpec {
         out.push_str(&format!("policy = {}\n", self.policy.label()));
         out.push_str(&format!("mapping = {}\n", self.mapping.label()));
         out.push_str(&format!("seed = {}\n", self.seed));
+        if let Some(cores) = self.cores {
+            out.push_str(&format!("cores = {cores}\n"));
+        }
         if let Some(channels) = self.channels {
             out.push_str(&format!("channels = {channels}\n"));
         }
@@ -308,6 +320,9 @@ impl ScenarioSpec {
     /// unreadable or malformed.
     pub fn to_sim(&self, cfg: SystemConfig) -> Result<Sim<'static>, Box<dyn std::error::Error>> {
         let mut cfg = cfg;
+        if let Some(cores) = self.cores {
+            cfg.cores = cores;
+        }
         if let Some(channels) = self.channels {
             cfg.channels = channels;
         }
@@ -349,8 +364,9 @@ impl ScenarioSpec {
 ///
 /// The text form shares the [`ScenarioSpec`] conventions with plural
 /// axes: `schemes = <label>…` (or `zoo`), `workloads = <cell>…`,
-/// `requests = N`, `channels = N` / `ranks = R` topology overrides
-/// (nonzero powers of two), and either `seed_base = N` (workload `w`
+/// `requests = N`, `cores = N` / `channels = N` / `ranks = R` topology
+/// overrides (cores nonzero, the rest nonzero powers of two), and either
+/// `seed_base = N` (workload `w`
 /// seeds at `seed_base + w`) or an explicit `seeds = <u64>…` list.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioGrid {
@@ -499,6 +515,9 @@ impl ScenarioGrid {
                 "requests" => {
                     grid.requests_per_core = parse_requests(&value).map_err(&err)?;
                 }
+                "cores" => {
+                    grid.cfg.cores = parse_cores(&value).map_err(&err)?;
+                }
                 "channels" => {
                     grid.cfg.channels = parse_topology("channels", &value).map_err(&err)?;
                 }
@@ -630,6 +649,18 @@ fn parse_requests(value: &str) -> Result<u32, String> {
     }
 }
 
+/// Parses a `cores` value: any nonzero count — cores are request
+/// generators, not address bits, so unlike `channels`/`ranks` they need
+/// not be a power of two (mixes still demand exactly one spec per core,
+/// checked when the workload cell resolves).
+fn parse_cores(value: &str) -> Result<u32, String> {
+    match value.parse::<u32>() {
+        Ok(0) => Err("bad cores 0: need at least one core".to_owned()),
+        Ok(n) => Ok(n),
+        Err(e) => Err(format!("bad cores {value:?}: {e}")),
+    }
+}
+
 /// Parses a topology axis (`channels` / `ranks`): a nonzero power of two,
 /// because the decoder slices the physical address with bit masks — any
 /// other count would silently alias banks instead of failing here with a
@@ -710,6 +741,7 @@ mod tests {
         assert_eq!(spec.policy, SchedulePolicy::frfcfs());
         assert_eq!(spec.mapping, AddressMapping::RoBaRaCoCh);
         assert_eq!(spec.seed, 0);
+        assert_eq!(spec.cores, None);
         assert_eq!(spec.channels, None);
         assert_eq!(spec.ranks, None);
         assert_eq!(spec.requests_per_core, DEFAULT_REQUESTS_PER_CORE);
@@ -727,6 +759,7 @@ mod tests {
                 policy: SchedulePolicy::Fcfs,
                 mapping: AddressMapping::RoCoRaBaCh,
                 seed: 99,
+                cores: None,
                 channels: Some(4),
                 ranks: Some(2),
                 requests_per_core: 1234,
@@ -737,6 +770,7 @@ mod tests {
                 policy: SchedulePolicy::FrFcfs { starvation_cap: 7 },
                 mapping: AddressMapping::ChRaBaRoCo,
                 seed: 0,
+                cores: Some(32),
                 channels: Some(2),
                 ranks: None,
                 requests_per_core: 1,
@@ -752,6 +786,7 @@ mod tests {
                 policy: SchedulePolicy::default(),
                 mapping: AddressMapping::default(),
                 seed: 7,
+                cores: None,
                 channels: None,
                 ranks: None,
                 requests_per_core: DEFAULT_REQUESTS_PER_CORE,
@@ -773,6 +808,8 @@ mod tests {
             ("workload = lbm\nseed = -3\n", 2, "bad seed"),
             ("workload = lbm\nrequests = many\n", 2, "bad requests"),
             ("workload = lbm\nrequests = 0\n", 2, "at least 1 per core"),
+            ("workload = lbm\ncores = 0\n", 2, "at least one core"),
+            ("workload = lbm\ncores = x\n", 2, "bad cores"),
             ("workload = lbm\nchannels = 3\n", 2, "nonzero power of two"),
             ("workload = lbm\nchannels = x\n", 2, "bad channels"),
             ("workload = lbm\nranks = 0\n", 2, "nonzero power of two"),
@@ -833,10 +870,19 @@ mod tests {
 
     #[test]
     fn topology_keys_set_the_grid_config_and_reject_bad_counts() {
-        let grid = ScenarioGrid::parse("schemes = zoo\nworkloads = mcf\nchannels = 2\nranks = 4\n")
-            .unwrap();
+        let grid = ScenarioGrid::parse(
+            "schemes = zoo\nworkloads = mcf\ncores = 8\nchannels = 2\nranks = 4\n",
+        )
+        .unwrap();
+        assert_eq!(grid.cfg.cores, 8);
         assert_eq!(grid.cfg.channels, 2);
         assert_eq!(grid.cfg.ranks, 4);
+        assert_eq!(
+            grid.workloads[0].len(),
+            8,
+            "rate cells resolve against the overridden core count \
+             regardless of key order"
+        );
         let dflt = ScenarioGrid::parse("schemes = zoo\nworkloads = mcf\n").unwrap();
         assert_eq!(
             (dflt.cfg.channels, dflt.cfg.ranks),
@@ -859,6 +905,15 @@ mod tests {
             4 * 10,
             "the overridden sim runs"
         );
+    }
+
+    #[test]
+    fn cores_override_scales_a_rate_cell() {
+        let spec = ScenarioSpec::parse("workload = saturate\ncores = 32\nrequests = 5\n").unwrap();
+        assert_eq!(spec.cores, Some(32));
+        let report = spec.run().unwrap();
+        assert_eq!(report.cores.len(), 32, "one outcome per overridden core");
+        assert_eq!(report.perf.result.requests, 32 * 5);
     }
 
     #[test]

@@ -187,6 +187,25 @@ impl RefWindows {
         }
     }
 
+    /// Monotonically advances the pair until it contains `base`,
+    /// stepping whole periods without dividing; long jumps (a channel
+    /// idle for many tREFI) fall back to the division rebuild.
+    fn advance_to(&mut self, cfg: &SystemConfig, base: u64) {
+        debug_assert!(self.fast);
+        let mut steps = 4u32;
+        while base >= self.w1_start {
+            if steps == 0 {
+                *self = RefWindows::at(cfg, base);
+                return;
+            }
+            steps -= 1;
+            self.w0_start = self.w1_start;
+            self.w0_end = self.w1_end;
+            self.w1_start += cfg.t_refi_ps;
+            self.w1_end += cfg.t_refi_ps;
+        }
+    }
+
     /// [`past_ref_window`] with the division amortised away.
     #[inline]
     fn adjust(&self, cfg: &SystemConfig, t: u64) -> u64 {
@@ -351,6 +370,10 @@ pub struct Channel {
     /// Plan with the retained scratch reference implementation instead
     /// of the incremental planner (differential-testing oracle).
     reference: bool,
+    /// Rebuild the REF-window pair by division on every period crossing
+    /// instead of stepping it (mirrors the engine's refresh oracle, see
+    /// [`set_reference_refresh_default`](crate::controller::set_reference_refresh_default)).
+    reference_refresh: bool,
 }
 
 /// One computed scheduling decision: which slot and when. The per-slot
@@ -419,6 +442,7 @@ impl Channel {
             seed_hint: None,
             plans_computed: 0,
             reference: REFERENCE_PLANNER_DEFAULT.load(Ordering::SeqCst),
+            reference_refresh: crate::controller::reference_refresh_default(),
         }
     }
 
@@ -499,7 +523,11 @@ impl Channel {
     #[inline]
     fn windows(&mut self) -> RefWindows {
         if self.wins.fast && self.clock_ps >= self.wins.w1_start {
-            self.wins = RefWindows::at(&self.cfg, self.clock_ps);
+            if self.reference_refresh {
+                self.wins = RefWindows::at(&self.cfg, self.clock_ps);
+            } else {
+                self.wins.advance_to(&self.cfg, self.clock_ps);
+            }
         }
         self.wins
     }

@@ -48,6 +48,48 @@ use crate::sched::SchedulePolicy;
 use crate::system::System;
 use crate::workload::{CoreStream, Request, RequestSource, TraceEntry, TraceSource, WorkloadSpec};
 use mint_rng::derive_seed;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide default admission mode for subsequently started sessions
+/// (see [`set_reference_admission_default`]).
+static REFERENCE_ADMISSION_DEFAULT: AtomicBool = AtomicBool::new(false);
+
+/// Makes every subsequently started [`Session`] arbitrate admission with
+/// the retained sorted-vec reference loop — re-collecting and re-sorting
+/// every pending arrival per decision — instead of the incrementally
+/// maintained `(issue, core)` arrival set, and serve channels via the
+/// retained linear readiness scan instead of the cached per-channel
+/// minimum.
+///
+/// Like [`set_reference_planner_default`](crate::set_reference_planner_default),
+/// this is a differential-testing oracle: both paths admit in the same
+/// order and produce bit-identical [`RunReport`]s (`ci_smoke` and the
+/// admission property test assert it). Leave it off outside of tests.
+pub fn set_reference_admission_default(on: bool) {
+    REFERENCE_ADMISSION_DEFAULT.store(on, Ordering::SeqCst);
+}
+
+/// Process-wide default generation mode for subsequently started sessions
+/// (see [`set_reference_generation_default`]).
+static REFERENCE_GENERATION_DEFAULT: AtomicBool = AtomicBool::new(false);
+
+/// Makes every subsequently started [`Session`] pull requests from its
+/// sources one at a time (the retained unbatched reference) instead of
+/// prefilling a small per-core ring via [`RequestSource::refill`].
+///
+/// Both paths consume bit-identical streams — batching sources draw RNG
+/// values in exactly the one-at-a-time order, and ready-time-dependent
+/// sources refill one request per call by contract — so this knob exists
+/// purely as the differential-testing oracle for that guarantee.
+pub fn set_reference_generation_default(on: bool) {
+    REFERENCE_GENERATION_DEFAULT.store(on, Ordering::SeqCst);
+}
+
+/// Requests a batching source prefills per [`RequestSource::refill`]
+/// call (the per-core ring size of a [`Session`]).
+const GEN_BATCH: usize = 16;
 
 /// Aggregate outcome of one run: duration, controller statistics, and a
 /// normalization slot.
@@ -334,6 +376,15 @@ struct CoreCtx<'a> {
     source: Box<dyn RequestSource + 'a>,
     /// Next request and its issue time, once the core is ready to send it.
     pending: Option<(Request, u64)>,
+    /// Prefilled upcoming requests ([`RequestSource::refill`]); drained
+    /// before the source is asked again.
+    ring: VecDeque<Request>,
+    /// Prefill the ring instead of pulling one request per fetch (off in
+    /// reference-generation mode).
+    batch: bool,
+    /// Routed channel of the pending request (cached at fetch so the
+    /// admission loop never decodes an address twice).
+    route: usize,
     /// When the core front-end can work on its next request.
     ready_at: u64,
     /// Requests still allowed (None = until the source runs dry).
@@ -347,6 +398,11 @@ struct CoreCtx<'a> {
 impl CoreCtx<'_> {
     /// Pulls the next request out of the source (respecting the budget)
     /// and stamps its issue time.
+    ///
+    /// The batched path drains the prefilled ring first and refills it
+    /// with the core's *current* ready time when empty — sources whose
+    /// request content depends on that time refill one request per call
+    /// by contract, so batching never feeds them a stale clock.
     fn fetch(&mut self) {
         debug_assert!(self.pending.is_none());
         match &mut self.remaining {
@@ -354,11 +410,65 @@ impl CoreCtx<'_> {
             Some(n) => *n -= 1,
             None => {}
         }
-        if let Some(req) = self.source.next_request_at(self.ready_at) {
+        let req = if self.batch {
+            match self.ring.pop_front() {
+                Some(req) => Some(req),
+                None => {
+                    self.source.refill(self.ready_at, GEN_BATCH, &mut self.ring);
+                    self.ring.pop_front()
+                }
+            }
+        } else {
+            self.source.next_request_at(self.ready_at)
+        };
+        if let Some(req) = req {
             let issue = self.ready_at + req.think_time_ps;
             self.pending = Some((req, issue));
         }
     }
+}
+
+/// One service step of the optimized run loops: serve the earliest-ready
+/// channel, forward its drained events, credit the owning core (MLP
+/// stall model) and fetch that core's next request. Returns the serviced
+/// core's index, or `None` when every channel is empty (run over).
+#[allow(clippy::too_many_arguments)]
+fn service_step(
+    system: &mut System,
+    cores: &mut [CoreCtx],
+    mlp: u64,
+    mlp_shift: Option<u32>,
+    observer: &mut Option<&mut dyn ChannelObserver>,
+    capture_events: bool,
+    events: &mut Vec<MemEvent>,
+) -> Option<usize> {
+    let ch = system.earliest_ready()?;
+    let c = system
+        .service_channel(ch)
+        .expect("earliest-ready channel is non-empty");
+    if observer.is_some() || capture_events {
+        for e in system.drain_events_global(ch) {
+            if let Some(obs) = observer.as_deref_mut() {
+                obs.on_event(&e);
+            }
+            if capture_events {
+                events.push(e);
+            }
+        }
+    }
+    let idx = c.core as usize;
+    let core = &mut cores[idx];
+    // Blocking-miss core with an MLP overlap factor: the core absorbs
+    // 1/MLP of the memory stall.
+    let stall = match mlp_shift {
+        Some(s) => (c.completion_ps - c.arrival_ps) >> s,
+        None => (c.completion_ps - c.arrival_ps) / mlp,
+    };
+    core.ready_at = c.arrival_ps + stall;
+    core.finish = core.finish.max(c.completion_ps);
+    core.serviced += 1;
+    core.fetch();
+    Some(idx)
 }
 
 /// A fully resolved scenario, ready to run: built by [`Sim::build`],
@@ -411,6 +521,8 @@ impl Session<'_> {
         } else {
             None
         };
+        let reference_admission = REFERENCE_ADMISSION_DEFAULT.load(Ordering::SeqCst);
+        let batch = !REFERENCE_GENERATION_DEFAULT.load(Ordering::SeqCst);
         let mut cores: Vec<CoreCtx> = self
             .sources
             .into_iter()
@@ -418,6 +530,9 @@ impl Session<'_> {
                 let mut c = CoreCtx {
                     source,
                     pending: None,
+                    ring: VecDeque::new(),
+                    batch,
+                    route: 0,
                     ready_at: 0,
                     remaining: self.budget,
                     finish: 0,
@@ -428,67 +543,160 @@ impl Session<'_> {
             })
             .collect();
 
-        // Pending arrivals sorted by (issue, core) each iteration; the
-        // buffer is reused so the hot loop never allocates.
-        let mut arrivals: Vec<(u64, usize)> = Vec::with_capacity(cores.len());
-        loop {
-            arrivals.clear();
+        if reference_admission {
+            // The retained sorted-vec admission reference (differential
+            // oracle): re-collect and re-sort every pending arrival per
+            // decision, route at admission time, scan every channel for
+            // the next service. Kept verbatim from before the
+            // incremental arrival set.
+            let mut arrivals: Vec<(u64, usize)> = Vec::with_capacity(cores.len());
+            loop {
+                arrivals.clear();
+                for (i, c) in cores.iter().enumerate() {
+                    if let Some(&(_, issue)) = c.pending.as_ref() {
+                        arrivals.push((issue, i));
+                    }
+                }
+                arrivals.sort_unstable();
+                // Admit the earliest issuable request whose routed channel
+                // can take it — each channel's scheduler must see all of its
+                // arrived traffic before committing a command. (A blocked
+                // channel is never empty, so the service arm below always
+                // makes progress towards unblocking it.)
+                let mut admitted = None;
+                for &(issue, i) in &arrivals {
+                    let ch = if single_channel {
+                        0
+                    } else {
+                        let &(req, _) = cores[i].pending.as_ref().expect("pending checked");
+                        system.route(req.addr)
+                    };
+                    if system.admissible_uncached(ch, issue) {
+                        admitted = Some((i, ch));
+                        break;
+                    }
+                }
+                if let Some((i, ch)) = admitted {
+                    let (req, issue) = cores[i].pending.take().expect("pending checked");
+                    system.push_to(ch, req, i as u32, issue);
+                    continue;
+                }
+                let Some(ch) = system.earliest_ready_uncached() else {
+                    break;
+                };
+                let c = system
+                    .service_channel(ch)
+                    .expect("earliest-ready channel is non-empty");
+                if observe {
+                    for e in system.drain_events_global(ch) {
+                        if let Some(obs) = self.observer.as_deref_mut() {
+                            obs.on_event(&e);
+                        }
+                        if self.capture_events {
+                            events.push(e);
+                        }
+                    }
+                }
+                let core = &mut cores[c.core as usize];
+                // Blocking-miss core with an MLP overlap factor: the core
+                // absorbs 1/MLP of the memory stall.
+                let stall = match mlp_shift {
+                    Some(s) => (c.completion_ps - c.arrival_ps) >> s,
+                    None => (c.completion_ps - c.arrival_ps) / mlp,
+                };
+                core.ready_at = c.arrival_ps + stall;
+                core.finish = core.finish.max(c.completion_ps);
+                core.serviced += 1;
+                core.fetch();
+            }
+        } else if single_channel {
+            // Incremental single-channel admission: admissibility is
+            // monotone in the issue time (a full queue or a too-late
+            // arrival stays inadmissible for every later arrival), so
+            // only the *minimum* pending `(issue, core)` key can ever be
+            // admitted — a binary min-heap (contiguous, no tree nodes)
+            // beats an ordered set here, and peek is free. The heap pops
+            // exactly the key the reference's sorted scan would admit,
+            // so the admit order is identical step for step.
+            let mut arrivals: BinaryHeap<Reverse<(u64, usize)>> =
+                BinaryHeap::with_capacity(cores.len());
             for (i, c) in cores.iter().enumerate() {
                 if let Some(&(_, issue)) = c.pending.as_ref() {
-                    arrivals.push((issue, i));
+                    arrivals.push(Reverse((issue, i)));
                 }
             }
-            arrivals.sort_unstable();
-            // Admit the earliest issuable request whose routed channel
-            // can take it — each channel's scheduler must see all of its
-            // arrived traffic before committing a command. (A blocked
-            // channel is never empty, so the service arm below always
-            // makes progress towards unblocking it.)
-            let mut admitted = None;
-            for &(issue, i) in &arrivals {
-                let ch = if single_channel {
-                    0
-                } else {
-                    let &(req, _) = cores[i].pending.as_ref().expect("pending checked");
-                    system.route(req.addr)
-                };
-                if system.admissible(ch, issue) {
-                    admitted = Some((i, ch));
+            loop {
+                if let Some(&Reverse((issue, i))) = arrivals.peek() {
+                    if system.admissible(0, issue) {
+                        arrivals.pop();
+                        let (req, _) = cores[i].pending.take().expect("pending checked");
+                        system.push_to(0, req, i as u32, issue);
+                        continue;
+                    }
+                }
+                let Some(idx) = service_step(
+                    &mut system,
+                    &mut cores,
+                    mlp,
+                    mlp_shift,
+                    &mut self.observer,
+                    self.capture_events,
+                    &mut events,
+                ) else {
                     break;
+                };
+                if let Some(&(_, issue)) = cores[idx].pending.as_ref() {
+                    arrivals.push(Reverse((issue, idx)));
                 }
             }
-            if let Some((i, ch)) = admitted {
-                let (req, issue) = cores[i].pending.take().expect("pending checked");
-                system.push_to(ch, req, i as u32, issue);
-                continue;
-            }
-            let Some(ch) = system.earliest_ready() else {
-                break;
-            };
-            let c = system
-                .service_channel(ch)
-                .expect("earliest-ready channel is non-empty");
-            if observe {
-                for e in system.drain_events_global(ch) {
-                    if let Some(obs) = self.observer.as_deref_mut() {
-                        obs.on_event(&e);
-                    }
-                    if self.capture_events {
-                        events.push(e);
-                    }
+        } else {
+            // Incremental multi-channel admission: pending arrivals live
+            // in an ordered `(issue, core)` set mutated only when a core
+            // fetches or is admitted — O(log cores) per admit instead of
+            // a full re-sort per decision — with each pending request's
+            // routed channel cached at fetch time. A blocked channel
+            // must not starve another channel's admissible arrival, so
+            // the scan walks the set in order; iteration order is
+            // exactly the reference's sorted order, so the admitted
+            // request is identical step for step.
+            let mut arrivals: BTreeSet<(u64, usize)> = BTreeSet::new();
+            for (i, c) in cores.iter_mut().enumerate() {
+                if let Some(&(req, issue)) = c.pending.as_ref() {
+                    c.route = system.route(req.addr);
+                    arrivals.insert((issue, i));
                 }
             }
-            let core = &mut cores[c.core as usize];
-            // Blocking-miss core with an MLP overlap factor: the core
-            // absorbs 1/MLP of the memory stall.
-            let stall = match mlp_shift {
-                Some(s) => (c.completion_ps - c.arrival_ps) >> s,
-                None => (c.completion_ps - c.arrival_ps) / mlp,
-            };
-            core.ready_at = c.arrival_ps + stall;
-            core.finish = core.finish.max(c.completion_ps);
-            core.serviced += 1;
-            core.fetch();
+            loop {
+                let mut admitted = None;
+                for &(issue, i) in &arrivals {
+                    let ch = cores[i].route;
+                    if system.admissible(ch, issue) {
+                        admitted = Some((issue, i, ch));
+                        break;
+                    }
+                }
+                if let Some((issue, i, ch)) = admitted {
+                    arrivals.remove(&(issue, i));
+                    let (req, _) = cores[i].pending.take().expect("pending checked");
+                    system.push_to(ch, req, i as u32, issue);
+                    continue;
+                }
+                let Some(idx) = service_step(
+                    &mut system,
+                    &mut cores,
+                    mlp,
+                    mlp_shift,
+                    &mut self.observer,
+                    self.capture_events,
+                    &mut events,
+                ) else {
+                    break;
+                };
+                if let Some(&(req, issue)) = cores[idx].pending.as_ref() {
+                    cores[idx].route = system.route(req.addr);
+                    arrivals.insert((issue, idx));
+                }
+            }
         }
 
         let duration = cores.iter().map(|c| c.finish).max().unwrap_or(0);

@@ -45,6 +45,14 @@ pub struct System {
     channels: Vec<Channel>,
     /// Bank-index rebase per channel (`channel × banks_per_channel`).
     bank_offset: u32,
+    /// Cached per-channel next scheduling start (`u64::MAX` = empty
+    /// queue). A push or service marks its channel stale; admissibility
+    /// and earliest-ready queries recompute only stale entries, so
+    /// multi-channel admission stops re-asking every planner per
+    /// decision.
+    next_start: Vec<u64>,
+    /// Which [`next_start`](Self::next_start) entries need a recompute.
+    stale: Vec<bool>,
 }
 
 impl System {
@@ -70,10 +78,13 @@ impl System {
                 derive_seed(seed, 0xC0 + u64::from(c)),
             )
         });
+        let count = channels.len();
         Self {
             decoder: AddressDecoder::new(&cfg, mapping),
             channels,
             bank_offset: cfg.banks_per_channel(),
+            next_start: vec![u64::MAX; count],
+            stale: vec![false; count],
         }
     }
 
@@ -106,12 +117,32 @@ impl System {
         self.decoder.decode(addr).channel as usize
     }
 
+    /// The cached next start of channel `ch`, recomputed from the
+    /// channel's planner only when a push or service staled it
+    /// (`u64::MAX` = empty queue).
+    #[inline]
+    fn cached_next_start(&mut self, ch: usize) -> u64 {
+        if self.stale[ch] {
+            self.stale[ch] = false;
+            self.next_start[ch] = self.channels[ch].next_start_ps().unwrap_or(u64::MAX);
+        }
+        self.next_start[ch]
+    }
+
     /// Whether channel `ch` can admit a request issued at `issue_ps`
     /// right now: room in its queue, and no already-queued transaction
     /// would start before the newcomer arrives (each channel's scheduler
     /// must see all arrived traffic before committing a command).
     #[must_use]
     pub fn admissible(&mut self, ch: usize, issue_ps: u64) -> bool {
+        self.channels[ch].has_room() && issue_ps <= self.cached_next_start(ch)
+    }
+
+    /// [`admissible`](Self::admissible) recomputed straight from the
+    /// channel planner — the retained reference rule the admission
+    /// oracle diffs the cache against.
+    #[must_use]
+    pub(crate) fn admissible_uncached(&mut self, ch: usize, issue_ps: u64) -> bool {
         self.channels[ch].has_room()
             && self.channels[ch]
                 .next_start_ps()
@@ -134,13 +165,36 @@ impl System {
     /// pushes without decoding the address a second time.
     pub fn push_to(&mut self, ch: usize, req: Request, core: u32, arrival_ps: u64) {
         self.channels[ch].push(req, core, arrival_ps);
+        self.stale[ch] = true;
     }
 
     /// The channel whose next scheduling decision comes first — the
     /// deterministic service order of the admission loop. Ties break to
     /// the lowest channel index; `None` when every queue is empty.
+    /// Answered from the readiness cache: only channels a push or
+    /// service staled re-ask their planner; the minimum is a scan over a
+    /// dense array.
     #[must_use]
     pub fn earliest_ready(&mut self) -> Option<usize> {
+        for ch in 0..self.channels.len() {
+            self.cached_next_start(ch);
+        }
+        let mut best = u64::MAX;
+        let mut best_ch = None;
+        for (ch, &s) in self.next_start.iter().enumerate() {
+            if s < best {
+                best = s;
+                best_ch = Some(ch);
+            }
+        }
+        best_ch
+    }
+
+    /// [`earliest_ready`](Self::earliest_ready) recomputed by the
+    /// retained linear scan over the channel planners — the reference
+    /// rule the admission oracle diffs the cache against.
+    #[must_use]
+    pub(crate) fn earliest_ready_uncached(&mut self) -> Option<usize> {
         let mut best: Option<(u64, usize)> = None;
         for ch in 0..self.channels.len() {
             if let Some(s) = self.channels[ch].next_start_ps() {
@@ -155,6 +209,7 @@ impl System {
     /// Performs one scheduling decision on channel `ch` (see
     /// [`Channel::service_next`]).
     pub fn service_channel(&mut self, ch: usize) -> Option<Completion> {
+        self.stale[ch] = true;
         self.channels[ch].service_next()
     }
 
@@ -186,6 +241,8 @@ impl System {
         for ch in &mut self.channels {
             ch.finish(end_ps);
         }
+        // Finalisation advances engine state; drop any cached readiness.
+        self.stale.fill(true);
     }
 
     /// The run statistics summed over all channels.

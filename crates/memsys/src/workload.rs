@@ -18,6 +18,7 @@
 
 use crate::address::AddressDecoder;
 use mint_rng::{Rng64, SplitMix64};
+use std::collections::VecDeque;
 use std::fmt;
 use std::path::Path;
 
@@ -53,10 +54,30 @@ impl WorkloadSpec {
     }
 }
 
-/// Looks a rate workload up by name (the 17 [`spec_rate_workloads`]).
+/// Looks a workload up by name: the 17 [`spec_rate_workloads`], plus the
+/// synthetic [`saturation_spec`] (`saturate`).
 #[must_use]
 pub fn workload_by_name(name: &str) -> Option<WorkloadSpec> {
+    if name == "saturate" {
+        return Some(saturation_spec());
+    }
     spec_rate_workloads().into_iter().find(|w| w.name == name)
+}
+
+/// The synthetic saturation workload (`saturate`): MPKI far beyond any
+/// SPEC rate entry, so every core re-arrives the instant it can and the
+/// transaction queue stays pinned at its depth. This is the
+/// arbitration-dominated stress cell of the throughput trajectory
+/// (`examples/scenarios/saturation32.scn`); it is *not* part of the
+/// 17-workload evaluation zoo.
+#[must_use]
+pub fn saturation_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "saturate",
+        mpki: 1000.0,
+        row_buffer_locality: 0.6,
+        read_fraction: 0.67,
+    }
 }
 
 /// The 17 SPEC2017 rate workloads (paper §VIII-A).
@@ -146,6 +167,24 @@ pub trait RequestSource {
         let _ = ready_at_ps;
         self.next_request()
     }
+
+    /// Refills `out` with upcoming requests in stream order — at most
+    /// `max`, fewer (possibly zero) when the stream runs dry. The
+    /// default pulls exactly **one** request via
+    /// [`next_request_at`](Self::next_request_at), so sources whose
+    /// request content depends on the core's ready time (absolute-slot
+    /// pacing like `mint-redteam`'s `AttackSource`) stay exact by
+    /// construction: every refill sees the genuine `ready_at_ps`.
+    /// Sources whose content is independent of service times (synthetic
+    /// streams, traces) override this to amortise the per-request
+    /// dispatch; overrides must draw RNG values in exactly the
+    /// one-at-a-time order so every stream stays bit-identical.
+    fn refill(&mut self, ready_at_ps: u64, max: usize, out: &mut VecDeque<Request>) {
+        let _ = max;
+        if let Some(req) = self.next_request_at(ready_at_ps) {
+            out.push_back(req);
+        }
+    }
 }
 
 /// Generates the LLC-miss stream of one core running one workload.
@@ -197,8 +236,13 @@ impl CoreStream {
     }
 }
 
-impl RequestSource for CoreStream {
-    fn next_request(&mut self) -> Option<Request> {
+impl CoreStream {
+    /// One stream step — the single place the per-request RNG draw order
+    /// lives, shared by [`next_request`](RequestSource::next_request) and
+    /// the batch [`refill`](RequestSource::refill) so the two paths are
+    /// bit-identical by construction.
+    #[inline]
+    fn gen_one(&mut self) -> Request {
         let reuse = self
             .last
             .filter(|_| self.rng.gen_bool(self.spec.row_buffer_locality));
@@ -209,11 +253,28 @@ impl RequestSource for CoreStream {
         });
         self.last = Some((bank, row));
         let column = self.rng.gen_range_u32(self.columns);
-        Some(Request {
+        Request {
             addr: self.decoder.encode_bank_row(bank, row, column),
             is_read: self.rng.gen_bool(self.spec.read_fraction),
             think_time_ps: self.think_ps,
-        })
+        }
+    }
+}
+
+impl RequestSource for CoreStream {
+    fn next_request(&mut self) -> Option<Request> {
+        Some(self.gen_one())
+    }
+
+    /// Generates `max` requests in one pass. Request content is
+    /// independent of service times (the RNG is private to this core's
+    /// stream), so prefilling ahead of the core's clock — even past the
+    /// run's request budget — changes nothing about the consumed prefix.
+    fn refill(&mut self, _ready_at_ps: u64, max: usize, out: &mut VecDeque<Request>) {
+        out.reserve(max);
+        for _ in 0..max {
+            out.push_back(self.gen_one());
+        }
     }
 }
 
@@ -387,6 +448,21 @@ impl RequestSource for TraceSource {
             is_read: e.is_read,
             think_time_ps: e.gap_cycles * self.cycle_ps,
         })
+    }
+
+    /// Converts the next `max` parsed entries in one pass (fewer at the
+    /// end of the trace).
+    fn refill(&mut self, _ready_at_ps: u64, max: usize, out: &mut VecDeque<Request>) {
+        let take = max.min(self.remaining());
+        out.reserve(take);
+        for e in &self.entries[self.pos..self.pos + take] {
+            out.push_back(Request {
+                addr: e.addr,
+                is_read: e.is_read,
+                think_time_ps: e.gap_cycles * self.cycle_ps,
+            });
+        }
+        self.pos += take;
     }
 }
 

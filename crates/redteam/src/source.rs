@@ -5,6 +5,7 @@ use mint_attacks::AccessPattern;
 use mint_dram::RowId;
 use mint_memsys::backend::max_act_per_trefi;
 use mint_memsys::{AddressDecoder, AddressMapping, Request, RequestSource, SystemConfig};
+use std::collections::VecDeque;
 
 /// A [`RequestSource`] that mounts an [`AccessPattern`] on the
 /// command-level channel.
@@ -169,6 +170,17 @@ impl RequestSource for AttackSource {
     /// the core is ready by then (stalls can delay, never advance).
     fn next_request_at(&mut self, ready_at_ps: u64) -> Option<Request> {
         self.advance(ready_at_ps)
+    }
+
+    /// One request per refill, never a batch: every `think_time_ps` is
+    /// `intended_slot - ready_at`, so a request generated against a stale
+    /// ready time would land on the wrong tREFI slot. Pulling exactly one
+    /// with the genuine `ready_at_ps` keeps the attack schedule exact
+    /// under the Session's batched-generation path.
+    fn refill(&mut self, ready_at_ps: u64, _max: usize, out: &mut VecDeque<Request>) {
+        if let Some(req) = self.advance(ready_at_ps) {
+            out.push_back(req);
+        }
     }
 }
 

@@ -50,6 +50,7 @@ pub trait Rng64 {
     /// Returns the next 32 random bits (upper half of [`next_u64`]).
     ///
     /// [`next_u64`]: Rng64::next_u64
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
@@ -62,6 +63,7 @@ pub trait Rng64 {
     /// # Panics
     ///
     /// Panics if `bound == 0`.
+    #[inline]
     fn gen_range_u32(&mut self, bound: u32) -> u32 {
         assert!(bound > 0, "gen_range_u32 bound must be non-zero");
         // Lemire: https://arxiv.org/abs/1805.10941
@@ -84,6 +86,7 @@ pub trait Rng64 {
     /// # Panics
     ///
     /// Panics if `bound == 0`.
+    #[inline]
     fn gen_range_u64(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "gen_range_u64 bound must be non-zero");
         let mut x = self.next_u64();
@@ -105,6 +108,7 @@ pub trait Rng64 {
     /// # Panics
     ///
     /// Panics if `lo > hi`.
+    #[inline]
     fn gen_range_inclusive_u32(&mut self, lo: u32, hi: u32) -> u32 {
         assert!(lo <= hi, "gen_range_inclusive_u32 requires lo <= hi");
         let span = (hi - lo) as u64 + 1;
@@ -112,12 +116,14 @@ pub trait Rng64 {
     }
 
     /// Draws a float uniformly from `[0, 1)` with 53 bits of precision.
+    #[inline]
     fn gen_f64(&mut self) -> f64 {
         // 53 high bits scaled by 2^-53.
         (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
     fn gen_bool(&mut self, p: f64) -> bool {
         if p <= 0.0 {
             return false;
@@ -126,6 +132,17 @@ pub trait Rng64 {
             return true;
         }
         self.gen_f64() < p
+    }
+
+    /// Fills `out` with the next `out.len()` words of the stream, in
+    /// order — the batch form of [`next_u64`](Rng64::next_u64). The
+    /// draws are exactly the ones sequential calls would produce (pinned
+    /// by test), so batching callers (prefilled request rings, bulk
+    /// Monte-Carlo draws) stay bit-identical to one-at-a-time callers.
+    fn fill_u64s(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.next_u64();
+        }
     }
 
     /// Fisher–Yates shuffles a slice in place.
@@ -254,6 +271,29 @@ mod tests {
         for stream in 0..1000 {
             assert!(seen.insert(derive_seed(99, stream)));
         }
+    }
+
+    #[test]
+    fn fill_u64s_matches_sequential_draws() {
+        // The batch API must be a pure transcription of the sequential
+        // stream, for both generators (batching callers depend on this
+        // for bit-identical results).
+        let mut batch = Xoshiro256StarStar::seed_from_u64(11);
+        let mut seq = Xoshiro256StarStar::seed_from_u64(11);
+        let mut buf = [0u64; 37];
+        batch.fill_u64s(&mut buf);
+        for (i, &b) in buf.iter().enumerate() {
+            assert_eq!(b, seq.next_u64(), "xoshiro word {i}");
+        }
+        let mut batch = SplitMix64::new(23);
+        let mut seq = SplitMix64::new(23);
+        let mut buf = [0u64; 37];
+        batch.fill_u64s(&mut buf);
+        for (i, &b) in buf.iter().enumerate() {
+            assert_eq!(b, seq.next_u64(), "splitmix word {i}");
+        }
+        // And the two generators continue identically afterwards.
+        assert_eq!(batch.next_u64(), seq.next_u64());
     }
 
     #[test]

@@ -35,6 +35,7 @@ impl Default for SplitMix64 {
 }
 
 impl Rng64 for SplitMix64 {
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
