@@ -7,7 +7,11 @@
 //! implementation: the scratch planner, the sorted-vec admission loop,
 //! the unbatched stream generation and the division-based refresh
 //! alignment, plus a quick sat32 throughput cell through its schema
-//! check.
+//! check. Two more legs cover the serving layer: the checked-in specs
+//! piped through the resident scenario service (streamed JSON-lines
+//! byte-identical at 1 vs 4 workers and vs batch) and a midpoint
+//! checkpoint/restore whose resumed report must match the straight run
+//! byte-for-byte.
 //!
 //! ```bash
 //! cargo run --release -p mint-bench --bin ci_smoke
@@ -25,15 +29,23 @@ use mint_bench::throughput::{
 };
 use mint_memsys::{
     parse_any, set_reference_admission_default, set_reference_generation_default,
-    set_reference_planner_default, set_reference_refresh_default, workload_by_name,
-    MitigationScheme, NormalizedPerf, Scenario, ScenarioGrid, SchedulePolicy, SystemConfig,
+    set_reference_planner_default, set_reference_refresh_default, workload_by_name, Checkpoint,
+    MitigationScheme, NormalizedPerf, Scenario, ScenarioGrid, SchedulePolicy, SessionRun,
+    SystemConfig,
 };
 use mint_redteam::{redteam_sweep, RedteamConfig, RedteamReport};
+use mint_serve::{wire, Service};
 
 /// The checked-in spec-driven grid (CI runs exactly what users run).
 const SCENARIO_FILE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/../../examples/scenarios/zoo_small.scn"
+);
+
+/// The checked-in multi-channel grid, reused as the service's second job.
+const MULTICHANNEL_FILE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../examples/scenarios/dimm_multichannel.scn"
 );
 
 fn tiny_grid(policy: SchedulePolicy) -> Vec<Vec<NormalizedPerf>> {
@@ -117,6 +129,17 @@ fn assert_grids_identical(one: &[Vec<NormalizedPerf>], four: &[Vec<NormalizedPer
     }
 }
 
+/// One pass of the resident scenario service over `input`, with the
+/// worker pool sized by the ambient `set_jobs` setting (so
+/// [`at_jobs_1_and_4`] exercises 1 vs 4 workers).
+fn serve_stream(input: &str) -> String {
+    let mut out = Vec::new();
+    Service::new()
+        .serve(std::io::Cursor::new(input.to_string()), &mut out)
+        .expect("in-memory serve");
+    String::from_utf8(out).expect("utf8 serve output")
+}
+
 /// Runs `make` at jobs 1 and jobs 4 and hands both results back.
 fn at_jobs_1_and_4<T>(make: impl Fn() -> T) -> (T, T) {
     mint_exp::set_jobs(1);
@@ -174,6 +197,95 @@ fn main() {
         one[0].len(),
     );
 
+    // Serve leg: the two checked-in grid specs through the resident
+    // scenario service. The streamed JSON-lines must be byte-identical
+    // at 1 vs 4 workers AND to the batch runner's reports rendered by
+    // the same wire formatter.
+    let zoo = std::fs::read_to_string(SCENARIO_FILE)
+        .unwrap_or_else(|e| panic!("cannot read {SCENARIO_FILE}: {e}"));
+    let multi = std::fs::read_to_string(MULTICHANNEL_FILE)
+        .unwrap_or_else(|e| panic!("cannot read {MULTICHANNEL_FILE}: {e}"));
+    let input = [
+        wire::Envelope::Submit {
+            id: 1,
+            spec: zoo.clone(),
+            seed_base: None,
+            timeout_ms: None,
+        }
+        .to_line(),
+        wire::Envelope::Submit {
+            id: 2,
+            spec: multi.clone(),
+            seed_base: None,
+            timeout_ms: None,
+        }
+        .to_line(),
+        wire::Envelope::Shutdown.to_line(),
+    ]
+    .join("\n");
+    let (one, four) = at_jobs_1_and_4(|| serve_stream(&input));
+    assert_eq!(one, four, "serve stream differs between 1 and 4 workers");
+    let mut expected = String::new();
+    for (id, text) in [(1u64, &zoo), (2, &multi)] {
+        match parse_any(text).expect("checked-in spec") {
+            Scenario::Grid(grid) => {
+                expected.push_str(&wire::ok_grid_line(id, &grid, &grid.run()));
+            }
+            Scenario::Cell(cell) => {
+                let report = cell.run().expect("checked-in cell");
+                expected.push_str(&wire::ok_cell_line(id, &cell.scheme.label(), &report));
+            }
+        }
+        expected.push('\n');
+    }
+    assert_eq!(
+        one, expected,
+        "serve stream differs from the batch-rendered reports"
+    );
+    println!("serve: 2 spec jobs streamed byte-identical at 1 vs 4 workers and vs batch");
+
+    // Checkpoint leg: run a cell straight, then split it at the midpoint
+    // through the serialized on-disk checkpoint format and resume in a
+    // fresh session — the final report rendering must not differ by a
+    // byte (and the full RunReport must compare equal).
+    let cell_text = "scheme = mint\nworkload = mcf\nrequests = 2000\nseed = 77\n";
+    let Scenario::Cell(cell) = parse_any(cell_text).expect("cell spec") else {
+        panic!("checkpoint leg needs a cell");
+    };
+    let straight = cell.run().expect("straight run");
+    let total = straight.perf.result.requests;
+    let paused = cell
+        .to_sim(SystemConfig::table6())
+        .expect("sim")
+        .build()
+        .run_until(total / 2)
+        .expect("pause at the midpoint");
+    let SessionRun::Paused(checkpoint) = paused else {
+        panic!("a midpoint stop must pause, not finish");
+    };
+    let bytes = checkpoint.to_bytes();
+    let restored = Checkpoint::from_bytes(&bytes).expect("decode checkpoint bytes");
+    let resumed = cell
+        .to_sim(SystemConfig::table6())
+        .expect("sim")
+        .build()
+        .resume(&restored)
+        .expect("resume from the midpoint");
+    assert_eq!(
+        wire::ok_cell_line(0, &cell.scheme.label(), &resumed),
+        wire::ok_cell_line(0, &cell.scheme.label(), &straight),
+        "resumed report rendering differs from the straight run"
+    );
+    assert_eq!(
+        resumed, straight,
+        "full RunReport differs after checkpoint/restore"
+    );
+    println!(
+        "checkpoint: midpoint split at request {} resumed byte-identical ({}-byte checkpoint)",
+        total / 2,
+        bytes.len(),
+    );
+
     // Planner oracle at artifact granularity: the exact JSON payloads of
     // BENCH_perf.json (reduced request budget) and BENCH_security.json
     // (quick red-team config) must be byte-identical whether the channel
@@ -222,6 +334,7 @@ fn main() {
     );
 
     println!(
-        "ci_smoke OK: schedulers, redteam grid, scenario file and every retained reference bit-identical"
+        "ci_smoke OK: schedulers, redteam grid, scenario file, serve stream, checkpoint \
+         restore and every retained reference bit-identical"
     );
 }

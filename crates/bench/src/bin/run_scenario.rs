@@ -12,14 +12,36 @@
 //! `ScenarioGrid` (and in the README); `examples/scenarios/` ships
 //! ready-to-run samples. A machine-readable JSON report is written next
 //! to the printed table (`SCENARIO_report.json`, redirect with `--out`).
+//!
+//! With `--serve` the binary becomes a resident scenario service
+//! instead: JSON-lines envelopes stream in on stdin (or a unix socket
+//! given with `--socket PATH`) and one result line streams out per job,
+//! in submission order — see the `mint-serve` crate and the README's
+//! "Scenario service" section for the wire format.
+//!
+//! ```bash
+//! cargo run --release -p mint-bench --bin run_scenario -- --serve < jobs.jsonl
+//! cargo run --release -p mint-bench --bin run_scenario -- --serve --socket /tmp/mint.sock
+//! ```
 
 use mint_analysis::textable::TexTable;
 use mint_memsys::{parse_any, RunReport, Scenario, ScenarioGrid};
+use mint_serve::Service;
 
 fn main() {
     let cli = mint_exp::cli::parse();
+    // `--serve` / `--socket` are free arguments as far as the shared
+    // cli parser is concerned; the `--jobs` override is already
+    // installed process-wide, so Service::new() sizes its pool from it.
+    if cli.free.iter().any(|arg| arg == "--serve") {
+        serve(&cli);
+        return;
+    }
     let Some(path) = cli.free.first() else {
-        eprintln!("usage: run_scenario <FILE.scn> [--jobs N] [--out PATH]");
+        eprintln!(
+            "usage: run_scenario <FILE.scn> [--jobs N] [--out PATH]\n       \
+             run_scenario --serve [--socket PATH] [--jobs N]"
+        );
         std::process::exit(2);
     };
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -46,6 +68,29 @@ fn main() {
         }
     };
     cli.write_artifact("SCENARIO_report.json", &json);
+}
+
+fn serve(cli: &mint_exp::cli::Cli) {
+    let service = Service::new();
+    let socket = cli.free.iter().position(|arg| arg == "--socket").map(|i| {
+        cli.free.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --socket requires a path");
+            std::process::exit(2);
+        })
+    });
+    let served = match socket {
+        Some(path) => service.serve_unix(std::path::Path::new(&path)),
+        None => {
+            let stdin = std::io::stdin();
+            // StdoutLock is not Send; Stdout itself is, and only the
+            // emitter thread ever writes.
+            service.serve(stdin.lock(), std::io::stdout()).map(|_| ())
+        }
+    };
+    if let Err(e) = served {
+        eprintln!("serve: {e}");
+        std::process::exit(1);
+    }
 }
 
 fn print_cell(scheme: &str, report: &RunReport) {

@@ -141,6 +141,41 @@ impl InDramTracker for MintRfm {
         self.delay_queue.clear();
         self.mint.reset(rng);
     }
+
+    /// `[acts_in_window, queue_len, queue…, mint…]` — each delayed decision
+    /// in its three-word encoding, the inner MINT registers last.
+    fn snapshot_state(&self) -> Vec<u64> {
+        let mut words = vec![
+            u64::from(self.acts_in_window),
+            self.delay_queue.len() as u64,
+        ];
+        for d in &self.delay_queue {
+            words.extend(d.encode());
+        }
+        words.extend(self.mint.snapshot_state());
+        words
+    }
+
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), String> {
+        let truncated = || "MINT+RFM: truncated state".to_string();
+        let (&acts, rest) = state.split_first().ok_or_else(truncated)?;
+        let (&qlen, mut rest) = rest.split_first().ok_or_else(truncated)?;
+        let qlen =
+            usize::try_from(qlen).map_err(|_| "MINT+RFM: queue length overflow".to_string())?;
+        if qlen > crate::DMQ_ENTRIES {
+            return Err(format!("MINT+RFM: {qlen} delayed exceeds the DMQ depth"));
+        }
+        self.acts_in_window = u32::try_from(acts)
+            .map_err(|_| format!("MINT+RFM: acts_in_window {acts} exceeds u32"))?;
+        self.delay_queue.clear();
+        for _ in 0..qlen {
+            let (chunk, tail) = rest.split_first_chunk::<3>().ok_or_else(truncated)?;
+            self.delay_queue
+                .push_back(MitigationDecision::decode(*chunk)?);
+            rest = tail;
+        }
+        self.mint.restore_state(rest)
+    }
 }
 
 #[cfg(test)]

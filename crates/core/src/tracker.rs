@@ -94,6 +94,47 @@ impl MitigationDecision {
     pub fn victim_act_count(&self, blast_radius: u32) -> u64 {
         self.victim_rows(blast_radius).len() as u64
     }
+
+    /// Packs the decision into its fixed three-word checkpoint encoding
+    /// `[tag, row, distance]` (tags: 0 `None`, 1 `Aggressor`, 2
+    /// `Transitive`, 3 `VictimRefresh`), the form trackers use inside
+    /// [`InDramTracker::snapshot_state`].
+    #[must_use]
+    pub fn encode(&self) -> [u64; 3] {
+        match *self {
+            MitigationDecision::None => [0, 0, 0],
+            MitigationDecision::Aggressor(r) => [1, u64::from(r.0), 0],
+            MitigationDecision::Transitive { around, distance } => {
+                [2, u64::from(around.0), u64::from(distance)]
+            }
+            MitigationDecision::VictimRefresh(v) => [3, u64::from(v.0), 0],
+        }
+    }
+
+    /// Unpacks the three-word form produced by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the corruption if the tag is unknown or a
+    /// field exceeds its 32-bit range.
+    pub fn decode(words: [u64; 3]) -> Result<Self, String> {
+        let row = |w: u64| -> Result<RowId, String> {
+            u32::try_from(w)
+                .map(RowId)
+                .map_err(|_| format!("decision row {w} exceeds u32"))
+        };
+        match words[0] {
+            0 => Ok(MitigationDecision::None),
+            1 => Ok(MitigationDecision::Aggressor(row(words[1])?)),
+            2 => Ok(MitigationDecision::Transitive {
+                around: row(words[1])?,
+                distance: u32::try_from(words[2])
+                    .map_err(|_| format!("transitive distance {} exceeds u32", words[2]))?,
+            }),
+            3 => Ok(MitigationDecision::VictimRefresh(row(words[1])?)),
+            tag => Err(format!("unknown decision tag {tag}")),
+        }
+    }
 }
 
 /// A Rowhammer mitigation tracker living inside the DRAM device.
@@ -154,6 +195,41 @@ pub trait InDramTracker {
 
     /// Restores the power-on state (new window, cleared registers).
     fn reset(&mut self, rng: &mut dyn Rng64);
+
+    /// Serializes every dynamic register of the tracker into a flat word
+    /// vector — the tracker half of the simulator checkpoint contract.
+    ///
+    /// The encoding is tracker-private but must be **canonical**: two
+    /// trackers in the same logical state produce identical words even
+    /// across processes (hash-map iteration order must not leak into the
+    /// output), and [`restore_state`](Self::restore_state) applied to a
+    /// fresh instance of the same configuration must continue the stream
+    /// bit-identically. Configuration (entry counts, thresholds,
+    /// probabilities) is *not* included — the restorer rebuilds it from the
+    /// scenario spec.
+    fn snapshot_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores the dynamic state captured by
+    /// [`snapshot_state`](Self::snapshot_state) onto a tracker built from
+    /// the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch if `state` was not produced by
+    /// the same tracker type and configuration.
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), String> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{}: expected empty state, got {} words",
+                self.name(),
+                state.len()
+            ))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -233,5 +309,22 @@ mod tests {
             vec![RowId(7), RowId(13)]
         );
         assert!(MitigationDecision::None.victim_rows(1).is_empty());
+    }
+
+    #[test]
+    fn decision_word_encoding_round_trips() {
+        for d in [
+            MitigationDecision::None,
+            MitigationDecision::Aggressor(RowId(7)),
+            MitigationDecision::Transitive {
+                around: RowId(9),
+                distance: 3,
+            },
+            MitigationDecision::VictimRefresh(RowId(u32::MAX)),
+        ] {
+            assert_eq!(MitigationDecision::decode(d.encode()), Ok(d));
+        }
+        assert!(MitigationDecision::decode([4, 0, 0]).is_err());
+        assert!(MitigationDecision::decode([1, u64::from(u32::MAX) + 1, 0]).is_err());
     }
 }

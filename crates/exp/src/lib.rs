@@ -68,6 +68,7 @@ pub mod aggregate;
 pub mod cli;
 mod experiment;
 pub mod jobs;
+pub mod json;
 pub mod prop;
 pub mod stopwatch;
 mod sweep;

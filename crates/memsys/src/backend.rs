@@ -152,6 +152,42 @@ impl MitigationBackend {
             MitigationBackend::InDram(t) | MitigationBackend::McTracker(t) => t.name(),
         }
     }
+
+    /// The backend's dynamic state as checkpoint words — empty for the
+    /// stateless variants, the tracker's
+    /// [`snapshot_state`](InDramTracker::snapshot_state) otherwise.
+    #[must_use]
+    pub fn snapshot_state(&self) -> Vec<u64> {
+        match self {
+            MitigationBackend::None | MitigationBackend::McSample { .. } => Vec::new(),
+            MitigationBackend::InDram(t) | MitigationBackend::McTracker(t) => t.snapshot_state(),
+        }
+    }
+
+    /// Restores the state captured by [`snapshot_state`](Self::snapshot_state)
+    /// into a freshly built backend of the same scheme.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the words do not describe this backend's tracker (wrong
+    /// scheme, wrong capacity, or corruption).
+    pub fn restore_state(&mut self, state: &[u64]) -> Result<(), String> {
+        match self {
+            MitigationBackend::None | MitigationBackend::McSample { .. } => {
+                if state.is_empty() {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "stateless backend given {} state words",
+                        state.len()
+                    ))
+                }
+            }
+            MitigationBackend::InDram(t) | MitigationBackend::McTracker(t) => {
+                t.restore_state(state)
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for MitigationBackend {

@@ -17,6 +17,7 @@ use crate::address::{AddressDecoder, AddressMapping, DecodedAddr};
 use crate::backend::{refis_per_refw, MitigationBackend};
 use crate::config::{MitigationScheme, SystemConfig};
 use crate::events::MemEvent;
+use crate::snapshot::{SnapshotReader, SnapshotWriter};
 use crate::workload::Request;
 use mint_core::{InDramTracker, MitigationDecision};
 use mint_dram::RowId;
@@ -694,6 +695,105 @@ impl MemoryController {
             completion_ps: completion,
             row_hit: is_hit,
         }
+    }
+
+    /// Serialises the engine's dynamic state: bank slabs (RAA counters,
+    /// REF cursors, tracker words), the hot ready/open-row arrays, the RNG
+    /// stream position, accumulated statistics, the REF memoisation pair
+    /// and any undrained events. Config, scheme, decoder and the
+    /// `log_events` / `reference_refresh` knobs are *not* serialised — a
+    /// restore target is rebuilt from the same spec and process-wide
+    /// defaults.
+    pub(crate) fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        w.push(self.banks.len() as u64);
+        for b in &self.banks {
+            w.push_u32(b.raa);
+            w.push(b.ref_cursor);
+            w.push_words(&b.backend.snapshot_state());
+        }
+        for &t in &self.bank_ready_ps {
+            w.push(t);
+        }
+        for &row in &self.bank_open_row {
+            w.push_u32(row);
+        }
+        for s in self.rng.state() {
+            w.push(s);
+        }
+        let r = &self.result;
+        for c in [
+            r.requests,
+            r.row_hits,
+            r.demand_acts,
+            r.mitigative_acts,
+            r.rfm_commands,
+            r.drfm_commands,
+            r.reads,
+            r.writes,
+            r.refs,
+        ] {
+            w.push(c);
+        }
+        w.push(self.ref_quot);
+        w.push(self.ref_base_ps);
+        w.push(self.ref_next_ps);
+        w.push(self.events.len() as u64);
+        for e in &self.events {
+            for word in e.encode_words() {
+                w.push(word);
+            }
+        }
+    }
+
+    /// Restores the state captured by [`snapshot_into`](Self::snapshot_into)
+    /// into an engine freshly built for the same config and scheme.
+    pub(crate) fn restore_from(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), String> {
+        let banks = usize::try_from(r.take()?)
+            .map_err(|_| "engine: bank count overflows usize".to_string())?;
+        if banks != self.banks.len() {
+            return Err(format!(
+                "engine: checkpoint has {banks} banks, state has {}",
+                self.banks.len()
+            ));
+        }
+        for b in &mut self.banks {
+            b.raa = r.take_u32()?;
+            b.ref_cursor = r.take()?;
+            b.backend.restore_state(r.take_words()?)?;
+        }
+        for t in &mut self.bank_ready_ps {
+            *t = r.take()?;
+        }
+        for row in &mut self.bank_open_row {
+            *row = r.take_u32()?;
+        }
+        let state = [r.take()?, r.take()?, r.take()?, r.take()?];
+        if state == [0; 4] {
+            return Err("engine: all-zero RNG state".to_string());
+        }
+        self.rng = Xoshiro256StarStar::from_state(state);
+        self.result = SimResult {
+            requests: r.take()?,
+            row_hits: r.take()?,
+            demand_acts: r.take()?,
+            mitigative_acts: r.take()?,
+            rfm_commands: r.take()?,
+            drfm_commands: r.take()?,
+            reads: r.take()?,
+            writes: r.take()?,
+            refs: r.take()?,
+        };
+        self.ref_quot = r.take()?;
+        self.ref_base_ps = r.take()?;
+        self.ref_next_ps = r.take()?;
+        let pending = usize::try_from(r.take()?)
+            .map_err(|_| "engine: event count overflows usize".to_string())?;
+        self.events.clear();
+        for _ in 0..pending {
+            let words = [r.take()?, r.take()?, r.take()?, r.take()?];
+            self.events.push(MemEvent::decode_words(words)?);
+        }
+        Ok(())
     }
 
     /// Finalises the run at `end_ps`, recording elapsed REF events.

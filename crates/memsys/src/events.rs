@@ -130,6 +130,60 @@ impl MemEvent {
             | MemEvent::MitigativeRefresh { at_ps, .. } => at_ps,
         }
     }
+
+    /// Fixed-width checkpoint encoding: `[tag, bank, aux, at_ps]`, where
+    /// `aux` is the row (`Act`/`MitigativeRefresh`), the REF boundary index
+    /// (`Ref`), or zero. The inverse is [`decode_words`](Self::decode_words).
+    #[must_use]
+    pub fn encode_words(&self) -> [u64; 4] {
+        match *self {
+            MemEvent::Act { bank, row, at_ps } => [0, u64::from(bank), u64::from(row), at_ps],
+            MemEvent::Pre { bank, at_ps } => [1, u64::from(bank), 0, at_ps],
+            MemEvent::Ref {
+                bank,
+                ref_index,
+                at_ps,
+            } => [2, u64::from(bank), ref_index, at_ps],
+            MemEvent::Rfm { bank, at_ps } => [3, u64::from(bank), 0, at_ps],
+            MemEvent::Drfm { bank, at_ps } => [4, u64::from(bank), 0, at_ps],
+            MemEvent::MitigativeRefresh { bank, row, at_ps } => {
+                [5, u64::from(bank), u64::from(row), at_ps]
+            }
+        }
+    }
+
+    /// Decodes the `[tag, bank, aux, at_ps]` encoding of
+    /// [`encode_words`](Self::encode_words).
+    ///
+    /// # Errors
+    ///
+    /// Errors on an unknown tag or a bank/row that no longer fits in `u32`.
+    pub fn decode_words(words: [u64; 4]) -> Result<Self, String> {
+        let [tag, bank, aux, at_ps] = words;
+        let bank = u32::try_from(bank).map_err(|_| format!("event bank {bank} exceeds u32"))?;
+        let row = || u32::try_from(aux).map_err(|_| format!("event row {aux} exceeds u32"));
+        Ok(match tag {
+            0 => MemEvent::Act {
+                bank,
+                row: row()?,
+                at_ps,
+            },
+            1 => MemEvent::Pre { bank, at_ps },
+            2 => MemEvent::Ref {
+                bank,
+                ref_index: aux,
+                at_ps,
+            },
+            3 => MemEvent::Rfm { bank, at_ps },
+            4 => MemEvent::Drfm { bank, at_ps },
+            5 => MemEvent::MitigativeRefresh {
+                bank,
+                row: row()?,
+                at_ps,
+            },
+            other => return Err(format!("unknown event tag {other}")),
+        })
+    }
 }
 
 /// Anything that wants to ride the channel's command stream: security
@@ -203,5 +257,38 @@ mod tests {
             assert_eq!(shifted.bank(), e.bank() + 64);
             assert_eq!(shifted.at_ps(), e.at_ps(), "only the bank moves");
         }
+    }
+
+    #[test]
+    fn word_codec_round_trips_every_variant() {
+        let events = [
+            MemEvent::Act {
+                bank: 1,
+                row: 2,
+                at_ps: 10,
+            },
+            MemEvent::Pre { bank: 2, at_ps: 20 },
+            MemEvent::Ref {
+                bank: 3,
+                ref_index: 7,
+                at_ps: 30,
+            },
+            MemEvent::Rfm { bank: 4, at_ps: 40 },
+            MemEvent::Drfm { bank: 5, at_ps: 50 },
+            MemEvent::MitigativeRefresh {
+                bank: 6,
+                row: 9,
+                at_ps: 60,
+            },
+        ];
+        for e in events {
+            assert_eq!(MemEvent::decode_words(e.encode_words()), Ok(e));
+        }
+        assert!(MemEvent::decode_words([6, 0, 0, 0])
+            .unwrap_err()
+            .contains("unknown event tag"));
+        assert!(MemEvent::decode_words([0, u64::MAX, 0, 0])
+            .unwrap_err()
+            .contains("exceeds u32"));
     }
 }

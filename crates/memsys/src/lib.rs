@@ -63,6 +63,7 @@ pub mod runner;
 pub mod scenario;
 pub mod sched;
 pub mod sim;
+pub mod snapshot;
 pub mod system;
 pub mod timing;
 pub mod workload;
@@ -85,8 +86,9 @@ pub use scenario::{
 pub use sched::{set_reference_planner_default, Channel, Completion, SchedulePolicy};
 pub use sim::{
     set_reference_admission_default, set_reference_generation_default, CoreOutcome, NormalizedPerf,
-    RunReport, Session, Sim,
+    RunReport, Session, SessionRun, Sim,
 };
+pub use snapshot::{Checkpoint, SnapshotReader, SnapshotWriter, CHECKPOINT_VERSION};
 pub use system::System;
 pub use timing::{InterBankTiming, TimingState};
 pub use workload::{

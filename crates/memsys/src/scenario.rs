@@ -798,6 +798,62 @@ mod tests {
         }
     }
 
+    /// Satellite of the serve PR: one exhaustive property test covering
+    /// every `ScenarioSpec` key — `scheme`, `policy`, `mapping`, `seed`,
+    /// `cores`, `channels`, `ranks`, all three `workload` cell shapes
+    /// plus `trace`, and `requests` — through `to_text` → `parse`.
+    #[test]
+    fn every_spec_key_round_trips_through_text() {
+        use crate::workload::{mixes, spec_rate_workloads};
+        use mint_exp::prop::{forall, u32_in, u64_in, usize_in};
+
+        let schemes = MitigationScheme::zoo();
+        let mappings = AddressMapping::all();
+        let mut names: Vec<&'static str> = spec_rate_workloads().iter().map(|w| w.name).collect();
+        names.push("saturate");
+        let mix_count = mixes().len();
+
+        forall(64, 0x5CE_4A210, |case, rng| {
+            let pick_name = |rng: &mut _| names[usize_in(rng, 0, names.len())].to_owned();
+            let policy = match usize_in(rng, 0, 3) {
+                0 => SchedulePolicy::Fcfs,
+                1 => SchedulePolicy::frfcfs(),
+                _ => SchedulePolicy::FrFcfs {
+                    starvation_cap: u32_in(rng, 0, 64),
+                },
+            };
+            let frontend = match usize_in(rng, 0, 4) {
+                0 => ScenarioFrontend::Workload(WorkloadCell::Rate(pick_name(rng))),
+                1 => ScenarioFrontend::Workload(WorkloadCell::Mix(usize_in(rng, 1, mix_count + 1))),
+                2 => {
+                    // A 1-element list has no `+` and canonically
+                    // re-parses as a rate cell; per-core means >= 2.
+                    let n = usize_in(rng, 2, 6);
+                    ScenarioFrontend::Workload(WorkloadCell::PerCore(
+                        (0..n).map(|_| pick_name(rng)).collect(),
+                    ))
+                }
+                _ => ScenarioFrontend::Trace(format!("traces/case{case}.trace")),
+            };
+            let pow2 = |rng: &mut _| 1u32 << usize_in(rng, 0, 4);
+            let spec = ScenarioSpec {
+                scheme: schemes[usize_in(rng, 0, schemes.len())],
+                policy,
+                mapping: mappings[usize_in(rng, 0, mappings.len())],
+                seed: u64_in(rng, 0, u64::MAX),
+                cores: (usize_in(rng, 0, 2) == 1).then(|| u32_in(rng, 1, 64)),
+                channels: (usize_in(rng, 0, 2) == 1).then(|| pow2(rng)),
+                ranks: (usize_in(rng, 0, 2) == 1).then(|| pow2(rng)),
+                requests_per_core: u32_in(rng, 1, 1_000_000),
+                frontend,
+            };
+            let text = spec.to_text();
+            let round =
+                ScenarioSpec::parse(&text).unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+            assert_eq!(round, spec, "case {case}:\n{text}");
+        });
+    }
+
     #[test]
     fn parse_errors_carry_line_numbers() {
         for (text, line, needle) in [

@@ -19,6 +19,7 @@
 use crate::address::{AddressDecoder, AddressMapping, DecodedAddr};
 use crate::config::{MitigationScheme, SystemConfig};
 use crate::controller::{past_ref_window, MemoryController, SimResult};
+use crate::snapshot::{SnapshotReader, SnapshotWriter};
 use crate::timing::{InterBankTiming, TimingState};
 use crate::workload::Request;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -907,6 +908,178 @@ impl Channel {
     /// Finalises the run at `end_ps` (records elapsed REF events).
     pub fn finish(&mut self, end_ps: u64) {
         self.engine.finish(end_ps);
+    }
+
+    /// Serialises the channel's dynamic state *exactly*: the engine and
+    /// timing layers, then the slot slab field for field (including the
+    /// planner caches, `exact` flags and the `active` list **in storage
+    /// order** — the planner's skip rule and starvation accounting are
+    /// scan-order sensitive, so a canonicalised restore could diverge from
+    /// the straight run). The `reference`/`reference_refresh` knobs are
+    /// rebuilt from process-wide defaults at construction, not serialised.
+    pub(crate) fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        self.engine.snapshot_into(w);
+        self.timing.snapshot_into(w);
+        w.push(self.slots.len() as u64);
+        for s in &self.slots {
+            w.push_bool(s.occupied);
+            w.push_u32(s.active_pos);
+            w.push_bool(s.fresh);
+            w.push_bool(s.exact);
+            w.push(s.start_ps);
+            w.push(s.cas_off_ps);
+            w.push(s.base_ps);
+            w.push(s.tx.id);
+            w.push_u32(s.tx.core);
+            w.push(s.tx.arrival_ps);
+            let d = s.tx.decoded;
+            for v in [d.channel, d.rank, d.bank_group, d.bank, d.row, d.column] {
+                w.push_u32(v);
+            }
+            w.push_u32(s.tx.bank);
+            w.push_bool(s.tx.is_read);
+            w.push_u32(s.tx.bypassed);
+        }
+        w.push(self.free.len() as u64);
+        for &i in &self.free {
+            w.push_u32(i);
+        }
+        w.push(self.active.len() as u64);
+        for &i in &self.active {
+            w.push_u32(i);
+        }
+        w.push(self.next_id);
+        w.push(self.clock_ps);
+        match self.plan_cache {
+            Some(p) => {
+                w.push_bool(true);
+                w.push(p.slot as u64);
+                w.push(p.start_ps);
+            }
+            None => {
+                w.push_bool(false);
+                w.push(0);
+                w.push(0);
+            }
+        }
+        w.push(self.wins.w0_start);
+        w.push(self.wins.w0_end);
+        w.push(self.wins.w1_start);
+        w.push(self.wins.w1_end);
+        w.push_bool(self.wins.fast);
+        match self.seed_hint {
+            Some((b, i)) => {
+                w.push_bool(true);
+                w.push(b);
+                w.push_u32(i);
+            }
+            None => {
+                w.push_bool(false);
+                w.push(0);
+                w.push_u32(0);
+            }
+        }
+        w.push(self.plans_computed);
+    }
+
+    /// Restores the state captured by [`snapshot_into`](Self::snapshot_into)
+    /// into a channel freshly built for the same config/scheme/policy.
+    pub(crate) fn restore_from(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), String> {
+        self.engine.restore_from(r)?;
+        self.timing.restore_from(r)?;
+        let slots = usize::try_from(r.take()?)
+            .map_err(|_| "channel: slot count overflows usize".to_string())?;
+        self.slots.clear();
+        for _ in 0..slots {
+            let occupied = r.take_bool()?;
+            let active_pos = r.take_u32()?;
+            let fresh = r.take_bool()?;
+            let exact = r.take_bool()?;
+            let start_ps = r.take()?;
+            let cas_off_ps = r.take()?;
+            let base_ps = r.take()?;
+            let id = r.take()?;
+            let core = r.take_u32()?;
+            let arrival_ps = r.take()?;
+            let decoded = DecodedAddr {
+                channel: r.take_u32()?,
+                rank: r.take_u32()?,
+                bank_group: r.take_u32()?,
+                bank: r.take_u32()?,
+                row: r.take_u32()?,
+                column: r.take_u32()?,
+            };
+            let bank = r.take_u32()?;
+            let is_read = r.take_bool()?;
+            let bypassed = r.take_u32()?;
+            self.slots.push(Slot {
+                occupied,
+                active_pos,
+                fresh,
+                exact,
+                start_ps,
+                cas_off_ps,
+                base_ps,
+                tx: Transaction {
+                    id,
+                    core,
+                    arrival_ps,
+                    decoded,
+                    bank,
+                    is_read,
+                    bypassed,
+                },
+            });
+        }
+        let take_index_list =
+            |r: &mut SnapshotReader<'_>, out: &mut Vec<u32>, what: &str| -> Result<(), String> {
+                let len = usize::try_from(r.take()?)
+                    .map_err(|_| format!("channel: {what} overflows usize"))?;
+                out.clear();
+                for _ in 0..len {
+                    let i = r.take_u32()?;
+                    if i as usize >= slots {
+                        return Err(format!("channel: {what} index {i} out of range"));
+                    }
+                    out.push(i);
+                }
+                Ok(())
+            };
+        let mut free = std::mem::take(&mut self.free);
+        take_index_list(r, &mut free, "free list")?;
+        self.free = free;
+        let mut active = std::mem::take(&mut self.active);
+        take_index_list(r, &mut active, "active list")?;
+        self.active = active;
+        self.next_id = r.take()?;
+        self.clock_ps = r.take()?;
+        let has_plan = r.take_bool()?;
+        let plan_slot = usize::try_from(r.take()?)
+            .map_err(|_| "channel: plan slot overflows usize".to_string())?;
+        let plan_start = r.take()?;
+        if has_plan && plan_slot >= slots {
+            return Err(format!("channel: plan slot {plan_slot} out of range"));
+        }
+        self.plan_cache = has_plan.then_some(Plan {
+            slot: plan_slot,
+            start_ps: plan_start,
+        });
+        self.wins = RefWindows {
+            w0_start: r.take()?,
+            w0_end: r.take()?,
+            w1_start: r.take()?,
+            w1_end: r.take()?,
+            fast: r.take_bool()?,
+        };
+        let has_hint = r.take_bool()?;
+        let hint_base = r.take()?;
+        let hint_idx = r.take_u32()?;
+        if has_hint && hint_idx as usize >= slots {
+            return Err(format!("channel: seed hint index {hint_idx} out of range"));
+        }
+        self.seed_hint = has_hint.then_some((hint_base, hint_idx));
+        self.plans_computed = r.take()?;
+        Ok(())
     }
 }
 

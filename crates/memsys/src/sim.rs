@@ -45,6 +45,7 @@ use crate::controller::SimResult;
 use crate::energy::{EnergyModel, EnergyReport};
 use crate::events::{ChannelObserver, MemEvent};
 use crate::sched::SchedulePolicy;
+use crate::snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
 use crate::system::System;
 use crate::workload::{CoreStream, Request, RequestSource, TraceEntry, TraceSource, WorkloadSpec};
 use mint_rng::derive_seed;
@@ -145,6 +146,25 @@ pub struct RunReport {
     /// so perf sweeps pay nothing for it).
     pub events: Vec<MemEvent>,
 }
+
+/// The outcome of [`Session::run_until`] / [`Session::resume_until`]:
+/// either the run completed before reaching the stop point, or it paused
+/// into a restorable [`Checkpoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionRun {
+    /// Every source ran dry (or hit its budget) before the stop point;
+    /// the report is identical to what [`Session::run`] would return.
+    Finished(RunReport),
+    /// The run paused at the stop point. Feed the checkpoint to
+    /// [`Session::resume`] on an identically built session — in this
+    /// process or, via [`Checkpoint::to_bytes`], a fresh one — to
+    /// continue it bit-identically.
+    Paused(Checkpoint),
+}
+
+/// The retained-oracle pause refusal (see [`Session::run_until`]).
+const REFERENCE_PAUSE_ERR: &str = "the reference admission oracle has no pause point; \
+     disable set_reference_admission_default for checkpoint/restore";
 
 /// The frontend half of a scenario: where requests come from.
 enum Frontend<'a> {
@@ -504,6 +524,14 @@ impl Session<'_> {
     /// how a surrounding sweep is parallelised.
     #[must_use]
     pub fn run(mut self) -> RunReport {
+        if !REFERENCE_ADMISSION_DEFAULT.load(Ordering::SeqCst) {
+            return match self.drive(None, None) {
+                Ok(SessionRun::Finished(report)) => report,
+                Ok(SessionRun::Paused(_)) | Err(_) => {
+                    unreachable!("a run with no stop point neither pauses nor fails")
+                }
+            };
+        }
         let mut system = System::new(self.cfg, self.scheme, self.policy, self.mapping, self.seed);
         let single_channel = system.channel_count() == 1;
         let observe = self.observer.is_some() || self.capture_events;
@@ -521,7 +549,6 @@ impl Session<'_> {
         } else {
             None
         };
-        let reference_admission = REFERENCE_ADMISSION_DEFAULT.load(Ordering::SeqCst);
         let batch = !REFERENCE_GENERATION_DEFAULT.load(Ordering::SeqCst);
         let mut cores: Vec<CoreCtx> = self
             .sources
@@ -543,12 +570,14 @@ impl Session<'_> {
             })
             .collect();
 
-        if reference_admission {
+        {
             // The retained sorted-vec admission reference (differential
             // oracle): re-collect and re-sort every pending arrival per
             // decision, route at admission time, scan every channel for
             // the next service. Kept verbatim from before the
-            // incremental arrival set.
+            // incremental arrival set. Checkpointing lives only on the
+            // optimized loops ([`Session::run_until`]); this oracle has
+            // no pause point.
             let mut arrivals: Vec<(u64, usize)> = Vec::with_capacity(cores.len());
             loop {
                 arrivals.clear();
@@ -609,7 +638,142 @@ impl Session<'_> {
                 core.serviced += 1;
                 core.fetch();
             }
-        } else if single_channel {
+        }
+
+        finish_report(self.scheme, system, &cores, events)
+    }
+
+    /// Runs until `stop_after` requests have been serviced system-wide,
+    /// then pauses into a [`Checkpoint`] — or finishes normally if the
+    /// run completes first.
+    ///
+    /// The pause point is deterministic: the checkpoint captures the
+    /// exact dynamic state after the `stop_after`-th service decision —
+    /// scheduler slab and planner caches, bank and tracker state, timing
+    /// rings, RNG stream positions, per-core frontends and the events
+    /// captured so far — so `run_until(k)` followed by
+    /// [`Session::resume`] on an identically built session reproduces
+    /// [`Session::run`] bit for bit, reports, event streams and energy
+    /// included (pinned by `tests/checkpoint_identity.rs`). `k = 0`
+    /// pauses before the first service decision.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the reference admission oracle is active (its
+    /// retained loop has no pause point) or if any request source does
+    /// not support snapshotting ([`RequestSource::snapshot_state`]
+    /// returns `None`).
+    pub fn run_until(self, stop_after: u64) -> Result<SessionRun, String> {
+        if REFERENCE_ADMISSION_DEFAULT.load(Ordering::SeqCst) {
+            return Err(REFERENCE_PAUSE_ERR.to_string());
+        }
+        self.drive(None, Some(stop_after))
+    }
+
+    /// Continues a paused run from `checkpoint` to completion.
+    ///
+    /// The session must be built with the *same* builder state (config,
+    /// scheme, policy, mapping, seed and frontend shape) as the run that
+    /// produced the checkpoint — the checkpoint carries only dynamic
+    /// state, and restore validates structure (channel, rank, bank and
+    /// core counts, index bounds), not provenance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on a malformed or structurally incompatible
+    /// checkpoint, if a request source does not support restore, or if
+    /// the reference admission oracle is active.
+    pub fn resume(self, checkpoint: &Checkpoint) -> Result<RunReport, String> {
+        if REFERENCE_ADMISSION_DEFAULT.load(Ordering::SeqCst) {
+            return Err(REFERENCE_PAUSE_ERR.to_string());
+        }
+        match self.drive(Some(checkpoint), None)? {
+            SessionRun::Finished(report) => Ok(report),
+            SessionRun::Paused(_) => unreachable!("no stop point requested"),
+        }
+    }
+
+    /// [`resume`](Session::resume) with another pause point: continues
+    /// from `checkpoint` and pauses again once `stop_after` total
+    /// requests — counting those serviced before the checkpoint — have
+    /// been serviced.
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as [`Session::resume`].
+    pub fn resume_until(
+        self,
+        checkpoint: &Checkpoint,
+        stop_after: u64,
+    ) -> Result<SessionRun, String> {
+        if REFERENCE_ADMISSION_DEFAULT.load(Ordering::SeqCst) {
+            return Err(REFERENCE_PAUSE_ERR.to_string());
+        }
+        self.drive(Some(checkpoint), Some(stop_after))
+    }
+
+    /// The shared engine behind the optimized entry points: starts fresh
+    /// or from a checkpoint, runs the incremental admission loop, and
+    /// optionally pauses once `stop_after` requests have been serviced.
+    ///
+    /// The pause check sits at the loop top — right after a service
+    /// decision's fetch and arrival push — where the loop invariant
+    /// holds: the arrival heap/set contains `(issue, core)` exactly for
+    /// the cores with a pending request. That is what lets resume
+    /// rebuild the arrivals from the restored pendings instead of
+    /// serializing the heap.
+    fn drive(
+        mut self,
+        resume: Option<&Checkpoint>,
+        stop_after: Option<u64>,
+    ) -> Result<SessionRun, String> {
+        let mut system = System::new(self.cfg, self.scheme, self.policy, self.mapping, self.seed);
+        let single_channel = system.channel_count() == 1;
+        let observe = self.observer.is_some() || self.capture_events;
+        if observe {
+            system.enable_event_log();
+        }
+        // Captured runs produce one event per executed command; reserve a
+        // chunk up front so the early doublings never land in the hot loop.
+        let mut events = Vec::with_capacity(if self.capture_events { 4096 } else { 0 });
+        let mlp = u64::from(self.cfg.core_mlp).max(1);
+        // The common MLP values are powers of two; divide by shift then
+        // (the stall division runs once per serviced request).
+        let mlp_shift = if mlp.is_power_of_two() {
+            Some(mlp.trailing_zeros())
+        } else {
+            None
+        };
+        let batch = !REFERENCE_GENERATION_DEFAULT.load(Ordering::SeqCst);
+        let mut cores: Vec<CoreCtx> = self
+            .sources
+            .into_iter()
+            .map(|source| CoreCtx {
+                source,
+                pending: None,
+                ring: VecDeque::new(),
+                batch,
+                route: 0,
+                ready_at: 0,
+                remaining: self.budget,
+                finish: 0,
+                serviced: 0,
+            })
+            .collect();
+        if let Some(checkpoint) = resume {
+            // Construction-time RNG draws are immaterial: restore
+            // overwrites every stream position, pending request and
+            // counter with the checkpointed state. The initial fetch is
+            // skipped — the paused run already performed it.
+            restore_session(checkpoint, &mut system, &mut cores, &mut events)?;
+        } else {
+            for c in &mut cores {
+                c.fetch();
+            }
+        }
+        let mut serviced_total: u64 = cores.iter().map(|c| c.serviced).sum();
+
+        if single_channel {
             // Incremental single-channel admission: admissibility is
             // monotone in the issue time (a full queue or a too-late
             // arrival stays inadmissible for every later arrival), so
@@ -626,6 +790,10 @@ impl Session<'_> {
                 }
             }
             loop {
+                if stop_after.is_some_and(|k| serviced_total >= k) {
+                    let ckpt = snapshot_session(&system, &cores, &events)?;
+                    return Ok(SessionRun::Paused(ckpt));
+                }
                 if let Some(&Reverse((issue, i))) = arrivals.peek() {
                     if system.admissible(0, issue) {
                         arrivals.pop();
@@ -645,6 +813,7 @@ impl Session<'_> {
                 ) else {
                     break;
                 };
+                serviced_total += 1;
                 if let Some(&(_, issue)) = cores[idx].pending.as_ref() {
                     arrivals.push(Reverse((issue, idx)));
                 }
@@ -667,6 +836,10 @@ impl Session<'_> {
                 }
             }
             loop {
+                if stop_after.is_some_and(|k| serviced_total >= k) {
+                    let ckpt = snapshot_session(&system, &cores, &events)?;
+                    return Ok(SessionRun::Paused(ckpt));
+                }
                 let mut admitted = None;
                 for &(issue, i) in &arrivals {
                     let ch = cores[i].route;
@@ -692,6 +865,7 @@ impl Session<'_> {
                 ) else {
                     break;
                 };
+                serviced_total += 1;
                 if let Some(&(req, issue)) = cores[idx].pending.as_ref() {
                     cores[idx].route = system.route(req.addr);
                     arrivals.insert((issue, idx));
@@ -699,26 +873,162 @@ impl Session<'_> {
             }
         }
 
-        let duration = cores.iter().map(|c| c.finish).max().unwrap_or(0);
-        system.finish(duration);
-        let result = system.result();
-        let with_hw = !matches!(self.scheme, MitigationScheme::Baseline);
-        RunReport {
-            perf: NormalizedPerf {
-                duration_ps: duration,
-                result,
-                normalized: 1.0,
-            },
-            cores: cores
-                .iter()
-                .map(|c| CoreOutcome {
-                    finish_ps: c.finish,
-                    requests: c.serviced,
-                })
-                .collect(),
-            energy: EnergyModel::ddr5_default().energy(&result, duration, with_hw),
+        Ok(SessionRun::Finished(finish_report(
+            self.scheme,
+            system,
+            &cores,
             events,
+        )))
+    }
+}
+
+/// Serializes the full dynamic state of a paused run — system, cores and
+/// captured events — into a [`Checkpoint`]. Builder-derived state
+/// (config, scheme, decoder, policy, observer) is *not* stored:
+/// [`Session::resume`] must be handed an identically built session.
+fn snapshot_session(
+    system: &System,
+    cores: &[CoreCtx],
+    events: &[MemEvent],
+) -> Result<Checkpoint, String> {
+    let mut w = SnapshotWriter::new();
+    w.push(cores.len() as u64);
+    // The generation mode shapes the rings (a ring prefilled under batch
+    // mode would desync a non-batch resume), so the checkpoint pins it.
+    w.push_bool(cores.first().is_some_and(|c| c.batch));
+    system.snapshot_into(&mut w);
+    for (i, c) in cores.iter().enumerate() {
+        let source = c
+            .source
+            .snapshot_state()
+            .ok_or_else(|| format!("request source {i} does not support checkpoint/restore"))?;
+        w.push_words(&source);
+        match c.pending.as_ref() {
+            Some(&(req, issue)) => {
+                w.push_bool(true);
+                w.push(req.addr);
+                w.push_bool(req.is_read);
+                w.push(req.think_time_ps);
+                w.push(issue);
+            }
+            None => w.push_bool(false),
         }
+        w.push(c.ring.len() as u64);
+        for req in &c.ring {
+            w.push(req.addr);
+            w.push_bool(req.is_read);
+            w.push(req.think_time_ps);
+        }
+        w.push(c.ready_at);
+        w.push_opt(c.remaining.map(u64::from));
+        w.push(c.finish);
+        w.push(c.serviced);
+    }
+    w.push(events.len() as u64);
+    for e in events {
+        for word in e.encode_words() {
+            w.push(word);
+        }
+    }
+    Ok(w.into_checkpoint())
+}
+
+/// Rebuilds the dynamic state captured by [`snapshot_session`] into a
+/// freshly constructed system and core set.
+fn restore_session(
+    checkpoint: &Checkpoint,
+    system: &mut System,
+    cores: &mut [CoreCtx],
+    events: &mut Vec<MemEvent>,
+) -> Result<(), String> {
+    let mut r = SnapshotReader::new(&checkpoint.words);
+    let count = r.take()?;
+    if count != cores.len() as u64 {
+        return Err(format!(
+            "session: checkpoint has {count} cores, this session has {}",
+            cores.len()
+        ));
+    }
+    let batch = r.take_bool()?;
+    system.restore_from(&mut r)?;
+    for c in cores.iter_mut() {
+        c.batch = batch;
+        c.source.restore_state(r.take_words()?)?;
+        c.pending = if r.take_bool()? {
+            let addr = r.take()?;
+            let is_read = r.take_bool()?;
+            let think_time_ps = r.take()?;
+            let issue = r.take()?;
+            Some((
+                Request {
+                    addr,
+                    is_read,
+                    think_time_ps,
+                },
+                issue,
+            ))
+        } else {
+            None
+        };
+        let ring_len = r.take()?;
+        c.ring.clear();
+        for _ in 0..ring_len {
+            let addr = r.take()?;
+            let is_read = r.take_bool()?;
+            let think_time_ps = r.take()?;
+            c.ring.push_back(Request {
+                addr,
+                is_read,
+                think_time_ps,
+            });
+        }
+        c.ready_at = r.take()?;
+        c.remaining = match r.take_opt()? {
+            Some(n) => Some(
+                u32::try_from(n)
+                    .map_err(|_| format!("session: remaining budget {n} exceeds u32"))?,
+            ),
+            None => None,
+        };
+        c.finish = r.take()?;
+        c.serviced = r.take()?;
+    }
+    let ev_len = r.take()?;
+    events.clear();
+    for _ in 0..ev_len {
+        let words = [r.take()?, r.take()?, r.take()?, r.take()?];
+        events.push(MemEvent::decode_words(words)?);
+    }
+    r.finish()
+}
+
+/// Aggregates a completed run into its [`RunReport`] (shared by the
+/// optimized and reference loops).
+fn finish_report(
+    scheme: MitigationScheme,
+    mut system: System,
+    cores: &[CoreCtx],
+    events: Vec<MemEvent>,
+) -> RunReport {
+    let duration = cores.iter().map(|c| c.finish).max().unwrap_or(0);
+    system.finish(duration);
+    let result = system.result();
+    let with_hw = !matches!(scheme, MitigationScheme::Baseline);
+    RunReport {
+        perf: NormalizedPerf {
+            duration_ps: duration,
+            result,
+            normalized: 1.0,
+        },
+        cores: cores
+            .iter()
+            .map(|c| CoreOutcome {
+                finish_ps: c.finish,
+                requests: c.serviced,
+            })
+            .collect(),
+        energy: EnergyModel::ddr5_default().energy(&result, duration, with_hw),
+        events,
     }
 }
 
@@ -980,5 +1290,29 @@ mod tests {
     #[should_panic(expected = "at least one request source")]
     fn empty_sources_rejected() {
         let _ = Sim::ddr5().sources(Vec::new()).run();
+    }
+
+    #[test]
+    fn run_until_pauses_and_resume_matches_run() {
+        // The exhaustive scheme x topology x split sweep lives in
+        // tests/checkpoint_identity.rs; this pins the mechanism itself.
+        let build = || Sim::ddr5().workload(&rate4(lbm()), 500).seed(7).build();
+        let straight = build().run();
+        let SessionRun::Paused(ckpt) = build().run_until(100).expect("pausable run") else {
+            panic!("a mid-run stop point must pause");
+        };
+        let resumed = build().resume(&ckpt).expect("resume");
+        assert_eq!(resumed, straight);
+    }
+
+    #[test]
+    fn the_reference_admission_oracle_refuses_to_pause() {
+        // (Concurrent tests in this binary may observe the flag while
+        // it is set — they would take the reference path and produce
+        // identical reports, so the brief flip is benign.)
+        set_reference_admission_default(true);
+        let refused = Sim::ddr5().workload(&rate4(lbm()), 10).build().run_until(5);
+        set_reference_admission_default(false);
+        assert!(refused.unwrap_err().contains("no pause point"));
     }
 }

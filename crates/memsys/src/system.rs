@@ -34,6 +34,7 @@ use crate::config::{MitigationScheme, SystemConfig};
 use crate::controller::SimResult;
 use crate::events::MemEvent;
 use crate::sched::{Channel, Completion, SchedulePolicy};
+use crate::snapshot::{SnapshotReader, SnapshotWriter};
 use crate::workload::Request;
 use mint_rng::derive_seed;
 
@@ -253,6 +254,43 @@ impl System {
             total.absorb(&ch.result());
         }
         total
+    }
+
+    /// Serialises every channel pipeline plus the readiness cache.
+    pub(crate) fn snapshot_into(&self, w: &mut SnapshotWriter) {
+        w.push(self.channels.len() as u64);
+        for ch in &self.channels {
+            ch.snapshot_into(w);
+        }
+        for &s in &self.next_start {
+            w.push(s);
+        }
+        for &b in &self.stale {
+            w.push_bool(b);
+        }
+    }
+
+    /// Restores the state captured by [`snapshot_into`](Self::snapshot_into)
+    /// into a system freshly built for the same topology.
+    pub(crate) fn restore_from(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), String> {
+        let count = usize::try_from(r.take()?)
+            .map_err(|_| "system: channel count overflows usize".to_string())?;
+        if count != self.channels.len() {
+            return Err(format!(
+                "system: checkpoint has {count} channels, state has {}",
+                self.channels.len()
+            ));
+        }
+        for ch in &mut self.channels {
+            ch.restore_from(r)?;
+        }
+        for s in &mut self.next_start {
+            *s = r.take()?;
+        }
+        for b in &mut self.stale {
+            *b = r.take_bool()?;
+        }
+        Ok(())
     }
 }
 

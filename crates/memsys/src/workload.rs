@@ -185,6 +185,27 @@ pub trait RequestSource {
             out.push_back(req);
         }
     }
+
+    /// The source's stream position as checkpoint words, or `None` when
+    /// the source does not support checkpoint/restore (the default —
+    /// [`Session::run_until`](crate::Session::run_until) then refuses to
+    /// pause rather than silently losing the stream).
+    fn snapshot_state(&self) -> Option<Vec<u64>> {
+        None
+    }
+
+    /// Restores the position captured by
+    /// [`snapshot_state`](Self::snapshot_state) into a freshly built
+    /// source of the same stream.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the source does not support checkpointing or the words
+    /// do not describe its stream.
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), String> {
+        let _ = state;
+        Err("this request source does not support checkpoint/restore".to_string())
+    }
 }
 
 /// Generates the LLC-miss stream of one core running one workload.
@@ -275,6 +296,39 @@ impl RequestSource for CoreStream {
         for _ in 0..max {
             out.push_back(self.gen_one());
         }
+    }
+
+    /// `[rng, last-valid, bank, row]` — the RNG stream position plus the
+    /// row-locality memory (spec, decoder and think time are rebuilt from
+    /// the run spec).
+    fn snapshot_state(&self) -> Option<Vec<u64>> {
+        let (valid, bank, row) = match self.last {
+            Some((b, r)) => (1, u64::from(b), u64::from(r)),
+            None => (0, 0, 0),
+        };
+        Some(vec![self.rng.state(), valid, bank, row])
+    }
+
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), String> {
+        let [rng, valid, bank, row] = state else {
+            return Err(format!(
+                "CoreStream: expected 4 state words, got {}",
+                state.len()
+            ));
+        };
+        self.rng = SplitMix64::new(*rng);
+        self.last = match valid {
+            0 => None,
+            1 => {
+                let bank = u32::try_from(*bank)
+                    .map_err(|_| format!("CoreStream: bank {bank} exceeds u32"))?;
+                let row = u32::try_from(*row)
+                    .map_err(|_| format!("CoreStream: row {row} exceeds u32"))?;
+                Some((bank, row))
+            }
+            other => return Err(format!("CoreStream: bad last-valid flag {other}")),
+        };
+        Ok(())
     }
 }
 
@@ -463,6 +517,31 @@ impl RequestSource for TraceSource {
             });
         }
         self.pos += take;
+    }
+
+    /// `[pos]` — the cursor into the parsed trace (the entries themselves
+    /// are rebuilt by re-parsing the trace file named in the run spec).
+    fn snapshot_state(&self) -> Option<Vec<u64>> {
+        Some(vec![self.pos as u64])
+    }
+
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), String> {
+        let [pos] = state else {
+            return Err(format!(
+                "TraceSource: expected 1 state word, got {}",
+                state.len()
+            ));
+        };
+        let pos = usize::try_from(*pos)
+            .map_err(|_| format!("TraceSource: position {pos} exceeds usize"))?;
+        if pos > self.entries.len() {
+            return Err(format!(
+                "TraceSource: position {pos} past end of {}-entry trace",
+                self.entries.len()
+            ));
+        }
+        self.pos = pos;
+        Ok(())
     }
 }
 

@@ -26,6 +26,15 @@ impl SplitMix64 {
     pub fn new(seed: u64) -> Self {
         Self { state: seed }
     }
+
+    /// The raw state word at the current stream position. Because
+    /// [`new`](Self::new) stores its seed verbatim, `new(s.state())`
+    /// continues the stream bit-identically — the checkpoint/restore
+    /// contract.
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
 }
 
 impl Default for SplitMix64 {

@@ -86,6 +86,15 @@ impl Xoshiro256StarStar {
         self.jump();
         child
     }
+
+    /// The raw state words at the current stream position — the exact
+    /// inverse of [`from_state`](Self::from_state), so checkpoint/restore
+    /// can pin a stream mid-flight:
+    /// `from_state(rng.state())` continues bit-identically.
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
 }
 
 impl Rng64 for Xoshiro256StarStar {

@@ -1,0 +1,460 @@
+//! # mint-serve — the resident scenario service
+//!
+//! `run_scenario --serve` turns the batch scenario runner into a
+//! long-lived job server: clients stream `ScenarioSpec` / `ScenarioGrid`
+//! text wrapped in JSON-lines envelopes (see [`wire`]) over stdin or a
+//! unix socket, and the service streams one result line back per job.
+//!
+//! The execution model:
+//!
+//! * **Persistent worker pool** — [`Service`] holds `workers` threads
+//!   (default: the `mint-exp` jobs resolution, i.e. `--jobs` /
+//!   `MINT_JOBS` / available parallelism) fed from a bounded queue of
+//!   [`QUEUE_DEPTH`] jobs; intake blocks when the queue is full, so an
+//!   arbitrarily long input stream never balloons memory.
+//! * **Deterministic ordering** — every response line is tagged with its
+//!   input-order sequence number at intake and re-serialized by a
+//!   dedicated emitter thread, so the output byte stream is identical
+//!   for any worker count (pinned by `ci_smoke`'s serve leg at jobs 1
+//!   vs 4).
+//! * **Checkpointed cells** — cell jobs run in [`CHUNK`]-request slices
+//!   through `Session::run_until` / `resume_until` (the same snapshot
+//!   machinery as `mint-memsys`' checkpoint/restore), giving cancel and
+//!   timeout points without ever forking a thread per job; bit-identity
+//!   of the sliced run is pinned by `tests/checkpoint_identity.rs`.
+//! * **Graceful drain** — EOF or a `shutdown` envelope stops intake;
+//!   queued jobs still run and stream their results before
+//!   [`Service::serve`] returns.
+
+pub mod wire;
+
+use std::collections::{BTreeMap, HashSet};
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mint_memsys::{parse_any, Scenario, ScenarioSpec, SessionRun, SystemConfig};
+use mint_rng::derive_seed;
+use wire::Envelope;
+
+/// Requests serviced between cancel/timeout checks of a cell job: each
+/// slice runs `Session::run_until` to the next multiple of this, so a
+/// cancelled or timed-out job stops at the following chunk boundary.
+pub const CHUNK: u64 = 65_536;
+
+/// Jobs the intake loop may queue ahead of the workers before it blocks
+/// (backpressure toward the client rather than unbounded buffering).
+pub const QUEUE_DEPTH: usize = 16;
+
+/// What `serve` saw on its input stream, returned after the drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Jobs accepted onto the queue (parsed `submit` envelopes).
+    pub submitted: u64,
+    /// Whether intake ended on a `shutdown` envelope (`false` = EOF).
+    pub shutdown: bool,
+}
+
+struct Job {
+    seq: u64,
+    id: u64,
+    spec: String,
+    seed_base: Option<u64>,
+    timeout_ms: Option<u64>,
+}
+
+/// A scenario service: a worker pool that `serve`s one envelope stream
+/// at a time (construct once, reuse across connections).
+#[derive(Debug, Clone, Copy)]
+pub struct Service {
+    workers: usize,
+}
+
+impl Default for Service {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Service {
+    /// A service sized by the `mint-exp` jobs resolution (`set_jobs` >
+    /// `MINT_JOBS` > available parallelism).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            workers: mint_exp::resolve_jobs(None),
+        }
+    }
+
+    /// Overrides the worker count (clamped to at least 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Runs the service over one envelope stream: reads JSON-lines
+    /// requests from `input` until EOF or `shutdown`, drains the queue,
+    /// and writes one response line per request to `output` in input
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from reading `input` or writing `output`;
+    /// malformed request lines are *not* errors (they produce an
+    /// `"id":null` error line and the stream continues).
+    pub fn serve<R, W>(&self, input: R, output: W) -> io::Result<ServeSummary>
+    where
+        R: BufRead,
+        W: Write + Send,
+    {
+        let cancels: Arc<Mutex<HashSet<u64>>> = Arc::default();
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(QUEUE_DEPTH);
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (line_tx, line_rx) = mpsc::channel::<(u64, String)>();
+
+        std::thread::scope(|scope| {
+            let emitter = scope.spawn(move || -> io::Result<()> {
+                let mut output = output;
+                let mut held: BTreeMap<u64, String> = BTreeMap::new();
+                let mut next = 0u64;
+                for (seq, line) in line_rx {
+                    held.insert(seq, line);
+                    while let Some(line) = held.remove(&next) {
+                        writeln!(output, "{line}")?;
+                        output.flush()?;
+                        next += 1;
+                    }
+                }
+                Ok(())
+            });
+            for _ in 0..self.workers {
+                let job_rx = Arc::clone(&job_rx);
+                let line_tx = line_tx.clone();
+                let cancels = Arc::clone(&cancels);
+                scope.spawn(move || loop {
+                    let job = job_rx.lock().expect("job queue lock").recv();
+                    let Ok(job) = job else { break };
+                    let line = run_job(&job, &cancels);
+                    if line_tx.send((job.seq, line)).is_err() {
+                        break;
+                    }
+                });
+            }
+
+            let mut seq = 0u64;
+            let mut summary = ServeSummary {
+                submitted: 0,
+                shutdown: false,
+            };
+            let mut intake_err = None;
+            for line in input.lines() {
+                let line = match line {
+                    Ok(line) => line,
+                    Err(e) => {
+                        intake_err = Some(e);
+                        break;
+                    }
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match Envelope::parse_line(&line) {
+                    Ok(Envelope::Submit {
+                        id,
+                        spec,
+                        seed_base,
+                        timeout_ms,
+                    }) => {
+                        summary.submitted += 1;
+                        let job = Job {
+                            seq,
+                            id,
+                            spec,
+                            seed_base,
+                            timeout_ms,
+                        };
+                        // Workers hold the receiver for the scope's
+                        // lifetime, so this only blocks (backpressure),
+                        // never fails.
+                        job_tx.send(job).expect("worker pool alive");
+                        seq += 1;
+                    }
+                    Ok(Envelope::Cancel { id }) => {
+                        cancels.lock().expect("cancel set lock").insert(id);
+                        let _ = line_tx.send((seq, wire::cancel_ack_line(id)));
+                        seq += 1;
+                    }
+                    Ok(Envelope::Shutdown) => {
+                        summary.shutdown = true;
+                        break;
+                    }
+                    Err(e) => {
+                        let _ = line_tx.send((seq, wire::error_line(None, &e)));
+                        seq += 1;
+                    }
+                }
+            }
+            // Closing the queue lets the workers drain and exit; once the
+            // last worker drops its line sender the emitter finishes too.
+            drop(job_tx);
+            drop(line_tx);
+            let emitted = emitter.join().expect("emitter thread");
+            emitted?;
+            if let Some(e) = intake_err {
+                return Err(e);
+            }
+            Ok(summary)
+        })
+    }
+
+    /// Binds a unix socket at `path` (replacing any stale socket file)
+    /// and serves connections sequentially until one of them sends
+    /// `shutdown`; the socket file is removed on the way out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/accept failures and per-connection I/O errors.
+    pub fn serve_unix(&self, path: &Path) -> io::Result<()> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        loop {
+            let (stream, _) = listener.accept()?;
+            let reader = BufReader::new(stream.try_clone()?);
+            let summary = self.serve(reader, stream)?;
+            if summary.shutdown {
+                break;
+            }
+        }
+        let _ = std::fs::remove_file(path);
+        Ok(())
+    }
+}
+
+fn cancelled(cancels: &Mutex<HashSet<u64>>, id: u64) -> bool {
+    cancels.lock().expect("cancel set lock").contains(&id)
+}
+
+fn run_job(job: &Job, cancels: &Mutex<HashSet<u64>>) -> String {
+    if cancelled(cancels, job.id) {
+        return wire::error_line(Some(job.id), "cancelled");
+    }
+    let scenario = match parse_any(&job.spec) {
+        Ok(scenario) => scenario,
+        Err(e) => return wire::error_line(Some(job.id), &e.to_string()),
+    };
+    match scenario {
+        Scenario::Cell(mut spec) => {
+            if let Some(base) = job.seed_base {
+                spec.seed = derive_seed(base, job.id);
+            }
+            run_cell(job, &spec, cancels)
+        }
+        // Grids already fan out via the mint-exp harness; they run
+        // whole, so cancel only takes effect while a grid is queued and
+        // timeouts do not apply.
+        Scenario::Grid(grid) => {
+            let rows = grid.run();
+            wire::ok_grid_line(job.id, &grid, &rows)
+        }
+    }
+}
+
+fn run_cell(job: &Job, spec: &ScenarioSpec, cancels: &Mutex<HashSet<u64>>) -> String {
+    let started = Instant::now();
+    let budget = job.timeout_ms.map(Duration::from_millis);
+    let mut checkpoint = None;
+    let mut stop = CHUNK;
+    loop {
+        if cancelled(cancels, job.id) {
+            return wire::error_line(Some(job.id), "cancelled");
+        }
+        if let Some(budget) = budget {
+            if started.elapsed() >= budget {
+                return wire::error_line(
+                    Some(job.id),
+                    &format!("timed out after {}ms", budget.as_millis()),
+                );
+            }
+        }
+        let session = match spec.to_sim(SystemConfig::table6()) {
+            Ok(sim) => sim.build(),
+            Err(e) => return wire::error_line(Some(job.id), &e.to_string()),
+        };
+        let sliced = match &checkpoint {
+            None => session.run_until(stop),
+            Some(at) => session.resume_until(at, stop),
+        };
+        match sliced {
+            Ok(SessionRun::Finished(report)) => {
+                return wire::ok_cell_line(job.id, &spec.scheme.label(), &report);
+            }
+            Ok(SessionRun::Paused(at)) => {
+                checkpoint = Some(at);
+                stop += CHUNK;
+            }
+            Err(e) => return wire::error_line(Some(job.id), &e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const CELL: &str = "scheme = mint\nworkload = mcf\nrequests = 400\nseed = 9";
+    const GRID: &str =
+        "schemes = Baseline MINT\nworkloads = mcf lbm\nrequests = 300\nseed_base = 5";
+
+    fn serve_lines(workers: usize, input: &str) -> (ServeSummary, Vec<String>) {
+        let mut out = Vec::new();
+        let summary = Service::new()
+            .workers(workers)
+            .serve(Cursor::new(input.to_string()), &mut out)
+            .expect("in-memory serve");
+        let text = String::from_utf8(out).expect("utf8 output");
+        (summary, text.lines().map(str::to_string).collect())
+    }
+
+    #[test]
+    fn output_bytes_are_worker_count_invariant_and_match_batch() {
+        let input = [
+            Envelope::Submit {
+                id: 1,
+                spec: CELL.to_string(),
+                seed_base: None,
+                timeout_ms: None,
+            }
+            .to_line(),
+            Envelope::Submit {
+                id: 2,
+                spec: GRID.to_string(),
+                seed_base: None,
+                timeout_ms: None,
+            }
+            .to_line(),
+            Envelope::Submit {
+                id: 3,
+                spec: CELL.to_string(),
+                seed_base: Some(0xABCD),
+                timeout_ms: None,
+            }
+            .to_line(),
+        ]
+        .join("\n");
+
+        let (summary, lines) = serve_lines(1, &input);
+        assert_eq!(
+            summary,
+            ServeSummary {
+                submitted: 3,
+                shutdown: false
+            },
+            "EOF drain without a shutdown envelope"
+        );
+        assert_eq!(lines.len(), 3);
+        for workers in [2, 4] {
+            assert_eq!(serve_lines(workers, &input).1, lines, "workers = {workers}");
+        }
+
+        // Each line is byte-identical to rendering the batch runner's
+        // report through the same wire formatter.
+        let Scenario::Cell(cell) = parse_any(CELL).unwrap() else {
+            panic!("cell spec");
+        };
+        let report = cell.run().unwrap();
+        assert_eq!(
+            lines[0],
+            wire::ok_cell_line(1, &cell.scheme.label(), &report)
+        );
+        let Scenario::Grid(grid) = parse_any(GRID).unwrap() else {
+            panic!("grid spec");
+        };
+        assert_eq!(lines[1], wire::ok_grid_line(2, &grid, &grid.run()));
+        let mut derived = cell.clone();
+        derived.seed = derive_seed(0xABCD, 3);
+        assert_ne!(derived.seed, cell.seed, "seed_base overrides the spec seed");
+        let derived_report = derived.run().unwrap();
+        assert_eq!(
+            lines[2],
+            wire::ok_cell_line(3, &derived.scheme.label(), &derived_report)
+        );
+    }
+
+    #[test]
+    fn shutdown_stops_intake_and_cancel_drops_queued_jobs() {
+        // Cancelling before the submit is the deterministic way to hit
+        // the queued-job cancellation path: the id is already in the
+        // cancel set when a worker picks the job up.
+        let input = [
+            Envelope::Cancel { id: 5 }.to_line(),
+            Envelope::Submit {
+                id: 5,
+                spec: CELL.to_string(),
+                seed_base: None,
+                timeout_ms: None,
+            }
+            .to_line(),
+            Envelope::Shutdown.to_line(),
+            Envelope::Submit {
+                id: 6,
+                spec: CELL.to_string(),
+                seed_base: None,
+                timeout_ms: None,
+            }
+            .to_line(),
+        ]
+        .join("\n");
+        let (summary, lines) = serve_lines(2, &input);
+        assert_eq!(
+            summary,
+            ServeSummary {
+                submitted: 1,
+                shutdown: true
+            },
+            "the post-shutdown submit is never read"
+        );
+        assert_eq!(lines[0], wire::cancel_ack_line(5));
+        assert_eq!(lines[1], wire::error_line(Some(5), "cancelled"));
+        assert_eq!(lines.len(), 2);
+    }
+
+    #[test]
+    fn bad_lines_and_bad_specs_report_without_stopping_the_stream() {
+        let input = [
+            "{\"v\":1,\"id\":1,\"op\":\"conga\"}".to_string(),
+            Envelope::Submit {
+                id: 2,
+                spec: "scheme = mnit\nworkload = mcf".to_string(),
+                seed_base: None,
+                timeout_ms: None,
+            }
+            .to_line(),
+            Envelope::Submit {
+                id: 3,
+                spec: CELL.to_string(),
+                seed_base: None,
+                timeout_ms: Some(0),
+            }
+            .to_line(),
+        ]
+        .join("\n");
+        let (summary, lines) = serve_lines(1, &input);
+        assert_eq!(summary.submitted, 2);
+        assert_eq!(lines[0], wire::error_line(None, "unknown op \"conga\""));
+        assert!(
+            lines[1].contains("\"id\":2,\"ok\":false") && lines[1].contains("scenario line 1"),
+            "spec errors carry the line number: {}",
+            lines[1]
+        );
+        assert_eq!(
+            lines[2],
+            wire::error_line(Some(3), "timed out after 0ms"),
+            "a zero budget times out deterministically before the first chunk"
+        );
+    }
+}

@@ -31,6 +31,7 @@ mod parfm;
 mod prct;
 mod pride;
 mod protrr;
+mod table_words;
 mod trr;
 
 pub use graphene::{Graphene, GrapheneConfig};

@@ -96,6 +96,16 @@ impl InDramTracker for InDramPara {
     fn reset(&mut self, _rng: &mut dyn Rng64) {
         self.sar = None;
     }
+
+    /// `[sar_valid, sar_row]`.
+    fn snapshot_state(&self) -> Vec<u64> {
+        snapshot_sar(self.sar)
+    }
+
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), String> {
+        self.sar = restore_sar(state, self.name())?;
+        Ok(())
+    }
 }
 
 /// InDRAM-PARA without overwrite (paper §III-B, Fig 4).
@@ -161,6 +171,37 @@ impl InDramTracker for InDramParaNoOverwrite {
 
     fn reset(&mut self, _rng: &mut dyn Rng64) {
         self.sar = None;
+    }
+
+    /// `[sar_valid, sar_row]`.
+    fn snapshot_state(&self) -> Vec<u64> {
+        snapshot_sar(self.sar)
+    }
+
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), String> {
+        self.sar = restore_sar(state, self.name())?;
+        Ok(())
+    }
+}
+
+/// The shared `[valid, row]` encoding of both variants' single register.
+fn snapshot_sar(sar: Option<RowId>) -> Vec<u64> {
+    vec![u64::from(sar.is_some()), u64::from(sar.map_or(0, |r| r.0))]
+}
+
+fn restore_sar(state: &[u64], name: &str) -> Result<Option<RowId>, String> {
+    let [valid, row] = state else {
+        return Err(format!(
+            "{name}: expected 2 state words, got {}",
+            state.len()
+        ));
+    };
+    match valid {
+        0 => Ok(None),
+        1 => u32::try_from(*row)
+            .map(|r| Some(RowId(r)))
+            .map_err(|_| format!("{name}: SAR row {row} exceeds u32")),
+        v => Err(format!("{name}: SAR valid bit {v} not 0/1")),
     }
 }
 

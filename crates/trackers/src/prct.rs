@@ -127,6 +127,19 @@ impl InDramTracker for Prct {
     fn reset(&mut self, _rng: &mut dyn Rng64) {
         self.counters.clear();
     }
+
+    fn snapshot_state(&self) -> Vec<u64> {
+        crate::table_words::snapshot_table(&self.counters)
+    }
+
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), String> {
+        crate::table_words::restore_table(
+            state,
+            self.name(),
+            self.rows as usize,
+            &mut self.counters,
+        )
+    }
 }
 
 #[cfg(test)]

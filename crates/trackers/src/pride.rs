@@ -111,6 +111,36 @@ impl InDramTracker for Pride {
         self.fifo.clear();
         self.lost = 0;
     }
+
+    /// `[lost, len, rows…]` in FIFO order (head first).
+    fn snapshot_state(&self) -> Vec<u64> {
+        let mut words = vec![self.lost, self.fifo.len() as u64];
+        words.extend(self.fifo.iter().map(|r| u64::from(r.0)));
+        words
+    }
+
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), String> {
+        let [lost, len, rows @ ..] = state else {
+            return Err("PrIDE: truncated state".to_string());
+        };
+        let len = usize::try_from(*len).map_err(|_| "PrIDE: FIFO length overflow".to_string())?;
+        if len > self.capacity {
+            return Err(format!(
+                "PrIDE: {len} queued exceeds capacity {}",
+                self.capacity
+            ));
+        }
+        if rows.len() != len {
+            return Err(format!("PrIDE: expected {len} rows, got {}", rows.len()));
+        }
+        self.lost = *lost;
+        self.fifo.clear();
+        for &w in rows {
+            let row = u32::try_from(w).map_err(|_| format!("PrIDE: row {w} exceeds u32"))?;
+            self.fifo.push_back(RowId(row));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -151,6 +151,14 @@ impl InDramTracker for ProTrr {
     fn reset(&mut self, _rng: &mut dyn Rng64) {
         self.table.clear();
     }
+
+    fn snapshot_state(&self) -> Vec<u64> {
+        crate::table_words::snapshot_table(&self.table)
+    }
+
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), String> {
+        crate::table_words::restore_table(state, self.name(), self.config.entries, &mut self.table)
+    }
 }
 
 #[cfg(test)]

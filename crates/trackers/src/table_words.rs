@@ -1,0 +1,84 @@
+//! Canonical word encoding shared by the hash-table trackers' checkpoint
+//! state (Graphene, Mithril, ProTRR, PRCT).
+//!
+//! A `HashMap<RowId, u64>` iterates in a per-process random order, so the
+//! snapshot sorts entries by row id: two processes holding the same logical
+//! table emit identical words. That canonicalization is sound because every
+//! table tracker breaks selection ties with a total `(count, row)` order —
+//! no decision depends on map iteration order.
+
+use mint_dram::RowId;
+use std::collections::HashMap;
+
+/// `[len, row₀, count₀, row₁, count₁, …]`, sorted by row id.
+pub(crate) fn snapshot_table(table: &HashMap<RowId, u64>) -> Vec<u64> {
+    let mut pairs: Vec<(RowId, u64)> = table.iter().map(|(r, c)| (*r, *c)).collect();
+    pairs.sort_unstable_by_key(|(r, _)| r.0);
+    let mut words = Vec::with_capacity(1 + 2 * pairs.len());
+    words.push(pairs.len() as u64);
+    for (row, count) in pairs {
+        words.push(u64::from(row.0));
+        words.push(count);
+    }
+    words
+}
+
+/// Rebuilds a table from [`snapshot_table`]'s words, enforcing `capacity`.
+pub(crate) fn restore_table(
+    state: &[u64],
+    name: &str,
+    capacity: usize,
+    table: &mut HashMap<RowId, u64>,
+) -> Result<(), String> {
+    let (&len, rest) = state
+        .split_first()
+        .ok_or_else(|| format!("{name}: empty table state"))?;
+    let len = usize::try_from(len).map_err(|_| format!("{name}: table length overflow"))?;
+    if len > capacity {
+        return Err(format!("{name}: {len} entries exceed capacity {capacity}"));
+    }
+    if rest.len() != 2 * len {
+        return Err(format!(
+            "{name}: expected {} table words, got {}",
+            2 * len,
+            rest.len()
+        ));
+    }
+    table.clear();
+    for pair in rest.chunks_exact(2) {
+        let row = u32::try_from(pair[0])
+            .map_err(|_| format!("{name}: table row {} exceeds u32", pair[0]))?;
+        if table.insert(RowId(row), pair[1]).is_some() {
+            return Err(format!("{name}: duplicate table row {row}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_canonical() {
+        let mut a = HashMap::new();
+        for (r, c) in [(9u32, 4u64), (1, 7), (5, 2)] {
+            a.insert(RowId(r), c);
+        }
+        let words = snapshot_table(&a);
+        // Sorted by row regardless of insertion/iteration order.
+        assert_eq!(words, vec![3, 1, 7, 5, 2, 9, 4]);
+        let mut b = HashMap::new();
+        restore_table(&words, "test", 8, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let mut t = HashMap::new();
+        assert!(restore_table(&[], "test", 4, &mut t).is_err());
+        assert!(restore_table(&[2, 1, 1], "test", 4, &mut t).is_err());
+        assert!(restore_table(&[9, 0, 0], "test", 4, &mut t).is_err());
+        assert!(restore_table(&[2, 1, 1, 1, 2], "test", 4, &mut t).is_err());
+    }
+}

@@ -119,6 +119,46 @@ impl InDramTracker for SimpleTrr {
     fn reset(&mut self, _rng: &mut dyn Rng64) {
         self.table.clear();
     }
+
+    /// `[len, row₀, count₀, …]` in table order (the vector order never
+    /// influences decisions — eviction and mitigation both use total
+    /// `(count, row)` orders — but preserving it keeps the restored state
+    /// literally identical).
+    fn snapshot_state(&self) -> Vec<u64> {
+        let mut words = vec![self.table.len() as u64];
+        for (row, count) in &self.table {
+            words.push(u64::from(row.0));
+            words.push(*count);
+        }
+        words
+    }
+
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), String> {
+        let (&len, rest) = state
+            .split_first()
+            .ok_or_else(|| "TRR: truncated state".to_string())?;
+        let len = usize::try_from(len).map_err(|_| "TRR: table length overflow".to_string())?;
+        if len > self.capacity {
+            return Err(format!(
+                "TRR: {len} entries exceed capacity {}",
+                self.capacity
+            ));
+        }
+        if rest.len() != 2 * len {
+            return Err(format!(
+                "TRR: expected {} table words, got {}",
+                2 * len,
+                rest.len()
+            ));
+        }
+        self.table.clear();
+        for pair in rest.chunks_exact(2) {
+            let row =
+                u32::try_from(pair[0]).map_err(|_| format!("TRR: row {} exceeds u32", pair[0]))?;
+            self.table.push((RowId(row), pair[1]));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,78 @@
+//! A minimal client for the scenario service: starts `mint-serve` on a
+//! unix socket in-process, submits the two demo cells from
+//! `examples/scenarios/service_demo.jsonl`, and checks each streamed
+//! report byte-for-byte against the batch runner (`ScenarioSpec::run`).
+//!
+//! ```bash
+//! cargo run --example serve_client
+//! ```
+//!
+//! Against a real resident service the client side is the same — only
+//! the process boundary changes:
+//!
+//! ```bash
+//! cargo run --release -p mint-bench --bin run_scenario -- --serve --socket /tmp/mint.sock &
+//! nc -U /tmp/mint.sock < examples/scenarios/service_demo.jsonl
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+use mint_memsys::{parse_any, Scenario};
+use mint_serve::{wire, Service};
+
+const DEMO: &str = include_str!("scenarios/service_demo.jsonl");
+
+fn main() {
+    // What the service *should* stream back: each submitted cell run
+    // through the batch path and rendered by the same wire formatter.
+    let mut expected = Vec::new();
+    for line in DEMO.lines().filter(|l| !l.trim().is_empty()) {
+        if let wire::Envelope::Submit { id, spec, .. } =
+            wire::Envelope::parse_line(line).expect("demo envelope")
+        {
+            let Scenario::Cell(cell) = parse_any(&spec).expect("demo spec") else {
+                panic!("the demo submits cells");
+            };
+            let report = cell.run().expect("batch run");
+            expected.push(wire::ok_cell_line(id, &cell.scheme.label(), &report));
+        }
+    }
+
+    let socket = std::env::temp_dir().join(format!("mint-serve-demo-{}.sock", std::process::id()));
+    let server = {
+        let socket = socket.clone();
+        std::thread::spawn(move || Service::new().serve_unix(&socket))
+    };
+    let stream = connect_with_retry(&socket);
+    let mut writer = stream.try_clone().expect("clone stream");
+    writer.write_all(DEMO.as_bytes()).expect("send demo jobs");
+    writer.flush().expect("flush");
+
+    let mut lines = BufReader::new(stream).lines();
+    for want in &expected {
+        let got = lines.next().expect("a response line").expect("read line");
+        assert_eq!(&got, want, "streamed report differs from the batch run");
+        println!("{got}");
+    }
+    assert!(
+        lines.next().is_none(),
+        "nothing follows the drain (shutdown closes the stream)"
+    );
+    server.join().expect("server thread").expect("serve_unix");
+    println!(
+        "serve_client: {} job(s) matched the batch runner byte-for-byte",
+        expected.len()
+    );
+}
+
+fn connect_with_retry(socket: &std::path::Path) -> UnixStream {
+    for _ in 0..500 {
+        if let Ok(stream) = UnixStream::connect(socket) {
+            return stream;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("service socket {} never came up", socket.display());
+}

@@ -25,6 +25,9 @@
 //! * [`exp`] — the parallel experiment harness every layer above fans its
 //!   trials, sweep points and workload grids through (deterministic:
 //!   N-thread runs are bit-identical to 1-thread runs).
+//! * [`serve`] — the resident scenario service: a streaming JSON-lines
+//!   job queue (`run_scenario --serve`) over the [`memsys`] checkpoint/
+//!   restore layer, with worker-count-invariant output ordering.
 //!
 //! # Quickstart
 //!
@@ -58,5 +61,6 @@ pub use mint_exp as exp;
 pub use mint_memsys as memsys;
 pub use mint_redteam as redteam;
 pub use mint_rng as rng;
+pub use mint_serve as serve;
 pub use mint_sim as sim;
 pub use mint_trackers as trackers;

@@ -1,0 +1,223 @@
+//! Checkpoint/restore bit-identity, pinned.
+//!
+//! A run split at request `k` with [`Session::run_until`], serialized to
+//! bytes, deserialized (as a fresh process would) and continued with
+//! [`Session::resume`] must reproduce the straight [`Session::run`]
+//! *byte for byte*: duration, the full `SimResult`, per-core outcomes,
+//! the captured event stream, and the energy split to the last f64 bit —
+//! the same discipline as `tests/system_identity.rs`.
+//!
+//! The split points sweep the interesting phase boundaries: `k = 0`
+//! (before the first service decision), tiny prefixes (mid-tFAW window,
+//! pending requests in flight), the middle of the run (mid-tREFI, REF
+//! and mitigation state live), and the penultimate request. Schemes
+//! cover the stateless baseline, MINT's REF-riding sampler, RFM's RAA
+//! counters, MC-PARA's per-ACT RNG, and two zoo trackers with tables
+//! (Graphene) and FIFOs (PrIDE); topologies cover the Table VI 1×1 DIMM
+//! and a 2-channel × 2-rank scale-out.
+
+use mint_memsys::{
+    parse_trace, workload_by_name, Checkpoint, MitigationScheme, RunReport, Session, SessionRun,
+    Sim, SystemConfig,
+};
+
+const SCHEMES: [MitigationScheme; 6] = [
+    MitigationScheme::Baseline,
+    MitigationScheme::Mint,
+    MitigationScheme::MintRfm { rfm_th: 16 },
+    MitigationScheme::McPara { p: 1.0 / 64.0 },
+    MitigationScheme::Graphene,
+    MitigationScheme::Pride,
+];
+
+const REQUESTS_PER_CORE: u32 = 700;
+
+fn topology(channels: u32, ranks: u32) -> SystemConfig {
+    SystemConfig {
+        channels,
+        ranks,
+        ..SystemConfig::table6()
+    }
+}
+
+fn session(scheme: MitigationScheme, cfg: SystemConfig) -> Session<'static> {
+    let mcf = workload_by_name("mcf").expect("workload in the suite");
+    Sim::new(cfg)
+        .scheme(scheme)
+        .workload(&[mcf; 4], REQUESTS_PER_CORE)
+        .seed(23)
+        .capture_events()
+        .build()
+}
+
+/// Every field of the report, to the last bit (f64s via `to_bits`).
+fn assert_bits_equal(got: &RunReport, want: &RunReport, what: &str) {
+    assert_eq!(
+        got.perf.duration_ps, want.perf.duration_ps,
+        "{what}: duration"
+    );
+    assert_eq!(got.perf.result, want.perf.result, "{what}: SimResult");
+    assert_eq!(
+        got.perf.normalized.to_bits(),
+        want.perf.normalized.to_bits(),
+        "{what}: normalized"
+    );
+    assert_eq!(got.cores.len(), want.cores.len(), "{what}: core count");
+    for (i, (a, b)) in got.cores.iter().zip(&want.cores).enumerate() {
+        assert_eq!(
+            (a.finish_ps, a.requests),
+            (b.finish_ps, b.requests),
+            "{what}: core {i}"
+        );
+    }
+    assert_eq!(
+        (got.energy.act_j.to_bits(), got.energy.non_act_j.to_bits()),
+        (want.energy.act_j.to_bits(), want.energy.non_act_j.to_bits()),
+        "{what}: energy must match to the last f64 bit"
+    );
+    assert_eq!(got.events, want.events, "{what}: event stream");
+}
+
+/// Splits the run at `k`, round-trips the checkpoint through its on-disk
+/// byte format, resumes, and compares against the straight run.
+fn split_matches(scheme: MitigationScheme, cfg: SystemConfig, k: u64, straight: &RunReport) {
+    let what = format!(
+        "{scheme:?} {}ch x {}rk split at {k}",
+        cfg.channels, cfg.ranks
+    );
+    match session(scheme, cfg).run_until(k).expect("pausable run") {
+        SessionRun::Paused(ckpt) => {
+            let revived = Checkpoint::from_bytes(&ckpt.to_bytes()).expect("byte round-trip");
+            assert_eq!(revived, ckpt, "{what}: byte round-trip is lossless");
+            let resumed = session(scheme, cfg).resume(&revived).expect("resume");
+            assert_bits_equal(&resumed, straight, &what);
+        }
+        SessionRun::Finished(_) => panic!("{what}: paused before the run could finish"),
+    }
+}
+
+#[test]
+fn resume_is_bit_identical_on_the_table6_dimm() {
+    let cfg = topology(1, 1);
+    let total = u64::from(REQUESTS_PER_CORE) * 4;
+    for scheme in SCHEMES {
+        let straight = session(scheme, cfg).run();
+        for k in [0, 1, 3, total / 2, total - 1] {
+            split_matches(scheme, cfg, k, &straight);
+        }
+    }
+}
+
+#[test]
+fn resume_is_bit_identical_on_a_two_by_two_dimm() {
+    let cfg = topology(2, 2);
+    let total = u64::from(REQUESTS_PER_CORE) * 4;
+    for scheme in SCHEMES {
+        let straight = session(scheme, cfg).run();
+        for k in [0, 1, 3, total / 2, total - 1] {
+            split_matches(scheme, cfg, k, &straight);
+        }
+    }
+}
+
+#[test]
+fn random_double_splits_resume_bit_identically() {
+    // Two chained pause points (run_until + resume_until + resume) land
+    // on arbitrary service counts — mid-tREFI, mid-tFAW, mid-mitigation,
+    // wherever the draw falls — and must still pin the straight run.
+    let total = u64::from(REQUESTS_PER_CORE) * 4;
+    for &cfg in &[topology(1, 1), topology(2, 2)] {
+        let straight = session(MitigationScheme::Mint, cfg).run();
+        mint_exp::prop::forall(6, 0x5EED, |case, rng| {
+            let k1 = mint_exp::prop::u64_in(rng, 1, total - 1);
+            let k2 = mint_exp::prop::u64_in(rng, k1 + 1, total);
+            let what = format!(
+                "case {case}: {}ch x {}rk double split at {k1}/{k2}",
+                cfg.channels, cfg.ranks
+            );
+            let SessionRun::Paused(first) = session(MitigationScheme::Mint, cfg)
+                .run_until(k1)
+                .expect("pausable run")
+            else {
+                panic!("{what}: first split finished early");
+            };
+            let SessionRun::Paused(second) = session(MitigationScheme::Mint, cfg)
+                .resume_until(&first, k2)
+                .expect("resumable run")
+            else {
+                panic!("{what}: second split finished early");
+            };
+            let resumed = session(MitigationScheme::Mint, cfg)
+                .resume(&second)
+                .expect("resume");
+            assert_bits_equal(&resumed, &straight, &what);
+        });
+    }
+}
+
+#[test]
+fn stopping_past_the_end_finishes_identically() {
+    let cfg = topology(1, 1);
+    let total = u64::from(REQUESTS_PER_CORE) * 4;
+    let straight = session(MitigationScheme::Mint, cfg).run();
+    match session(MitigationScheme::Mint, cfg)
+        .run_until(total + 10)
+        .expect("pausable run")
+    {
+        SessionRun::Finished(report) => assert_bits_equal(&report, &straight, "past-the-end stop"),
+        SessionRun::Paused(_) => panic!("a stop point past the end must finish"),
+    }
+}
+
+#[test]
+fn trace_frontends_checkpoint_too() {
+    let text: String = (0..600)
+        .map(|i| {
+            format!(
+                "{} {} 0x{:x}\n",
+                i % 5,
+                if i % 3 == 0 { 'W' } else { 'R' },
+                i * 64
+            )
+        })
+        .collect();
+    let entries = parse_trace(&text).unwrap();
+    let build = || {
+        Sim::ddr5()
+            .scheme(MitigationScheme::Mint)
+            .trace(&entries)
+            .seed(3)
+            .capture_events()
+            .build()
+    };
+    let straight = build().run();
+    for k in [0, 7, 300, 599] {
+        match build().run_until(k).expect("pausable run") {
+            SessionRun::Paused(ckpt) => {
+                let revived = Checkpoint::from_bytes(&ckpt.to_bytes()).expect("byte round-trip");
+                let resumed = build().resume(&revived).expect("resume");
+                assert_bits_equal(&resumed, &straight, &format!("trace split at {k}"));
+            }
+            SessionRun::Finished(_) => panic!("trace split at {k} finished early"),
+        }
+    }
+}
+
+#[test]
+fn structurally_incompatible_checkpoints_are_refused() {
+    let SessionRun::Paused(ckpt) = session(MitigationScheme::Mint, topology(1, 1))
+        .run_until(10)
+        .expect("pausable run")
+    else {
+        panic!("split at 10 must pause");
+    };
+    // Wrong topology: the 2x2 session has a different channel count.
+    let err = session(MitigationScheme::Mint, topology(2, 2))
+        .resume(&ckpt)
+        .expect_err("wrong topology must be refused");
+    assert!(err.contains("channels"), "got: {err}");
+    // Truncated bytes: the framing must catch it before any restore.
+    let mut bytes = ckpt.to_bytes();
+    bytes.truncate(bytes.len() - 3);
+    assert!(Checkpoint::from_bytes(&bytes).is_err());
+}
