@@ -1,7 +1,9 @@
 //! CI smoke: one tiny workload grid through **both** schedulers, the
 //! same grid scaled to a 2-channel × 2-rank DIMM, a small red-team
-//! scheme × pattern grid, and the checked-in `ScenarioSpec`
-//! grid file — each diffed for determinism at jobs 1 vs 4 — plus the
+//! scheme × pattern grid, the checked-in `ScenarioSpec` grid file, and
+//! that same grid again with telemetry on (the obs dump byte-diffed,
+//! the perf outcomes pinned to the telemetry-off grid) — each diffed
+//! for determinism at jobs 1 vs 4 — plus the
 //! reduced `BENCH_perf.json` / quick `BENCH_security.json` payloads
 //! diffed byte-for-byte against every retained reference
 //! implementation: the scratch planner, the sorted-vec admission loop,
@@ -197,6 +199,50 @@ fn main() {
         one[0].len(),
     );
 
+    // Telemetry leg: the same checked-in grid with the observability
+    // subsystem on. The per-cell telemetry dumps must be byte-identical
+    // at jobs 1 vs 4, and the perf outcomes must match the telemetry-off
+    // grid bit for bit — the obs hooks read the simulator, never drive it.
+    let telemetry_dump = || {
+        let text = std::fs::read_to_string(SCENARIO_FILE)
+            .unwrap_or_else(|e| panic!("cannot read {SCENARIO_FILE}: {e}"));
+        let Scenario::Grid(mut grid) =
+            parse_any(&text).unwrap_or_else(|e| panic!("{SCENARIO_FILE}: {e}"))
+        else {
+            panic!("{SCENARIO_FILE} must be a grid");
+        };
+        grid.telemetry = true;
+        let reports = grid.run_reports();
+        let mut dump = String::new();
+        let mut rows = Vec::new();
+        for row in &reports {
+            let base = row[0].perf;
+            rows.push(
+                row.iter()
+                    .map(|r| r.perf.normalize(&base))
+                    .collect::<Vec<NormalizedPerf>>(),
+            );
+            for r in row {
+                dump.push_str(&r.telemetry.as_ref().expect("telemetry enabled").to_json());
+            }
+        }
+        (dump, rows)
+    };
+    let (tele_one, tele_four) = at_jobs_1_and_4(telemetry_dump);
+    assert_eq!(
+        tele_one.0, tele_four.0,
+        "telemetry dump differs between jobs 1 and 4"
+    );
+    assert_grids_identical(&tele_one.1, &one, "telemetry-on vs telemetry-off grid");
+    assert!(
+        tele_one.0.contains("\"decisions\"") && tele_one.0.contains("\"mitigations\""),
+        "telemetry dump must carry scheduler and tracker counters"
+    );
+    println!(
+        "telemetry: jobs 1 == jobs 4 dump ({} bytes), perf bit-identical to the off grid",
+        tele_one.0.len(),
+    );
+
     // Serve leg: the two checked-in grid specs through the resident
     // scenario service. The streamed JSON-lines must be byte-identical
     // at 1 vs 4 workers AND to the batch runner's reports rendered by
@@ -334,7 +380,7 @@ fn main() {
     );
 
     println!(
-        "ci_smoke OK: schedulers, redteam grid, scenario file, serve stream, checkpoint \
-         restore and every retained reference bit-identical"
+        "ci_smoke OK: schedulers, redteam grid, scenario file, telemetry dump, serve stream, \
+         checkpoint restore and every retained reference bit-identical"
     );
 }

@@ -2,13 +2,15 @@
 //! scheme × every canonical worst-case pattern, judged by the
 //! ground-truth oracle against the TRH grid, plus per-scheme benign-core
 //! slowdown while core 0 hammers. Writes the machine-readable
-//! `BENCH_security.json` next to the human tables.
+//! `BENCH_security.json` next to the human tables, and the oracle's
+//! traffic accounting as `BENCH_security_telemetry.json` (one obs
+//! section per scheme × pattern cell).
 //!
 //! ```bash
 //! cargo run --release -p mint-bench --bin figx_redteam [-- --jobs N] [--out PATH]
 //! ```
 
-use mint_bench::redteam::{redteam_report, redteam_table, security_json};
+use mint_bench::redteam::{oracle_telemetry, redteam_report, redteam_table, security_json};
 use mint_redteam::RedteamConfig;
 
 fn main() {
@@ -33,4 +35,8 @@ fn main() {
         rc.trh_grid.len(),
     );
     cli.write_artifact("BENCH_security.json", &security_json(&report, &rc));
+    cli.write_aux_artifact(
+        "BENCH_security_telemetry.json",
+        &oracle_telemetry(&report).to_json(),
+    );
 }

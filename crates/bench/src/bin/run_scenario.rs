@@ -37,9 +37,10 @@ fn main() {
         serve(&cli);
         return;
     }
-    let Some(path) = cli.free.first() else {
+    let telemetry_flag = cli.free.iter().any(|arg| arg == "--telemetry");
+    let Some(path) = cli.free.iter().find(|arg| !arg.starts_with("--")) else {
         eprintln!(
-            "usage: run_scenario <FILE.scn> [--jobs N] [--out PATH]\n       \
+            "usage: run_scenario <FILE.scn> [--jobs N] [--out PATH] [--telemetry]\n       \
              run_scenario --serve [--socket PATH] [--jobs N]"
         );
         std::process::exit(2);
@@ -53,21 +54,93 @@ fn main() {
         std::process::exit(2);
     });
     let json = match scenario {
-        Scenario::Cell(spec) => {
+        Scenario::Cell(mut spec) => {
+            spec.telemetry |= telemetry_flag;
             let report = spec.run().unwrap_or_else(|e| {
                 eprintln!("{path}: {e}");
                 std::process::exit(2);
             });
             print_cell(&spec.scheme.label(), &report);
+            if let Some(t) = &report.telemetry {
+                cli.write_aux_artifact("SCENARIO_telemetry.json", &t.to_json());
+                cli.write_aux_artifact("SCENARIO_telemetry.csv", &t.to_csv());
+            }
             cell_json(&spec.scheme.label(), &report)
         }
-        Scenario::Grid(grid) => {
-            let rows = grid.run();
+        Scenario::Grid(mut grid) => {
+            grid.telemetry |= telemetry_flag;
+            // The telemetry path runs the same deterministic grid and
+            // derives the identical normalized rows from the full
+            // reports, so `SCENARIO_report.json` stays byte-for-byte
+            // what the non-telemetry path writes.
+            let rows = if grid.telemetry {
+                let reports = grid.run_reports();
+                cli.write_aux_artifact(
+                    "SCENARIO_telemetry.json",
+                    &grid_telemetry_json(&grid, &reports),
+                );
+                cli.write_aux_artifact(
+                    "SCENARIO_telemetry.csv",
+                    &grid_telemetry_csv(&grid, &reports),
+                );
+                normalize_rows(&reports)
+            } else {
+                grid.run()
+            };
             print_grid(&grid, &rows);
             grid_json(&grid, &rows)
         }
     };
     cli.write_artifact("SCENARIO_report.json", &json);
+}
+
+/// The per-workload normalization `ScenarioGrid::run` applies, derived
+/// from full reports instead of bare perf cells.
+fn normalize_rows(reports: &[Vec<RunReport>]) -> Vec<Vec<mint_memsys::NormalizedPerf>> {
+    reports
+        .iter()
+        .map(|row| {
+            let base = row[0].perf;
+            row.iter().map(|r| r.perf.normalize(&base)).collect()
+        })
+        .collect()
+}
+
+/// One JSON object per grid cell, each embedding its telemetry report.
+fn grid_telemetry_json(grid: &ScenarioGrid, reports: &[Vec<RunReport>]) -> String {
+    let mut out = String::from("{\n  \"source\": \"run_scenario\",\n  \"cells\": [\n");
+    let mut cells = Vec::new();
+    for (label, row) in grid.workload_labels.iter().zip(reports) {
+        for (scheme, report) in grid.schemes.iter().zip(row) {
+            let telemetry = report
+                .telemetry
+                .as_ref()
+                .map_or_else(|| "null".to_owned(), mint_memsys::TelemetryReport::to_json);
+            cells.push(format!(
+                "    {{\"workload\": \"{}\", \"scheme\": \"{}\", \"telemetry\": {}}}",
+                label,
+                scheme.label(),
+                telemetry.trim_end(),
+            ));
+        }
+    }
+    out.push_str(&cells.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// The per-cell CSV rows, prefixed with `workload,scheme` columns.
+fn grid_telemetry_csv(grid: &ScenarioGrid, reports: &[Vec<RunReport>]) -> String {
+    let mut out = String::from("workload,scheme,section,kind,metric,field,value\n");
+    for (label, row) in grid.workload_labels.iter().zip(reports) {
+        for (scheme, report) in grid.schemes.iter().zip(row) {
+            let Some(t) = &report.telemetry else { continue };
+            for line in t.to_csv().lines().skip(1) {
+                out.push_str(&format!("{label},{},{line}\n", scheme.label()));
+            }
+        }
+    }
+    out
 }
 
 fn serve(cli: &mint_exp::cli::Cli) {

@@ -16,7 +16,7 @@ use crate::titled;
 use mint_analysis::textable::TexTable;
 use mint_attacks::{redteam_patterns, PatternSpec};
 use mint_memsys::backend::max_act_per_trefi;
-use mint_memsys::MitigationScheme;
+use mint_memsys::{MitigationScheme, TelemetryReport};
 use mint_redteam::{redteam_sweep, RedteamConfig, RedteamReport};
 
 /// The canonical pattern grid for a config: the §V-D direct patterns from
@@ -172,14 +172,41 @@ pub fn security_json(report: &RedteamReport, rc: &RedteamConfig) -> String {
             })
             .collect();
         rec.push_str(&cells.join(",\n"));
+        // `mitigation_induced_slowdown` is the benign-core cost the
+        // scheme's machinery adds under attack, as a fraction over the
+        // baseline co-run (0 = free, 0.05 = victims run 5% longer) —
+        // the DAPPER-style perf-attack axis in one number.
         rec.push_str(&format!(
-            "\n    ], \"benign_slowdown_under_attack\": {:.6}, \"benign_finish_ps\": {}}}",
-            s.slowdown, s.benign_finish_ps
+            "\n    ], \"benign_slowdown_under_attack\": {:.6}, \"benign_finish_ps\": {}, \
+             \"mitigation_induced_slowdown\": {:.6}}}",
+            s.slowdown,
+            s.benign_finish_ps,
+            s.slowdown - 1.0,
         ));
         scheme_rows.push(rec);
     }
     out.push_str(&scheme_rows.join(",\n"));
     out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// The campaign's ground-truth traffic accounting as one obs
+/// [`TelemetryReport`]: a `{scheme}/{pattern}` section per security cell
+/// built from the oracle's [`OracleSummary::to_section`] ledger — the
+/// red-team edge of the observability stack, rendered to JSON/CSV/
+/// Prometheus by the same `mint-obs` machinery as the simulator's own
+/// telemetry.
+///
+/// [`OracleSummary::to_section`]: mint_redteam::OracleSummary::to_section
+#[must_use]
+pub fn oracle_telemetry(report: &RedteamReport) -> TelemetryReport {
+    let mut out = TelemetryReport::new();
+    for c in &report.cells {
+        out.push(
+            c.summary
+                .to_section(&format!("{}/{}", c.scheme_label, c.pattern)),
+        );
+    }
     out
 }
 
@@ -265,11 +292,41 @@ mod tests {
             json.matches("\"trh\": ").count(),
             labels.len() * patterns(&rc).len() * rc.trh_grid.len()
         );
-        // Every scheme carries its slowdown.
+        // Every scheme carries its slowdown and the derived
+        // mitigation-induced column.
         assert_eq!(
             json.matches("benign_slowdown_under_attack").count(),
             labels.len()
         );
+        assert_eq!(
+            json.matches("mitigation_induced_slowdown").count(),
+            labels.len()
+        );
+        assert!(
+            json.contains("\"mitigation_induced_slowdown\": 0.000000"),
+            "the baseline induces nothing by construction"
+        );
+    }
+
+    #[test]
+    fn oracle_telemetry_carries_one_section_per_cell() {
+        let (report, rc) = quick_report();
+        let t = oracle_telemetry(&report);
+        assert_eq!(t.sections.len(), report.cells.len());
+        // The unmitigated pattern-1 cell: one demand ACT per tREFI,
+        // nothing mitigative.
+        assert_eq!(
+            t.counter("Baseline/pattern-1", "demand_acts"),
+            Some(rc.attack_refis)
+        );
+        assert_eq!(t.counter("Baseline/pattern-1", "victim_refreshes"), Some(0));
+        // MINT mitigates; its ledger shows the victim refreshes.
+        assert!(t.counter("MINT/pattern-2", "victim_refreshes").unwrap() > 0);
+        // And the rendered forms carry the sections through.
+        assert!(t.to_json().contains("\"Baseline/pattern-1\""));
+        assert!(t
+            .to_prometheus()
+            .contains("mint_Baseline_pattern_1_demand_acts"));
     }
 
     #[test]

@@ -165,6 +165,14 @@ pub struct ThroughputRecord {
     /// stream closed-loop on a bare [`MemoryController`] (no queue, no
     /// arbitration).
     pub engine_ns_per_req: f64,
+    /// Best host-side ns per scheduling decision with the observability
+    /// subsystem *enabled* (`Sim::telemetry`): counters, histograms and
+    /// the sim-time sampler all recording. The optimized column is the
+    /// disabled path — dead-`Option` branches only — so the
+    /// [`obs_overhead`](Self::obs_overhead) ratio bounds what telemetry
+    /// costs when it is on, and trajectory diffs of `ns_per_decision`
+    /// on the mcf zoo cell guard the ≤2% disabled-path budget.
+    pub telemetry_ns_per_decision: f64,
     /// Serviced requests per host second (optimized defaults).
     pub requests_per_sec: f64,
     /// Executed DRAM commands per host second (optimized defaults).
@@ -185,6 +193,15 @@ impl ThroughputRecord {
     #[must_use]
     pub fn shared_speedup(&self) -> f64 {
         self.shared_reference_ns_per_decision / self.ns_per_decision
+    }
+
+    /// Telemetry-on-over-off time ratio (1.0 = recording is free on this
+    /// cell; 1.02 = enabling the obs subsystem costs 2%). The
+    /// telemetry-off run *is* the disabled path, so this column also
+    /// upper-bounds what the dead hooks could possibly cost.
+    #[must_use]
+    pub fn obs_overhead(&self) -> f64 {
+        self.telemetry_ns_per_decision / self.ns_per_decision
     }
 
     /// Arbitration-and-bookkeeping residual: whatever of the end-to-end
@@ -277,6 +294,9 @@ enum RunMode {
     /// generation, division-based refresh alignment; the planner stays
     /// optimized so the ratio isolates the shared per-request costs.
     ReferenceShared,
+    /// Optimized defaults with the observability subsystem enabled —
+    /// every scheduler/engine/tracker/session hook recording.
+    Telemetry,
 }
 
 /// One timed run of `cell` under `mode`. Restores the optimized defaults
@@ -295,12 +315,15 @@ fn timed_run(cell: &ThroughputCell, mode: RunMode) -> (Duration, SimResult) {
     let specs = vec![cell.spec; cell.cores as usize];
     let mut result = None;
     let m = mint_exp::stopwatch::measure(Duration::ZERO, || {
-        let report = Sim::new(cfg)
+        let mut sim = Sim::new(cfg)
             .scheme(cell.scheme)
             .policy(cell.policy)
             .workload(&specs, cell.requests_per_core)
-            .seed(1)
-            .run();
+            .seed(1);
+        if mode == RunMode::Telemetry {
+            sim = sim.telemetry();
+        }
+        let report = sim.run();
         result = Some(report.perf.result);
     });
     set_reference_planner_default(false);
@@ -374,6 +397,7 @@ pub fn measure_cell(cell: &ThroughputCell, reps: u32) -> ThroughputRecord {
     let mut inc = Duration::MAX;
     let mut refp = Duration::MAX;
     let mut shared = Duration::MAX;
+    let mut telem = Duration::MAX;
     let mut result = None;
     for _ in 0..reps.max(1) {
         let (d, r) = timed_run(cell, RunMode::Optimized);
@@ -390,6 +414,13 @@ pub fn measure_cell(cell: &ThroughputCell, reps: u32) -> ThroughputRecord {
         assert_eq!(
             r, rs,
             "{}: shared-path references and optimized defaults diverged",
+            cell.label
+        );
+        let (dt, rt) = timed_run(cell, RunMode::Telemetry);
+        telem = telem.min(dt);
+        assert_eq!(
+            r, rt,
+            "{}: telemetry-on run diverged from the disabled path",
             cell.label
         );
         result = Some(r);
@@ -414,6 +445,7 @@ pub fn measure_cell(cell: &ThroughputCell, reps: u32) -> ThroughputRecord {
         shared_reference_ns_per_decision: shared.as_nanos() as f64 / requests.max(1) as f64,
         gen_ns_per_req: gen_ns,
         engine_ns_per_req: engine_ns,
+        telemetry_ns_per_decision: telem.as_nanos() as f64 / requests.max(1) as f64,
         requests_per_sec: requests as f64 / secs,
         commands_per_sec: commands as f64 / secs,
     }
@@ -438,6 +470,7 @@ pub fn throughput_table(records: &[ThroughputRecord]) -> String {
         "ref ns/decision",
         "Speedup",
         "Shared",
+        "Obs",
         "gen/plan/eng ns",
         "Mreq/s",
         "Mcmd/s",
@@ -452,6 +485,7 @@ pub fn throughput_table(records: &[ThroughputRecord]) -> String {
             format!("{:.1}", r.reference_ns_per_decision),
             format!("{:.2}x", r.planner_speedup()),
             format!("{:.2}x", r.shared_speedup()),
+            format!("{:.3}x", r.obs_overhead()),
             format!(
                 "{:.1}/{:.1}/{:.1}",
                 r.gen_ns_per_req,
@@ -490,7 +524,8 @@ pub fn throughput_json(records: &[ThroughputRecord], reps: u32) -> String {
                  \"shared_reference_ns_per_decision\": {:.1}, \
                  \"planner_speedup\": {:.3}, \"shared_speedup\": {:.3}, \
                  \"gen_ns_per_req\": {:.1}, \"plan_ns_per_req\": {:.1}, \
-                 \"engine_ns_per_req\": {:.1}, \"requests_per_sec\": {:.0}, \
+                 \"engine_ns_per_req\": {:.1}, \"telemetry_ns_per_decision\": {:.1}, \
+                 \"obs_overhead\": {:.3}, \"requests_per_sec\": {:.0}, \
                  \"commands_per_sec\": {:.0}}}",
                 r.label,
                 r.scheme,
@@ -508,6 +543,8 @@ pub fn throughput_json(records: &[ThroughputRecord], reps: u32) -> String {
                 r.gen_ns_per_req,
                 r.plan_ns_per_req(),
                 r.engine_ns_per_req,
+                r.telemetry_ns_per_decision,
+                r.obs_overhead(),
                 r.requests_per_sec,
                 r.commands_per_sec,
             )
@@ -523,6 +560,9 @@ pub const REQUIRED_TOP_KEYS: &[&str] = &["source", "unit_note", "reps", "cells"]
 
 /// The per-cell keys every `BENCH_throughput.json` cell must carry,
 /// including the per-stage attribution and shared-path columns.
+/// `telemetry_ns_per_decision`/`obs_overhead` are deliberately *not*
+/// required: the committed trajectory predates them, and the schema must
+/// keep accepting it.
 pub const REQUIRED_CELL_KEYS: &[&str] = &[
     "cell",
     "scheme",
@@ -651,6 +691,7 @@ mod tests {
         assert!(r.planner_speedup() > 0.0 && r.shared_speedup() > 0.0);
         assert!(r.gen_ns_per_req > 0.0 && r.engine_ns_per_req > 0.0);
         assert!(r.plan_ns_per_req() >= 0.0, "plan residual is clamped");
+        assert!(r.telemetry_ns_per_decision > 0.0 && r.obs_overhead() > 0.0);
     }
 
     #[test]
@@ -720,10 +761,29 @@ mod tests {
         assert!(json.contains("\"gen_ns_per_req\": "));
         assert!(json.contains("\"plan_ns_per_req\": "));
         assert!(json.contains("\"engine_ns_per_req\": "));
+        assert!(json.contains("\"telemetry_ns_per_decision\": "));
+        assert!(json.contains("\"obs_overhead\": "));
         check_throughput_schema(&json).expect("rendered payload passes its own schema");
+        // The committed trajectory predates the obs columns; the schema
+        // must keep accepting payloads without them.
+        let legacy = json
+            .lines()
+            .map(|l| {
+                if let Some(at) = l.find(", \"telemetry_ns_per_decision\"") {
+                    let rest = l[at + 2..].find("\"requests_per_sec\"").expect("tail");
+                    format!("{}{}", &l[..at + 2], &l[at + 2 + rest..])
+                } else {
+                    l.to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!legacy.contains("obs_overhead"), "stripped for the check");
+        check_throughput_schema(&legacy).expect("pre-obs payloads still pass");
         let table = throughput_table(std::slice::from_ref(&r));
         assert!(table.contains("test/tiny") && table.contains("Speedup"));
         assert!(table.contains("Shared") && table.contains("gen/plan/eng"));
+        assert!(table.contains("Obs"));
     }
 
     #[test]

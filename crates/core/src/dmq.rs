@@ -158,6 +158,14 @@ impl<T: InDramTracker> InDramTracker for Dmq<T> {
         "DMQ"
     }
 
+    fn live_entries(&self) -> usize {
+        self.inner.live_entries() + self.queue.len()
+    }
+
+    fn overflow_count(&self) -> u64 {
+        self.inner.overflow_count() + self.overflow_drops
+    }
+
     fn entries(&self) -> usize {
         self.inner.entries() + self.depth
     }

@@ -170,6 +170,10 @@ impl InDramTracker for Mint {
         "MINT"
     }
 
+    fn live_entries(&self) -> usize {
+        usize::from(self.sar.is_some())
+    }
+
     fn entries(&self) -> usize {
         1
     }

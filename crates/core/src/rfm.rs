@@ -127,6 +127,10 @@ impl InDramTracker for MintRfm {
         "MINT+RFM"
     }
 
+    fn live_entries(&self) -> usize {
+        self.mint.live_entries()
+    }
+
     fn entries(&self) -> usize {
         1
     }

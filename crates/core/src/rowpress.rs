@@ -171,6 +171,10 @@ impl InDramTracker for RowPressMint {
         "MINT+ImPress"
     }
 
+    fn live_entries(&self) -> usize {
+        usize::from(self.sar().is_some())
+    }
+
     fn entries(&self) -> usize {
         1
     }

@@ -187,6 +187,19 @@ pub trait InDramTracker {
     /// Short human-readable name (used in experiment tables).
     fn name(&self) -> &'static str;
 
+    /// Number of tracking entries currently occupied (telemetry: table
+    /// occupancy). Stateless or purely probabilistic trackers report 0.
+    fn live_entries(&self) -> usize {
+        0
+    }
+
+    /// Observations the tracker has lost to a full table, FIFO or buffer
+    /// so far (telemetry: eviction/rollover pressure). Trackers that
+    /// never drop report 0.
+    fn overflow_count(&self) -> u64 {
+        0
+    }
+
     /// Number of row-tracking entries (the paper's cost metric, Table III).
     fn entries(&self) -> usize;
 

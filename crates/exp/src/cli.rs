@@ -51,6 +51,20 @@ impl Cli {
             }
         }
     }
+
+    /// Writes a secondary artifact (same contract as
+    /// [`write_artifact`](Cli::write_artifact)) that always lands at
+    /// `path`: `--out` redirects only the binary's primary artifact, so
+    /// a binary emitting several files never clobbers one with another.
+    pub fn write_aux_artifact(&self, path: &str, content: &str) {
+        match std::fs::write(path, content) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 /// Parses the process arguments: installs the `--jobs` override and

@@ -142,6 +142,20 @@ impl MitigationBackend {
         }
     }
 
+    /// Tracking entries currently occupied (telemetry: table occupancy);
+    /// 0 for the stateless variants.
+    #[must_use]
+    pub fn live_entries(&self) -> usize {
+        self.tracker().map_or(0, InDramTracker::live_entries)
+    }
+
+    /// Observations lost to a full table/FIFO/buffer so far (telemetry:
+    /// eviction pressure); 0 for the stateless variants.
+    #[must_use]
+    pub fn overflow_count(&self) -> u64 {
+        self.tracker().map_or(0, InDramTracker::overflow_count)
+    }
+
     /// Short label for debugging/reports: the tracker name, or the
     /// backend kind for stateless variants.
     #[must_use]

@@ -18,6 +18,7 @@ use crate::backend::{refis_per_refw, MitigationBackend};
 use crate::config::{MitigationScheme, SystemConfig};
 use crate::events::MemEvent;
 use crate::snapshot::{SnapshotReader, SnapshotWriter};
+use crate::telemetry::EngineTelemetry;
 use crate::workload::Request;
 use mint_core::{InDramTracker, MitigationDecision};
 use mint_dram::RowId;
@@ -175,6 +176,9 @@ pub struct MemoryController {
     /// [`enable_event_log`](Self::enable_event_log) was called.
     events: Vec<MemEvent>,
     log_events: bool,
+    /// Engine-side telemetry (per-bank ACT totals, precharges); only fed
+    /// when [`enable_telemetry`](Self::enable_telemetry) was called.
+    telemetry: Option<Box<EngineTelemetry>>,
     /// Memoised tREFI quotient of the last service: the REF index, the
     /// start of its period and the start of the period after it. Service
     /// times are near-monotone, so the per-service `start / tREFI` is
@@ -294,6 +298,7 @@ impl MemoryController {
             result: SimResult::default(),
             events: Vec::new(),
             log_events: false,
+            telemetry: None,
             ref_quot: 0,
             ref_base_ps: 0,
             ref_next_ps: cfg.t_refi_ps,
@@ -319,6 +324,27 @@ impl MemoryController {
     /// called).
     pub fn drain_events(&mut self) -> std::vec::Drain<'_, MemEvent> {
         self.events.drain(..)
+    }
+
+    /// Turns on engine-side telemetry (per-bank activation totals and
+    /// precharge counts). Off by default — every hook site is a branch on
+    /// a dead `Option`, so non-telemetry runs pay nothing.
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(Box::new(EngineTelemetry::new(self.banks.len())));
+        }
+    }
+
+    /// The engine's telemetry state, when enabled.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&EngineTelemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Number of banks this controller manages (ranks × banks).
+    #[must_use]
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
     }
 
     /// The statistics accumulated so far.
@@ -399,11 +425,16 @@ impl MemoryController {
         let (current_ref, ref_base) = self.ref_index_at(start);
         if self.banks[bank].ref_cursor < current_ref {
             // REF is an all-bank precharge: the row buffer does not survive.
-            if self.bank_open_row[bank] != OPEN_NONE && self.log_events {
-                self.events.push(MemEvent::Pre {
-                    bank: bank as u32,
-                    at_ps: (self.banks[bank].ref_cursor + 1) * refi,
-                });
+            if self.bank_open_row[bank] != OPEN_NONE {
+                if self.log_events {
+                    self.events.push(MemEvent::Pre {
+                        bank: bank as u32,
+                        at_ps: (self.banks[bank].ref_cursor + 1) * refi,
+                    });
+                }
+                if let Some(t) = &mut self.telemetry {
+                    t.precharges += 1;
+                }
             }
             self.bank_open_row[bank] = OPEN_NONE;
         }
@@ -540,19 +571,27 @@ impl MemoryController {
 
         let prev_open = self.bank_open_row[bank_idx];
         let is_hit = prev_open == row;
-        if self.log_events && !is_hit {
-            if prev_open != OPEN_NONE {
-                // Row conflict: the miss precharges the old row first.
-                self.events.push(MemEvent::Pre {
+        if !is_hit {
+            if self.log_events {
+                if prev_open != OPEN_NONE {
+                    // Row conflict: the miss precharges the old row first.
+                    self.events.push(MemEvent::Pre {
+                        bank: bank_idx as u32,
+                        at_ps: start,
+                    });
+                }
+                self.events.push(MemEvent::Act {
                     bank: bank_idx as u32,
+                    row,
                     at_ps: start,
                 });
             }
-            self.events.push(MemEvent::Act {
-                bank: bank_idx as u32,
-                row,
-                at_ps: start,
-            });
+            if let Some(t) = &mut self.telemetry {
+                t.bank_acts[bank_idx] += 1;
+                if prev_open != OPEN_NONE {
+                    t.precharges += 1;
+                }
+            }
         }
         let (latency, busy) = if is_hit {
             self.result.row_hits += 1;
@@ -681,12 +720,17 @@ impl MemoryController {
             }
         }
 
-        if !row_survives && self.log_events {
+        if !row_survives {
             // The mitigation command behind the ACT precharges the bank.
-            self.events.push(MemEvent::Pre {
-                bank: bank_idx as u32,
-                at_ps: ready,
-            });
+            if self.log_events {
+                self.events.push(MemEvent::Pre {
+                    bank: bank_idx as u32,
+                    at_ps: ready,
+                });
+            }
+            if let Some(t) = &mut self.telemetry {
+                t.precharges += 1;
+            }
         }
         self.bank_open_row[bank_idx] = if row_survives { row } else { OPEN_NONE };
         self.bank_ready_ps[bank_idx] = ready;
@@ -743,6 +787,11 @@ impl MemoryController {
                 w.push(word);
             }
         }
+        // Telemetry words ride behind the stable layout, and only when the
+        // layer is enabled — a non-telemetry checkpoint is unchanged.
+        if let Some(t) = &self.telemetry {
+            t.snapshot_into(w);
+        }
     }
 
     /// Restores the state captured by [`snapshot_into`](Self::snapshot_into)
@@ -792,6 +841,9 @@ impl MemoryController {
         for _ in 0..pending {
             let words = [r.take()?, r.take()?, r.take()?, r.take()?];
             self.events.push(MemEvent::decode_words(words)?);
+        }
+        if let Some(t) = &mut self.telemetry {
+            t.restore_from(r)?;
         }
         Ok(())
     }

@@ -65,6 +65,7 @@ pub mod sched;
 pub mod sim;
 pub mod snapshot;
 pub mod system;
+pub mod telemetry;
 pub mod timing;
 pub mod workload;
 
@@ -74,6 +75,7 @@ pub use config::{MitigationScheme, SystemConfig};
 pub use controller::{set_reference_refresh_default, MemoryController, ServiceOutcome, SimResult};
 pub use energy::{EnergyModel, EnergyReport};
 pub use events::{ChannelObserver, MemEvent};
+pub use mint_obs::{Log2Histogram, Section, TelemetryReport, TimeSeries, TELEMETRY_VERSION};
 #[allow(deprecated)]
 pub use runner::{
     run_sources_observed, run_trace, run_workload, run_workload_grid, run_workload_grid_with,
@@ -90,6 +92,8 @@ pub use sim::{
 };
 pub use snapshot::{Checkpoint, SnapshotReader, SnapshotWriter, CHECKPOINT_VERSION};
 pub use system::System;
+pub use telemetry::{EngineTelemetry, SchedTelemetry, SessionTelemetry};
+
 pub use timing::{InterBankTiming, TimingState};
 pub use workload::{
     mixes, parse_trace, read_trace_file, saturation_spec, spec_rate_workloads, workload_by_name,

@@ -175,6 +175,7 @@ pub enum ScenarioFrontend {
 /// | `workload` | a [`WorkloadCell`] token | — |
 /// | `requests` | LLC misses per core (workload frontend) | 10000 |
 /// | `trace` | path to a trace file | — |
+/// | `telemetry` | `on`/`off` — collect [`RunReport::telemetry`] | `off` |
 ///
 /// Exactly one of `workload` / `trace` must be present.
 ///
@@ -201,6 +202,8 @@ pub struct ScenarioSpec {
     pub requests_per_core: u32,
     /// Where requests come from.
     pub frontend: ScenarioFrontend,
+    /// Collect the observability report ([`Sim::telemetry`]).
+    pub telemetry: bool,
 }
 
 /// Default requests per core when a spec omits `requests`.
@@ -226,6 +229,7 @@ impl ScenarioSpec {
             ranks: None,
             requests_per_core: DEFAULT_REQUESTS_PER_CORE,
             frontend: ScenarioFrontend::Trace(String::new()), // placeholder
+            telemetry: false,
         };
         let mut frontend = None;
         for Pair { line, key, value } in pairs {
@@ -270,6 +274,9 @@ impl ScenarioSpec {
                 "trace" => {
                     set_frontend(&mut frontend, ScenarioFrontend::Trace(value), line)?;
                 }
+                "telemetry" => {
+                    spec.telemetry = parse_switch("telemetry", &value).map_err(&err)?;
+                }
                 other => return Err(err(format!("unknown key {other:?}"))),
             }
         }
@@ -297,6 +304,9 @@ impl ScenarioSpec {
         }
         if let Some(ranks) = self.ranks {
             out.push_str(&format!("ranks = {ranks}\n"));
+        }
+        if self.telemetry {
+            out.push_str("telemetry = on\n");
         }
         match &self.frontend {
             ScenarioFrontend::Workload(cell) => {
@@ -329,11 +339,14 @@ impl ScenarioSpec {
         if let Some(ranks) = self.ranks {
             cfg.ranks = ranks;
         }
-        let sim = Sim::new(cfg)
+        let mut sim = Sim::new(cfg)
             .scheme(self.scheme)
             .policy(self.policy)
             .mapping(self.mapping)
             .seed(self.seed);
+        if self.telemetry {
+            sim = sim.telemetry();
+        }
         Ok(match &self.frontend {
             ScenarioFrontend::Workload(cell) => {
                 sim.workload(&cell.resolve(cfg.cores), self.requests_per_core)
@@ -386,6 +399,9 @@ pub struct ScenarioGrid {
     pub requests_per_core: u32,
     /// The per-workload seed axis (shared across the scheme axis).
     pub seeds: SeedAxis,
+    /// Collect per-cell observability reports
+    /// ([`run_reports`](Self::run_reports)).
+    pub telemetry: bool,
 }
 
 /// The per-workload seed axis of a [`ScenarioGrid`]: an explicit list,
@@ -413,6 +429,7 @@ impl ScenarioGrid {
             workload_labels: Vec::new(),
             requests_per_core: DEFAULT_REQUESTS_PER_CORE,
             seeds: SeedAxis::Base(0),
+            telemetry: false,
         }
     }
 
@@ -466,6 +483,14 @@ impl ScenarioGrid {
     #[must_use]
     pub fn seed_base(mut self, base: u64) -> Self {
         self.seeds = SeedAxis::Base(base);
+        self
+    }
+
+    /// Collects per-cell observability reports when running through
+    /// [`run_reports`](Self::run_reports).
+    #[must_use]
+    pub fn telemetry(mut self) -> Self {
+        self.telemetry = true;
         self
     }
 
@@ -531,6 +556,9 @@ impl ScenarioGrid {
                             .parse()
                             .map_err(|e| err(format!("bad seed_base {value:?}: {e}")))?,
                     );
+                }
+                "telemetry" => {
+                    grid.telemetry = parse_switch("telemetry", &value).map_err(&err)?;
                 }
                 "seeds" => {
                     had_seeds = true;
@@ -600,6 +628,49 @@ impl ScenarioGrid {
             })
             .collect()
     }
+
+    /// Runs every `(workload, scheme)` cell like [`run`](Self::run) but
+    /// returns the full per-cell [`RunReport`]s (telemetry attached when
+    /// the grid's `telemetry` flag is set), indexed `[workload][scheme]`.
+    /// Cells fan out through the same deterministic
+    /// [`mint_exp::par_map`], so reports are bit-identical for any
+    /// worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`run`](Self::run).
+    #[must_use]
+    pub fn run_reports(&self) -> Vec<Vec<RunReport>> {
+        assert!(!self.schemes.is_empty(), "need at least one scheme");
+        let seeds: Vec<u64> = match &self.seeds {
+            SeedAxis::Explicit(seeds) => {
+                assert_eq!(self.workloads.len(), seeds.len(), "one seed per workload");
+                seeds.clone()
+            }
+            SeedAxis::Base(base) => (0..self.workloads.len() as u64).map(|i| base + i).collect(),
+        };
+        let cells: Vec<(usize, usize)> = (0..self.workloads.len())
+            .flat_map(|w| (0..self.schemes.len()).map(move |s| (w, s)))
+            .collect();
+        let flat = mint_exp::par_map(&cells, |_, &(w, s)| {
+            let mut sim = Sim::new(self.cfg)
+                .scheme(self.schemes[s])
+                .policy(self.policy)
+                .mapping(self.mapping)
+                .workload(&self.workloads[w], self.requests_per_core)
+                .seed(seeds[w]);
+            if self.telemetry {
+                sim = sim.telemetry();
+            }
+            sim.run()
+        });
+        let mut rows: Vec<Vec<RunReport>> = Vec::with_capacity(self.workloads.len());
+        let mut flat = flat.into_iter();
+        for _ in 0..self.workloads.len() {
+            rows.push(flat.by_ref().take(self.schemes.len()).collect());
+        }
+        rows
+    }
 }
 
 /// A parsed scenario file: one cell or a grid (see [`parse_any`]).
@@ -658,6 +729,15 @@ fn parse_cores(value: &str) -> Result<u32, String> {
         Ok(0) => Err("bad cores 0: need at least one core".to_owned()),
         Ok(n) => Ok(n),
         Err(e) => Err(format!("bad cores {value:?}: {e}")),
+    }
+}
+
+/// Parses an on/off switch value (`telemetry`).
+fn parse_switch(key: &str, value: &str) -> Result<bool, String> {
+    match value.to_ascii_lowercase().as_str() {
+        "on" | "true" | "1" => Ok(true),
+        "off" | "false" | "0" => Ok(false),
+        _ => Err(format!("bad {key} {value:?}: expected on or off")),
     }
 }
 
@@ -764,6 +844,7 @@ mod tests {
                 ranks: Some(2),
                 requests_per_core: 1234,
                 frontend: ScenarioFrontend::Workload(WorkloadCell::Mix(3)),
+                telemetry: true,
             },
             ScenarioSpec {
                 scheme: MitigationScheme::McPara { p: 1.0 / 40.0 },
@@ -780,6 +861,7 @@ mod tests {
                     "gcc".into(),
                     "povray".into(),
                 ])),
+                telemetry: false,
             },
             ScenarioSpec {
                 scheme: MitigationScheme::Mint,
@@ -791,6 +873,7 @@ mod tests {
                 ranks: None,
                 requests_per_core: DEFAULT_REQUESTS_PER_CORE,
                 frontend: ScenarioFrontend::Trace("examples/traces/sample100.trace".into()),
+                telemetry: false,
             },
         ] {
             let round = ScenarioSpec::parse(&spec.to_text()).unwrap();
@@ -846,6 +929,7 @@ mod tests {
                 ranks: (usize_in(rng, 0, 2) == 1).then(|| pow2(rng)),
                 requests_per_core: u32_in(rng, 1, 1_000_000),
                 frontend,
+                telemetry: usize_in(rng, 0, 2) == 1,
             };
             let text = spec.to_text();
             let round =

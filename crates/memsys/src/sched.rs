@@ -20,6 +20,7 @@ use crate::address::{AddressDecoder, AddressMapping, DecodedAddr};
 use crate::config::{MitigationScheme, SystemConfig};
 use crate::controller::{past_ref_window, MemoryController, SimResult};
 use crate::snapshot::{SnapshotReader, SnapshotWriter};
+use crate::telemetry::SchedTelemetry;
 use crate::timing::{InterBankTiming, TimingState};
 use crate::workload::Request;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -368,6 +369,10 @@ pub struct Channel {
     seed_hint: Option<(u64, u32)>,
     /// Full planning passes run so far (cache hits don't count).
     plans_computed: u64,
+    /// Scheduler telemetry (decision counters, queue-depth/wait
+    /// histograms); only fed when
+    /// [`enable_telemetry`](Self::enable_telemetry) was called.
+    telemetry: Option<Box<SchedTelemetry>>,
     /// Plan with the retained scratch reference implementation instead
     /// of the incremental planner (differential-testing oracle).
     reference: bool,
@@ -442,6 +447,7 @@ impl Channel {
             wins: RefWindows::at(&cfg, 0),
             seed_hint: None,
             plans_computed: 0,
+            telemetry: None,
             reference: REFERENCE_PLANNER_DEFAULT.load(Ordering::SeqCst),
             reference_refresh: crate::controller::reference_refresh_default(),
         }
@@ -504,6 +510,22 @@ impl Channel {
     /// drain (empty unless the log was enabled).
     pub fn drain_events(&mut self) -> std::vec::Drain<'_, crate::events::MemEvent> {
         self.engine.drain_events()
+    }
+
+    /// Turns on scheduler- and engine-side telemetry for this channel.
+    /// Off by default — every hook site is a branch on a dead `Option`,
+    /// so non-telemetry runs pay nothing and stay bit-identical.
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(Box::default());
+        }
+        self.engine.enable_telemetry();
+    }
+
+    /// The scheduler's telemetry state, when enabled.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&SchedTelemetry> {
+        self.telemetry.as_deref()
     }
 
     /// Queued (not yet serviced) transactions.
@@ -835,6 +857,21 @@ impl Channel {
         self.plan_cache = None;
         let tx = self.slots[idx].tx;
         let picked_key = (tx.arrival_ps, tx.id);
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.decisions += 1;
+            t.queue_depth.record(self.active.len() as u64);
+            t.wait_ps.record(start.saturating_sub(tx.arrival_ps));
+            // Delay beyond the REF-adjusted per-bank floor: time the pick
+            // lost to the shared CAS bus and the tRRD/tFAW ACT windows
+            // (`adjust` is exact for any time, aged pair or not).
+            let floor = self.wins.adjust(&self.cfg, self.slots[idx].base_ps);
+            t.interbank_delay_ps.record(start.saturating_sub(floor));
+            if let SchedulePolicy::FrFcfs { starvation_cap } = self.policy {
+                if tx.bypassed >= starvation_cap {
+                    t.starved_picks += 1;
+                }
+            }
+        }
         // O(1) slab removal; FCFS order lives in the age keys, not in
         // storage order, so nothing shifts. The dense active list swaps
         // the tail index into the vacated position.
@@ -881,10 +918,12 @@ impl Channel {
         let clock = self.clock_ps;
         let bank_ready = self.engine.bank_ready_ps(tx.bank);
         self.seed_hint = None;
+        let mut bypasses = 0u64;
         for &i in &self.active {
             let s = &mut self.slots[i as usize];
             if s.exact && s.start_ps == start && (s.tx.arrival_ps, s.tx.id) < picked_key {
                 s.tx.bypassed += 1;
+                bypasses += 1;
             }
             if s.tx.bank == tx.bank {
                 s.fresh = false;
@@ -895,6 +934,9 @@ impl Channel {
             if self.seed_hint.map_or(true, |(b, _)| s.base_ps < b) {
                 self.seed_hint = Some((s.base_ps, i));
             }
+        }
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.bypass_increments += bypasses;
         }
         Some(Completion {
             core: tx.core,
@@ -980,6 +1022,11 @@ impl Channel {
             }
         }
         w.push(self.plans_computed);
+        // Telemetry words ride behind the stable layout, and only when the
+        // layer is enabled — a non-telemetry checkpoint is unchanged.
+        if let Some(t) = &self.telemetry {
+            t.snapshot_into(w);
+        }
     }
 
     /// Restores the state captured by [`snapshot_into`](Self::snapshot_into)
@@ -1079,6 +1126,9 @@ impl Channel {
         }
         self.seed_hint = has_hint.then_some((hint_base, hint_idx));
         self.plans_computed = r.take()?;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.restore_from(r)?;
+        }
         Ok(())
     }
 }

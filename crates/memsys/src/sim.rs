@@ -47,7 +47,9 @@ use crate::events::{ChannelObserver, MemEvent};
 use crate::sched::SchedulePolicy;
 use crate::snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
 use crate::system::System;
+use crate::telemetry::{collect_report, SessionTelemetry};
 use crate::workload::{CoreStream, Request, RequestSource, TraceEntry, TraceSource, WorkloadSpec};
+use mint_obs::TelemetryReport;
 use mint_rng::derive_seed;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, VecDeque};
@@ -145,6 +147,10 @@ pub struct RunReport {
     /// [`Sim::capture_events`] was requested (the log is off by default,
     /// so perf sweeps pay nothing for it).
     pub events: Vec<MemEvent>,
+    /// The per-layer metrics report — `None` unless [`Sim::telemetry`]
+    /// was requested (every hook is a dead branch by default, so
+    /// non-telemetry runs stay bit-identical).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// The outcome of [`Session::run_until`] / [`Session::resume_until`]:
@@ -197,6 +203,7 @@ pub struct Sim<'a> {
     source_budget: Option<u32>,
     observer: Option<&'a mut dyn ChannelObserver>,
     capture_events: bool,
+    telemetry: bool,
 }
 
 impl Sim<'_> {
@@ -215,6 +222,7 @@ impl Sim<'_> {
             source_budget: None,
             observer: None,
             capture_events: false,
+            telemetry: false,
         }
     }
 
@@ -314,6 +322,17 @@ impl<'a> Sim<'a> {
         self
     }
 
+    /// Turns on the observability subsystem: counters, histograms and
+    /// sim-time sampling across every layer, collected into
+    /// [`RunReport::telemetry`] (off by default). Sampling is driven by
+    /// simulated picoseconds only, so telemetry never perturbs a run —
+    /// the rest of the report stays byte-identical.
+    #[must_use]
+    pub fn telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
+    }
+
     /// Resolves the frontend into per-core sources and returns the
     /// runnable [`Session`].
     ///
@@ -377,6 +396,7 @@ impl<'a> Sim<'a> {
             budget,
             observer: self.observer,
             capture_events: self.capture_events,
+            telemetry: self.telemetry,
         }
     }
 
@@ -461,6 +481,7 @@ fn service_step(
     observer: &mut Option<&mut dyn ChannelObserver>,
     capture_events: bool,
     events: &mut Vec<MemEvent>,
+    stel: &mut Option<Box<SessionTelemetry>>,
 ) -> Option<usize> {
     let ch = system.earliest_ready()?;
     let c = system
@@ -488,6 +509,12 @@ fn service_step(
     core.finish = core.finish.max(c.completion_ps);
     core.serviced += 1;
     core.fetch();
+    if let Some(t) = stel.as_deref_mut() {
+        t.note_service(c.completion_ps);
+        if core.pending.is_some() {
+            t.generated += 1;
+        }
+    }
     Some(idx)
 }
 
@@ -503,6 +530,7 @@ pub struct Session<'a> {
     budget: Option<u32>,
     observer: Option<&'a mut dyn ChannelObserver>,
     capture_events: bool,
+    telemetry: bool,
 }
 
 impl Session<'_> {
@@ -640,7 +668,9 @@ impl Session<'_> {
             }
         }
 
-        finish_report(self.scheme, system, &cores, events)
+        // The retained oracle exists only to cross-check admission order;
+        // it carries no telemetry hooks, so no report is collected here.
+        finish_report(self.scheme, system, &cores, events, None)
     }
 
     /// Runs until `stop_after` requests have been serviced system-wide,
@@ -733,6 +763,14 @@ impl Session<'_> {
         if observe {
             system.enable_event_log();
         }
+        // Telemetry goes live before any restore so a telemetry-on
+        // checkpoint finds its per-layer words expected everywhere.
+        if self.telemetry {
+            system.enable_telemetry();
+        }
+        let mut stel: Option<Box<SessionTelemetry>> = self
+            .telemetry
+            .then(|| Box::new(SessionTelemetry::new(self.cfg.t_refi_ps)));
         // Captured runs produce one event per executed command; reserve a
         // chunk up front so the early doublings never land in the hot loop.
         let mut events = Vec::with_capacity(if self.capture_events { 4096 } else { 0 });
@@ -765,10 +803,15 @@ impl Session<'_> {
             // overwrites every stream position, pending request and
             // counter with the checkpointed state. The initial fetch is
             // skipped — the paused run already performed it.
-            restore_session(checkpoint, &mut system, &mut cores, &mut events)?;
+            restore_session(checkpoint, &mut system, &mut cores, &mut events, &mut stel)?;
         } else {
             for c in &mut cores {
                 c.fetch();
+                if let Some(t) = stel.as_deref_mut() {
+                    if c.pending.is_some() {
+                        t.generated += 1;
+                    }
+                }
             }
         }
         let mut serviced_total: u64 = cores.iter().map(|c| c.serviced).sum();
@@ -791,13 +834,17 @@ impl Session<'_> {
             }
             loop {
                 if stop_after.is_some_and(|k| serviced_total >= k) {
-                    let ckpt = snapshot_session(&system, &cores, &events)?;
+                    let ckpt = snapshot_session(&system, &cores, &events, &stel)?;
                     return Ok(SessionRun::Paused(ckpt));
                 }
                 if let Some(&Reverse((issue, i))) = arrivals.peek() {
                     if system.admissible(0, issue) {
                         arrivals.pop();
                         let (req, _) = cores[i].pending.take().expect("pending checked");
+                        if let Some(t) = stel.as_deref_mut() {
+                            t.admitted += 1;
+                            t.ring_depth.record(cores[i].ring.len() as u64);
+                        }
                         system.push_to(0, req, i as u32, issue);
                         continue;
                     }
@@ -810,6 +857,7 @@ impl Session<'_> {
                     &mut self.observer,
                     self.capture_events,
                     &mut events,
+                    &mut stel,
                 ) else {
                     break;
                 };
@@ -837,7 +885,7 @@ impl Session<'_> {
             }
             loop {
                 if stop_after.is_some_and(|k| serviced_total >= k) {
-                    let ckpt = snapshot_session(&system, &cores, &events)?;
+                    let ckpt = snapshot_session(&system, &cores, &events, &stel)?;
                     return Ok(SessionRun::Paused(ckpt));
                 }
                 let mut admitted = None;
@@ -851,6 +899,10 @@ impl Session<'_> {
                 if let Some((issue, i, ch)) = admitted {
                     arrivals.remove(&(issue, i));
                     let (req, _) = cores[i].pending.take().expect("pending checked");
+                    if let Some(t) = stel.as_deref_mut() {
+                        t.admitted += 1;
+                        t.ring_depth.record(cores[i].ring.len() as u64);
+                    }
                     system.push_to(ch, req, i as u32, issue);
                     continue;
                 }
@@ -862,6 +914,7 @@ impl Session<'_> {
                     &mut self.observer,
                     self.capture_events,
                     &mut events,
+                    &mut stel,
                 ) else {
                     break;
                 };
@@ -878,6 +931,7 @@ impl Session<'_> {
             system,
             &cores,
             events,
+            stel,
         )))
     }
 }
@@ -890,6 +944,7 @@ fn snapshot_session(
     system: &System,
     cores: &[CoreCtx],
     events: &[MemEvent],
+    stel: &Option<Box<SessionTelemetry>>,
 ) -> Result<Checkpoint, String> {
     let mut w = SnapshotWriter::new();
     w.push(cores.len() as u64);
@@ -930,6 +985,11 @@ fn snapshot_session(
             w.push(word);
         }
     }
+    // Telemetry words ride behind the stable layout, and only when the
+    // layer is enabled — a non-telemetry checkpoint is unchanged.
+    if let Some(t) = stel {
+        t.snapshot_into(&mut w);
+    }
     Ok(w.into_checkpoint())
 }
 
@@ -940,6 +1000,7 @@ fn restore_session(
     system: &mut System,
     cores: &mut [CoreCtx],
     events: &mut Vec<MemEvent>,
+    stel: &mut Option<Box<SessionTelemetry>>,
 ) -> Result<(), String> {
     let mut r = SnapshotReader::new(&checkpoint.words);
     let count = r.take()?;
@@ -999,6 +1060,9 @@ fn restore_session(
         let words = [r.take()?, r.take()?, r.take()?, r.take()?];
         events.push(MemEvent::decode_words(words)?);
     }
+    if let Some(t) = stel.as_deref_mut() {
+        t.restore_from(&mut r)?;
+    }
     r.finish()
 }
 
@@ -1009,11 +1073,15 @@ fn finish_report(
     mut system: System,
     cores: &[CoreCtx],
     events: Vec<MemEvent>,
+    stel: Option<Box<SessionTelemetry>>,
 ) -> RunReport {
     let duration = cores.iter().map(|c| c.finish).max().unwrap_or(0);
     system.finish(duration);
     let result = system.result();
     let with_hw = !matches!(scheme, MitigationScheme::Baseline);
+    // Collection runs after `finish` so trailing-refresh commands are in
+    // the per-channel results the report summarizes.
+    let telemetry = stel.map(|t| collect_report(&t, &system, duration));
     RunReport {
         perf: NormalizedPerf {
             duration_ps: duration,
@@ -1029,6 +1097,7 @@ fn finish_report(
             .collect(),
         energy: EnergyModel::ddr5_default().energy(&result, duration, with_hw),
         events,
+        telemetry,
     }
 }
 

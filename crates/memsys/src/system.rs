@@ -227,6 +227,13 @@ impl System {
         }
     }
 
+    /// Turns on scheduler- and engine-side telemetry on every channel.
+    pub fn enable_telemetry(&mut self) {
+        for ch in &mut self.channels {
+            ch.enable_telemetry();
+        }
+    }
+
     /// Drains channel `ch`'s executed-command events accumulated since
     /// the last drain, rebased into the system-global bank space.
     pub fn drain_events_global(&mut self, ch: usize) -> impl Iterator<Item = MemEvent> + '_ {

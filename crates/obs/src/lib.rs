@@ -1,0 +1,666 @@
+//! `mint-obs`: the deterministic observability substrate — monotonic
+//! counters, log₂-bucketed histograms, and a sim-time periodic sampler
+//! producing time series.
+//!
+//! Every primitive here is a plain value type over `u64`s: recording is
+//! a handful of integer ops, state is cloneable and bit-comparable, and
+//! nothing reads a wall clock. The simulator samples on **simulated
+//! picoseconds** exclusively, so enabling telemetry cannot perturb a
+//! run — the one layer allowed to feed wall-clock values in is the
+//! resident service (`mint-serve`), and it does so through the same
+//! types with millisecond values.
+//!
+//! The output side is the versioned [`TelemetryReport`]: a flat list of
+//! named [`Section`]s, each holding counters, gauges, histograms and
+//! series, rendered to JSON ([`TelemetryReport::to_json`]), CSV
+//! ([`TelemetryReport::to_csv`]) or Prometheus-style text exposition
+//! ([`TelemetryReport::to_prometheus`]) with pinned byte layouts — the
+//! same artifact discipline as the `BENCH_*.json` emitters.
+//!
+//! For checkpoint/restore the stateful primitives serialize to plain
+//! `u64` word vectors ([`Log2Histogram::encode_words`],
+//! [`TimeSeries::encode_words`]) so a host snapshot format can embed
+//! them without this crate learning about it.
+
+#![warn(missing_docs)]
+
+/// Version stamped on every [`TelemetryReport`] (and its renderings).
+pub const TELEMETRY_VERSION: u64 = 1;
+
+/// A monotonic event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A fresh zero counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(0)
+    }
+
+    /// Counts one event.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Counts `n` events.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// The running total.
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Restores a total (checkpoint restore).
+    pub fn set(&mut self, total: u64) {
+        self.0 = total;
+    }
+}
+
+/// The log₂ bucket index of `v`: 0 for 0, otherwise the bit length
+/// (bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`).
+#[must_use]
+pub fn log2_bucket(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 counts zeros; bucket `i ≥ 1` counts values in
+/// `[2^(i-1), 2^i)`. The bucket vector grows lazily to the highest
+/// observed bucket, so an idle histogram is a few words. Count, sum,
+/// min and max are tracked exactly alongside the buckets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Log2Histogram {
+    /// A fresh empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let b = log2_bucket(v);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest recorded sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The bucket counts, lowest bucket first (empty when no samples).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// The inclusive upper bound of bucket `i` (`0`, then `2^i - 1`).
+    #[must_use]
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Serializes the histogram to plain words for a host snapshot
+    /// format: `[count, sum, min, max, n, bucket_0 .. bucket_{n-1}]`.
+    #[must_use]
+    pub fn encode_words(&self) -> Vec<u64> {
+        let mut w = Vec::with_capacity(5 + self.buckets.len());
+        w.extend([
+            self.count,
+            self.sum,
+            self.min,
+            self.max,
+            self.buckets.len() as u64,
+        ]);
+        w.extend_from_slice(&self.buckets);
+        w
+    }
+
+    /// Rebuilds a histogram from [`encode_words`](Self::encode_words)
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for a truncated or length-inconsistent word
+    /// vector.
+    pub fn decode_words(words: &[u64]) -> Result<Self, String> {
+        if words.len() < 5 {
+            return Err(format!("histogram: {} words, need at least 5", words.len()));
+        }
+        let n = words[4] as usize;
+        if words.len() != 5 + n {
+            return Err(format!(
+                "histogram: {} words for {} buckets",
+                words.len(),
+                n
+            ));
+        }
+        Ok(Self {
+            count: words[0],
+            sum: words[1],
+            min: words[2],
+            max: words[3],
+            buckets: words[5..].to_vec(),
+        })
+    }
+}
+
+/// A periodic sampler producing a time series: one `(t, value)` point
+/// per elapsed period.
+///
+/// [`observe`](Self::observe) is driven with a monotonically
+/// non-decreasing clock (simulated picoseconds in the simulator;
+/// wall-clock milliseconds in the service layer) and records the
+/// current value at every period boundary the clock has crossed —
+/// a pure function of the observation stream, so two identical runs
+/// produce identical series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeSeries {
+    period: u64,
+    next: u64,
+    points: Vec<(u64, u64)>,
+}
+
+impl TimeSeries {
+    /// A series sampling every `period` clock units (first point at
+    /// `t = period`; `period = 0` is clamped to 1).
+    #[must_use]
+    pub fn new(period: u64) -> Self {
+        let period = period.max(1);
+        Self {
+            period,
+            next: period,
+            points: Vec::new(),
+        }
+    }
+
+    /// Records `value` for every period boundary crossed up to `now`.
+    #[inline]
+    pub fn observe(&mut self, now: u64, value: u64) {
+        while self.next <= now {
+            self.points.push((self.next, value));
+            self.next += self.period;
+        }
+    }
+
+    /// The sampling period.
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// The sampled `(t, value)` points, in time order.
+    #[must_use]
+    pub fn points(&self) -> &[(u64, u64)] {
+        &self.points
+    }
+
+    /// Serializes the series to plain words:
+    /// `[period, next, n, t_0, v_0 .. t_{n-1}, v_{n-1}]`.
+    #[must_use]
+    pub fn encode_words(&self) -> Vec<u64> {
+        let mut w = Vec::with_capacity(3 + 2 * self.points.len());
+        w.extend([self.period, self.next, self.points.len() as u64]);
+        for &(t, v) in &self.points {
+            w.extend([t, v]);
+        }
+        w
+    }
+
+    /// Rebuilds a series from [`encode_words`](Self::encode_words)
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for a truncated or length-inconsistent word
+    /// vector.
+    pub fn decode_words(words: &[u64]) -> Result<Self, String> {
+        if words.len() < 3 {
+            return Err(format!("series: {} words, need at least 3", words.len()));
+        }
+        let n = words[2] as usize;
+        if words.len() != 3 + 2 * n {
+            return Err(format!("series: {} words for {} points", words.len(), n));
+        }
+        Ok(Self {
+            period: words[0].max(1),
+            next: words[1],
+            points: words[3..].chunks(2).map(|p| (p[0], p[1])).collect(),
+        })
+    }
+}
+
+/// One named group of metrics in a [`TelemetryReport`] — typically one
+/// layer of the stack (`session`, `channel0/sched`, `channel0/engine`,
+/// `channel0/tracker`, `serve`, …).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Section {
+    /// Section name; `/` separates layers, and is rendered as `_` in
+    /// Prometheus exposition.
+    pub name: String,
+    /// Monotonic totals, in insertion order.
+    pub counters: Vec<(String, u64)>,
+    /// Point-in-time floating readings (rates, occupancies).
+    pub gauges: Vec<(String, f64)>,
+    /// Distributions.
+    pub histograms: Vec<(String, Log2Histogram)>,
+    /// Periodically sampled series.
+    pub series: Vec<(String, TimeSeries)>,
+}
+
+impl Section {
+    /// An empty section named `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Appends a counter reading.
+    pub fn counter(&mut self, name: impl Into<String>, total: u64) {
+        self.counters.push((name.into(), total));
+    }
+
+    /// Appends a gauge reading.
+    pub fn gauge(&mut self, name: impl Into<String>, value: f64) {
+        self.gauges.push((name.into(), value));
+    }
+
+    /// Appends a histogram.
+    pub fn histogram(&mut self, name: impl Into<String>, h: Log2Histogram) {
+        self.histograms.push((name.into(), h));
+    }
+
+    /// Appends a time series.
+    pub fn time_series(&mut self, name: impl Into<String>, s: TimeSeries) {
+        self.series.push((name.into(), s));
+    }
+}
+
+/// The versioned output of one observed run: every section a layer
+/// contributed, in stack order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// Report sections, in the order the layers were drained.
+    pub sections: Vec<Section>,
+}
+
+impl TelemetryReport {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a section (empty sections are kept — an idle layer is a
+    /// reading too).
+    pub fn push(&mut self, section: Section) {
+        self.sections.push(section);
+    }
+
+    /// Looks a section up by name.
+    #[must_use]
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// A counter total by `section` and `name`.
+    #[must_use]
+    pub fn counter(&self, section: &str, name: &str) -> Option<u64> {
+        self.section(section)?
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Renders the pinned JSON form: one object with the version and
+    /// every section, counters/gauges/histograms/series keyed by name,
+    /// gauges at `{:.6}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"telemetry_version\": {TELEMETRY_VERSION},\n  \"sections\": [\n"
+        ));
+        for (i, s) in self.sections.iter().enumerate() {
+            out.push_str(&format!("    {{\n      \"name\": \"{}\",\n", s.name));
+            let counters = s
+                .counters
+                .iter()
+                .map(|(n, v)| format!("\"{n}\": {v}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!("      \"counters\": {{{counters}}},\n"));
+            let gauges = s
+                .gauges
+                .iter()
+                .map(|(n, v)| format!("\"{n}\": {v:.6}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!("      \"gauges\": {{{gauges}}},\n"));
+            let hists = s
+                .histograms
+                .iter()
+                .map(|(n, h)| {
+                    format!(
+                        "\"{n}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                         \"buckets\": [{}]}}",
+                        h.count(),
+                        h.sum(),
+                        h.min(),
+                        h.max(),
+                        h.buckets()
+                            .iter()
+                            .map(u64::to_string)
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!("      \"histograms\": {{{hists}}},\n"));
+            let series = s
+                .series
+                .iter()
+                .map(|(n, ts)| {
+                    format!(
+                        "\"{n}\": {{\"period\": {}, \"points\": [{}]}}",
+                        ts.period(),
+                        ts.points()
+                            .iter()
+                            .map(|(t, v)| format!("[{t},{v}]"))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!("      \"series\": {{{series}}}\n"));
+            out.push_str(if i + 1 == self.sections.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the flat CSV form: one row per reading,
+    /// `section,kind,metric,field,value`.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("section,kind,metric,field,value\n");
+        for s in &self.sections {
+            for (n, v) in &s.counters {
+                out.push_str(&format!("{},counter,{n},total,{v}\n", s.name));
+            }
+            for (n, v) in &s.gauges {
+                out.push_str(&format!("{},gauge,{n},value,{v:.6}\n", s.name));
+            }
+            for (n, h) in &s.histograms {
+                out.push_str(&format!("{},histogram,{n},count,{}\n", s.name, h.count()));
+                out.push_str(&format!("{},histogram,{n},sum,{}\n", s.name, h.sum()));
+                out.push_str(&format!("{},histogram,{n},min,{}\n", s.name, h.min()));
+                out.push_str(&format!("{},histogram,{n},max,{}\n", s.name, h.max()));
+                for (i, b) in h.buckets().iter().enumerate() {
+                    out.push_str(&format!(
+                        "{},histogram,{n},le_{},{b}\n",
+                        s.name,
+                        Log2Histogram::bucket_bound(i)
+                    ));
+                }
+            }
+            for (n, ts) in &s.series {
+                for (t, v) in ts.points() {
+                    out.push_str(&format!("{},series,{n},{t},{v}\n", s.name));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders Prometheus-style text exposition: `mint_<section>_<name>`
+    /// lines with `# TYPE` headers, histograms as cumulative
+    /// `_bucket{le="…"}` plus `_sum`/`_count`.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(s: &str) -> String {
+            s.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::new();
+        for s in &self.sections {
+            let prefix = format!("mint_{}", sanitize(&s.name));
+            for (n, v) in &s.counters {
+                let m = format!("{prefix}_{}", sanitize(n));
+                out.push_str(&format!("# TYPE {m} counter\n{m} {v}\n"));
+            }
+            for (n, v) in &s.gauges {
+                let m = format!("{prefix}_{}", sanitize(n));
+                out.push_str(&format!("# TYPE {m} gauge\n{m} {v:.6}\n"));
+            }
+            for (n, h) in &s.histograms {
+                let m = format!("{prefix}_{}", sanitize(n));
+                out.push_str(&format!("# TYPE {m} histogram\n"));
+                let mut cum = 0u64;
+                for (i, b) in h.buckets().iter().enumerate() {
+                    cum += b;
+                    out.push_str(&format!(
+                        "{m}_bucket{{le=\"{}\"}} {cum}\n",
+                        Log2Histogram::bucket_bound(i)
+                    ));
+                }
+                out.push_str(&format!("{m}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+                out.push_str(&format!("{m}_sum {}\n{m}_count {}\n", h.sum(), h.count()));
+            }
+            for (n, ts) in &s.series {
+                let m = format!("{prefix}_{}", sanitize(n));
+                if let Some(&(t, v)) = ts.points().last() {
+                    out.push_str(&format!("# TYPE {m} gauge\n{m}{{t=\"{t}\"}} {v}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.set(7);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn log2_buckets_partition_the_u64_range() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        assert_eq!(log2_bucket(u64::MAX), 64);
+        // Bucket i's inclusive bound really is the largest member.
+        for i in 1..64 {
+            assert_eq!(log2_bucket(Log2Histogram::bucket_bound(i)), i);
+            assert_eq!(log2_bucket(Log2Histogram::bucket_bound(i) + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_exact_moments() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 5, 5, 100, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 118);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 118.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.buckets().iter().sum::<u64>(), 6);
+        assert_eq!(h.buckets()[0], 1, "one zero");
+        assert_eq!(h.buckets()[3], 3, "5, 5 and 7 in [4,8)");
+    }
+
+    #[test]
+    fn histogram_words_round_trip() {
+        let mut h = Log2Histogram::new();
+        for v in [3, 9, 0, 77, 1 << 40] {
+            h.record(v);
+        }
+        let words = h.encode_words();
+        assert_eq!(Log2Histogram::decode_words(&words).unwrap(), h);
+        assert!(Log2Histogram::decode_words(&words[..3]).is_err());
+        assert!(Log2Histogram::decode_words(&words[..words.len() - 1]).is_err());
+        let empty = Log2Histogram::new();
+        assert_eq!(
+            Log2Histogram::decode_words(&empty.encode_words()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn series_samples_every_period_deterministically() {
+        let mut ts = TimeSeries::new(10);
+        ts.observe(5, 1); // before the first boundary: nothing
+        assert!(ts.points().is_empty());
+        ts.observe(10, 2);
+        ts.observe(37, 3); // crosses 20 and 30
+        assert_eq!(ts.points(), &[(10, 2), (20, 3), (30, 3)]);
+        // Identical observation streams produce identical series.
+        let mut other = TimeSeries::new(10);
+        other.observe(5, 1);
+        other.observe(10, 2);
+        other.observe(37, 3);
+        assert_eq!(other, ts);
+    }
+
+    #[test]
+    fn series_words_round_trip() {
+        let mut ts = TimeSeries::new(7);
+        ts.observe(30, 9);
+        let words = ts.encode_words();
+        assert_eq!(TimeSeries::decode_words(&words).unwrap(), ts);
+        assert!(TimeSeries::decode_words(&words[..2]).is_err());
+        assert!(TimeSeries::decode_words(&words[..words.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn report_lookup_and_renderings_are_deterministic() {
+        let mut report = TelemetryReport::new();
+        let mut s = Section::new("channel0/sched");
+        s.counter("decisions", 12);
+        s.gauge("utilization", 0.5);
+        let mut h = Log2Histogram::new();
+        h.record(3);
+        h.record(8);
+        s.histogram("queue_depth", h);
+        let mut ts = TimeSeries::new(100);
+        ts.observe(250, 4);
+        s.time_series("serviced", ts);
+        report.push(s);
+
+        assert_eq!(report.counter("channel0/sched", "decisions"), Some(12));
+        assert_eq!(report.counter("channel0/sched", "nope"), None);
+        assert_eq!(report.counter("nope", "decisions"), None);
+
+        let json = report.to_json();
+        assert!(json.contains("\"telemetry_version\": 1"));
+        assert!(json.contains("\"decisions\": 12"));
+        assert!(json.contains("\"queue_depth\""));
+        assert_eq!(json, report.clone().to_json(), "rendering is pure");
+
+        let csv = report.to_csv();
+        assert!(csv.starts_with("section,kind,metric,field,value\n"));
+        assert!(csv.contains("channel0/sched,counter,decisions,total,12\n"));
+        assert!(csv.contains("channel0/sched,series,serviced,100,4\n"));
+
+        let prom = report.to_prometheus();
+        assert!(prom.contains("# TYPE mint_channel0_sched_decisions counter"));
+        assert!(prom.contains("mint_channel0_sched_decisions 12"));
+        assert!(prom.contains("mint_channel0_sched_queue_depth_bucket{le=\"+Inf\"} 2"));
+        assert!(prom.contains("mint_channel0_sched_queue_depth_sum 11"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let report = TelemetryReport::new();
+        assert!(report.to_json().contains("\"sections\": [\n  ]"));
+        assert_eq!(report.to_csv(), "section,kind,metric,field,value\n");
+        assert_eq!(report.to_prometheus(), "");
+    }
+}

@@ -2,7 +2,7 @@
 //! over the channel's executed-command event stream.
 
 use mint_memsys::backend::refis_per_refw;
-use mint_memsys::{ChannelObserver, MemEvent, SystemConfig};
+use mint_memsys::{ChannelObserver, MemEvent, Section, SystemConfig};
 use std::collections::HashMap;
 
 /// Rows within this fraction of the threshold (but below it) count as
@@ -120,6 +120,15 @@ impl GroundTruthOracle {
         }
     }
 
+    /// The oracle's traffic accounting as an obs [`Section`] (named
+    /// `oracle/bank{bank}`), for embedding in a `TelemetryReport` next
+    /// to the simulator's own scheduler/engine/tracker sections.
+    #[must_use]
+    pub fn telemetry_section(&self) -> Section {
+        self.summary()
+            .to_section(&format!("oracle/bank{}", self.bank))
+    }
+
     /// The distilled result: per-row maxima plus traffic counters.
     #[must_use]
     pub fn summary(&self) -> OracleSummary {
@@ -192,6 +201,23 @@ pub struct OracleSummary {
 }
 
 impl OracleSummary {
+    /// The traffic ledger as an obs [`Section`] named `name`: the five
+    /// command counters plus the attained hammer maximum — the
+    /// ground-truth side of the observability stack (groundwork for the
+    /// DAPPER-style perf-attack axis).
+    #[must_use]
+    pub fn to_section(&self, name: &str) -> Section {
+        let mut sec = Section::new(name);
+        sec.counter("demand_acts", self.demand_acts);
+        sec.counter("victim_refreshes", self.victim_refreshes);
+        sec.counter("refs", self.refs);
+        sec.counter("rfm_commands", self.rfm_commands);
+        sec.counter("drfm_commands", self.drfm_commands);
+        sec.counter("max_hammers", u64::from(self.max_hammers));
+        sec.gauge("hottest_row", f64::from(self.hottest_row));
+        sec
+    }
+
     /// Judges the run against a Rowhammer threshold.
     #[must_use]
     pub fn verdict(&self, trh: u32) -> SecurityVerdict {
@@ -400,6 +426,36 @@ mod tests {
     fn bank_beyond_the_topology_rejected() {
         let cfg = SystemConfig::table6();
         let _ = GroundTruthOracle::new(&cfg, cfg.total_banks());
+    }
+
+    #[test]
+    fn telemetry_section_mirrors_the_summary() {
+        let mut o = oracle();
+        for _ in 0..4 {
+            o.on_event(&act(3, 50));
+        }
+        o.on_event(&MemEvent::MitigativeRefresh {
+            bank: 3,
+            row: 51,
+            at_ps: 0,
+        });
+        o.on_event(&MemEvent::Rfm { bank: 3, at_ps: 0 });
+        let sec = o.telemetry_section();
+        assert_eq!(sec.name, "oracle/bank3");
+        let counter = |name: &str| {
+            sec.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(counter("demand_acts"), Some(4));
+        assert_eq!(counter("victim_refreshes"), Some(1));
+        assert_eq!(counter("rfm_commands"), Some(1));
+        assert_eq!(counter("max_hammers"), Some(4));
+        // And the same ledger embeds in a TelemetryReport.
+        let mut report = mint_memsys::TelemetryReport::new();
+        report.push(o.telemetry_section());
+        assert_eq!(report.counter("oracle/bank3", "demand_acts"), Some(4));
     }
 
     #[test]

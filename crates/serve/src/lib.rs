@@ -12,11 +12,16 @@
 //!   `MINT_JOBS` / available parallelism) fed from a bounded queue of
 //!   [`QUEUE_DEPTH`] jobs; intake blocks when the queue is full, so an
 //!   arbitrarily long input stream never balloons memory.
+//! * **Concurrent connections** — [`Service::serve_unix`] accepts any
+//!   number of simultaneous clients; every connection runs its own
+//!   intake/emitter pair over the *shared* bounded queue and worker
+//!   pool, and each job carries its reply channel, so responses route
+//!   back to the submitting connection only.
 //! * **Deterministic ordering** — every response line is tagged with its
-//!   input-order sequence number at intake and re-serialized by a
-//!   dedicated emitter thread, so the output byte stream is identical
-//!   for any worker count (pinned by `ci_smoke`'s serve leg at jobs 1
-//!   vs 4).
+//!   connection-local input-order sequence number at intake and
+//!   re-serialized by that connection's emitter thread, so each
+//!   connection's output byte stream is identical for any worker count
+//!   (pinned by `ci_smoke`'s serve leg at jobs 1 vs 4).
 //! * **Checkpointed cells** — cell jobs run in [`CHUNK`]-request slices
 //!   through `Session::run_until` / `resume_until` (the same snapshot
 //!   machinery as `mint-memsys`' checkpoint/restore), giving cancel and
@@ -24,19 +29,27 @@
 //!   of the sliced run is pinned by `tests/checkpoint_identity.rs`.
 //! * **Graceful drain** — EOF or a `shutdown` envelope stops intake;
 //!   queued jobs still run and stream their results before
-//!   [`Service::serve`] returns.
+//!   [`Service::serve`] returns. Over a socket, `shutdown` also stops
+//!   the accept loop once the other live connections have drained.
+//! * **Service stats** — workers feed a [`ServeStats`] ledger (job
+//!   count, queue-wait and run-latency histograms); a `stats` envelope
+//!   returns it as Prometheus text. This is the one layer of the stack
+//!   allowed to read the wall clock — simulation telemetry is sampled
+//!   on simulated picoseconds only.
 
 pub mod wire;
 
 use std::collections::{BTreeMap, HashSet};
 use std::io::{self, BufRead, BufReader, Write};
-use std::os::unix::net::UnixListener;
+use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use mint_memsys::{parse_any, Scenario, ScenarioSpec, SessionRun, SystemConfig};
+use mint_obs::{Log2Histogram, Section, TelemetryReport};
 use mint_rng::derive_seed;
 use wire::Envelope;
 
@@ -45,8 +58,9 @@ use wire::Envelope;
 /// cancelled or timed-out job stops at the following chunk boundary.
 pub const CHUNK: u64 = 65_536;
 
-/// Jobs the intake loop may queue ahead of the workers before it blocks
-/// (backpressure toward the client rather than unbounded buffering).
+/// Jobs the intake loops may queue ahead of the workers before they
+/// block (backpressure toward the clients rather than unbounded
+/// buffering); shared across every connection of a socket service.
 pub const QUEUE_DEPTH: usize = 16;
 
 /// What `serve` saw on its input stream, returned after the drain.
@@ -58,16 +72,54 @@ pub struct ServeSummary {
     pub shutdown: bool,
 }
 
+/// Wall-clock service statistics, fed by the workers and rendered by
+/// the `stats` envelope. Latencies are log₂-bucketed milliseconds.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Jobs a worker finished (success or error line emitted).
+    pub jobs_completed: u64,
+    /// Submit-to-pickup wait per job, in milliseconds.
+    pub queue_wait_ms: Log2Histogram,
+    /// Pickup-to-result run time per job, in milliseconds.
+    pub job_latency_ms: Log2Histogram,
+}
+
+impl ServeStats {
+    /// Renders the ledger as a one-section [`TelemetryReport`]
+    /// (section `serve`, the wall-clock edge of the obs stack).
+    #[must_use]
+    pub fn to_report(&self) -> TelemetryReport {
+        let mut sec = Section::new("serve");
+        sec.counter("jobs_completed", self.jobs_completed);
+        sec.histogram("queue_wait_ms", self.queue_wait_ms.clone());
+        sec.histogram("job_latency_ms", self.job_latency_ms.clone());
+        let mut report = TelemetryReport::new();
+        report.push(sec);
+        report
+    }
+}
+
 struct Job {
+    /// Connection-local submission order; the reply channel routes the
+    /// line back to the emitter that understands this numbering.
     seq: u64,
     id: u64,
     spec: String,
     seed_base: Option<u64>,
     timeout_ms: Option<u64>,
+    submitted: Instant,
+    reply: mpsc::Sender<(u64, String)>,
 }
 
-/// A scenario service: a worker pool that `serve`s one envelope stream
-/// at a time (construct once, reuse across connections).
+/// State shared by every worker and connection of one service run.
+#[derive(Clone, Default)]
+struct Shared {
+    cancels: Arc<Mutex<HashSet<u64>>>,
+    stats: Arc<Mutex<ServeStats>>,
+}
+
+/// A scenario service: a worker pool that serves one envelope stream
+/// (stdin mode) or any number of concurrent socket connections.
 #[derive(Debug, Clone, Copy)]
 pub struct Service {
     workers: usize,
@@ -111,127 +163,205 @@ impl Service {
         R: BufRead,
         W: Write + Send,
     {
-        let cancels: Arc<Mutex<HashSet<u64>>> = Arc::default();
-        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(QUEUE_DEPTH);
-        let job_rx = Arc::new(Mutex::new(job_rx));
-        let (line_tx, line_rx) = mpsc::channel::<(u64, String)>();
-
+        let shared = Shared::default();
         std::thread::scope(|scope| {
-            let emitter = scope.spawn(move || -> io::Result<()> {
-                let mut output = output;
-                let mut held: BTreeMap<u64, String> = BTreeMap::new();
-                let mut next = 0u64;
-                for (seq, line) in line_rx {
-                    held.insert(seq, line);
-                    while let Some(line) = held.remove(&next) {
-                        writeln!(output, "{line}")?;
-                        output.flush()?;
-                        next += 1;
-                    }
-                }
-                Ok(())
-            });
-            for _ in 0..self.workers {
-                let job_rx = Arc::clone(&job_rx);
-                let line_tx = line_tx.clone();
-                let cancels = Arc::clone(&cancels);
-                scope.spawn(move || loop {
-                    let job = job_rx.lock().expect("job queue lock").recv();
-                    let Ok(job) = job else { break };
-                    let line = run_job(&job, &cancels);
-                    if line_tx.send((job.seq, line)).is_err() {
-                        break;
-                    }
-                });
-            }
-
-            let mut seq = 0u64;
-            let mut summary = ServeSummary {
-                submitted: 0,
-                shutdown: false,
-            };
-            let mut intake_err = None;
-            for line in input.lines() {
-                let line = match line {
-                    Ok(line) => line,
-                    Err(e) => {
-                        intake_err = Some(e);
-                        break;
-                    }
-                };
-                if line.trim().is_empty() {
-                    continue;
-                }
-                match Envelope::parse_line(&line) {
-                    Ok(Envelope::Submit {
-                        id,
-                        spec,
-                        seed_base,
-                        timeout_ms,
-                    }) => {
-                        summary.submitted += 1;
-                        let job = Job {
-                            seq,
-                            id,
-                            spec,
-                            seed_base,
-                            timeout_ms,
-                        };
-                        // Workers hold the receiver for the scope's
-                        // lifetime, so this only blocks (backpressure),
-                        // never fails.
-                        job_tx.send(job).expect("worker pool alive");
-                        seq += 1;
-                    }
-                    Ok(Envelope::Cancel { id }) => {
-                        cancels.lock().expect("cancel set lock").insert(id);
-                        let _ = line_tx.send((seq, wire::cancel_ack_line(id)));
-                        seq += 1;
-                    }
-                    Ok(Envelope::Shutdown) => {
-                        summary.shutdown = true;
-                        break;
-                    }
-                    Err(e) => {
-                        let _ = line_tx.send((seq, wire::error_line(None, &e)));
-                        seq += 1;
-                    }
-                }
-            }
-            // Closing the queue lets the workers drain and exit; once the
-            // last worker drops its line sender the emitter finishes too.
+            let job_tx = spawn_workers(scope, self.workers, &shared);
+            let summary = handle_connection(input, output, &job_tx, &shared);
+            // Closing the queue lets the workers drain and exit.
             drop(job_tx);
-            drop(line_tx);
-            let emitted = emitter.join().expect("emitter thread");
-            emitted?;
-            if let Some(e) = intake_err {
-                return Err(e);
-            }
-            Ok(summary)
+            summary
         })
     }
 
     /// Binds a unix socket at `path` (replacing any stale socket file)
-    /// and serves connections sequentially until one of them sends
+    /// and serves connections **concurrently** over one shared worker
+    /// pool and bounded job queue, until any connection sends
     /// `shutdown`; the socket file is removed on the way out.
+    ///
+    /// Each connection keeps its own submission-order output stream —
+    /// jobs carry their reply channel, so interleaved clients never see
+    /// each other's lines.
     ///
     /// # Errors
     ///
-    /// Propagates bind/accept failures and per-connection I/O errors.
+    /// Propagates bind/accept failures; per-connection I/O errors only
+    /// end that connection.
     pub fn serve_unix(&self, path: &Path) -> io::Result<()> {
         let _ = std::fs::remove_file(path);
         let listener = UnixListener::bind(path)?;
-        loop {
-            let (stream, _) = listener.accept()?;
-            let reader = BufReader::new(stream.try_clone()?);
-            let summary = self.serve(reader, stream)?;
-            if summary.shutdown {
-                break;
+        let shutdown = AtomicBool::new(false);
+        let shared = Shared::default();
+        let result = std::thread::scope(|scope| -> io::Result<()> {
+            let job_tx = spawn_workers(scope, self.workers, &shared);
+            loop {
+                let (stream, _) = listener.accept()?;
+                if shutdown.load(Ordering::SeqCst) {
+                    // Woken by the shutdown connection below (or a
+                    // late client racing it); stop accepting.
+                    break;
+                }
+                let reader = BufReader::new(stream.try_clone()?);
+                let job_tx = job_tx.clone();
+                let shared = shared.clone();
+                let shutdown = &shutdown;
+                let wake = path.to_path_buf();
+                scope.spawn(move || {
+                    let served = handle_connection(reader, stream, &job_tx, &shared);
+                    drop(job_tx);
+                    if let Ok(summary) = served {
+                        if summary.shutdown && !shutdown.swap(true, Ordering::SeqCst) {
+                            // Unblock the accept loop so it can exit.
+                            let _ = UnixStream::connect(&wake);
+                        }
+                    }
+                });
+            }
+            Ok(())
+        });
+        let _ = std::fs::remove_file(path);
+        result
+    }
+}
+
+/// Spawns the shared worker pool on `scope` and returns the bounded job
+/// sender; workers exit when the last sender clone drops.
+fn spawn_workers<'scope>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    workers: usize,
+    shared: &Shared,
+) -> mpsc::SyncSender<Job> {
+    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(QUEUE_DEPTH);
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    for _ in 0..workers {
+        let job_rx = Arc::clone(&job_rx);
+        let shared = shared.clone();
+        scope.spawn(move || loop {
+            let job = job_rx.lock().expect("job queue lock").recv();
+            let Ok(job) = job else { break };
+            let waited = job.submitted.elapsed();
+            let picked = Instant::now();
+            let line = run_job(&job, &shared.cancels);
+            {
+                let mut stats = shared.stats.lock().expect("stats lock");
+                stats.jobs_completed += 1;
+                stats.queue_wait_ms.record(waited.as_millis() as u64);
+                stats
+                    .job_latency_ms
+                    .record(picked.elapsed().as_millis() as u64);
+            }
+            // A dropped reply channel means that connection is gone;
+            // keep serving the others.
+            let _ = job.reply.send((job.seq, line));
+        });
+    }
+    job_tx
+}
+
+/// One connection's intake/emitter pair over the shared pool: reads
+/// envelopes from `input` until EOF or `shutdown` and streams response
+/// lines to `output` in this connection's submission order.
+fn handle_connection<R, W>(
+    input: R,
+    output: W,
+    job_tx: &mpsc::SyncSender<Job>,
+    shared: &Shared,
+) -> io::Result<ServeSummary>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let (line_tx, line_rx) = mpsc::channel::<(u64, String)>();
+    std::thread::scope(|scope| {
+        let emitter = scope.spawn(move || -> io::Result<()> {
+            let mut output = output;
+            let mut held: BTreeMap<u64, String> = BTreeMap::new();
+            let mut next = 0u64;
+            for (seq, line) in line_rx {
+                held.insert(seq, line);
+                while let Some(line) = held.remove(&next) {
+                    writeln!(output, "{line}")?;
+                    output.flush()?;
+                    next += 1;
+                }
+            }
+            Ok(())
+        });
+
+        let mut seq = 0u64;
+        let mut summary = ServeSummary {
+            submitted: 0,
+            shutdown: false,
+        };
+        let mut intake_err = None;
+        for line in input.lines() {
+            let line = match line {
+                Ok(line) => line,
+                Err(e) => {
+                    intake_err = Some(e);
+                    break;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Envelope::parse_line(&line) {
+                Ok(Envelope::Submit {
+                    id,
+                    spec,
+                    seed_base,
+                    timeout_ms,
+                }) => {
+                    summary.submitted += 1;
+                    let job = Job {
+                        seq,
+                        id,
+                        spec,
+                        seed_base,
+                        timeout_ms,
+                        submitted: Instant::now(),
+                        reply: line_tx.clone(),
+                    };
+                    // Workers hold the receiver for the service scope's
+                    // lifetime, so this only blocks (backpressure),
+                    // never fails.
+                    job_tx.send(job).expect("worker pool alive");
+                    seq += 1;
+                }
+                Ok(Envelope::Cancel { id }) => {
+                    shared.cancels.lock().expect("cancel set lock").insert(id);
+                    let _ = line_tx.send((seq, wire::cancel_ack_line(id)));
+                    seq += 1;
+                }
+                Ok(Envelope::Stats { id }) => {
+                    let text = shared
+                        .stats
+                        .lock()
+                        .expect("stats lock")
+                        .to_report()
+                        .to_prometheus();
+                    let _ = line_tx.send((seq, wire::stats_line(id, &text)));
+                    seq += 1;
+                }
+                Ok(Envelope::Shutdown) => {
+                    summary.shutdown = true;
+                    break;
+                }
+                Err(e) => {
+                    let _ = line_tx.send((seq, wire::error_line(None, &e)));
+                    seq += 1;
+                }
             }
         }
-        let _ = std::fs::remove_file(path);
-        Ok(())
-    }
+        // Dropping this connection's line sender lets the emitter finish
+        // once every in-flight job has replied (each job holds a clone).
+        drop(line_tx);
+        let emitted = emitter.join().expect("emitter thread");
+        emitted?;
+        if let Some(e) = intake_err {
+            return Err(e);
+        }
+        Ok(summary)
+    })
 }
 
 fn cancelled(cancels: &Mutex<HashSet<u64>>, id: u64) -> bool {
@@ -456,5 +586,132 @@ mod tests {
             wire::error_line(Some(3), "timed out after 0ms"),
             "a zero budget times out deterministically before the first chunk"
         );
+    }
+
+    #[test]
+    fn telemetry_jobs_carry_stats_and_stats_verb_answers() {
+        let telem_cell = format!("{CELL}\ntelemetry = on");
+        let input = [
+            Envelope::Submit {
+                id: 1,
+                spec: telem_cell.clone(),
+                seed_base: None,
+                timeout_ms: None,
+            }
+            .to_line(),
+            Envelope::Stats { id: 2 }.to_line(),
+        ]
+        .join("\n");
+        let (summary, lines) = serve_lines(2, &input);
+        assert_eq!(summary.submitted, 1);
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].contains("\"stats\":{\"generated\":"),
+            "telemetry job line carries the stats object: {}",
+            lines[0]
+        );
+        // The stats verb answers immediately (before the job finishes,
+        // possibly) with a Prometheus payload naming the serve metrics.
+        assert!(
+            lines[1].contains("\"kind\":\"stats\"")
+                && lines[1].contains("mint_serve_jobs_completed"),
+            "{}",
+            lines[1]
+        );
+
+        // A non-telemetry job's line is byte-identical to the pre-stats
+        // wire format — the fragment only appears when asked for.
+        let (_, plain) = serve_lines(
+            1,
+            &Envelope::Submit {
+                id: 1,
+                spec: CELL.to_string(),
+                seed_base: None,
+                timeout_ms: None,
+            }
+            .to_line(),
+        );
+        assert!(!plain[0].contains("\"stats\""), "{}", plain[0]);
+    }
+
+    #[test]
+    fn serve_stats_ledger_renders_prometheus() {
+        let mut stats = ServeStats {
+            jobs_completed: 3,
+            ..ServeStats::default()
+        };
+        stats.queue_wait_ms.record(0);
+        stats.job_latency_ms.record(17);
+        let text = stats.to_report().to_prometheus();
+        assert!(text.contains("# TYPE mint_serve_jobs_completed counter"));
+        assert!(text.contains("mint_serve_jobs_completed 3"));
+        assert!(text.contains("mint_serve_queue_wait_ms_count 1"));
+        assert!(text.contains("mint_serve_job_latency_ms_sum 17"));
+    }
+
+    #[test]
+    fn concurrent_unix_connections_share_the_pool_and_keep_streams_apart() {
+        let dir = std::env::temp_dir().join(format!("mint-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mint.sock");
+        let service = Service::new().workers(2);
+        let sock = path.clone();
+        let server = std::thread::spawn(move || service.serve_unix(&sock));
+        // Wait for the socket to appear.
+        let mut tries = 0;
+        while !path.exists() && tries < 500 {
+            std::thread::sleep(Duration::from_millis(10));
+            tries += 1;
+        }
+
+        let submit = |id: u64| {
+            Envelope::Submit {
+                id,
+                spec: CELL.to_string(),
+                seed_base: None,
+                timeout_ms: None,
+            }
+            .to_line()
+        };
+        // Two clients submit interleaved jobs concurrently; each must
+        // read back exactly its own jobs, in its own submission order.
+        let client = |ids: Vec<u64>, path: std::path::PathBuf| {
+            std::thread::spawn(move || {
+                let mut stream = UnixStream::connect(&path).unwrap();
+                for id in &ids {
+                    writeln!(stream, "{}", submit(*id)).unwrap();
+                }
+                stream.shutdown(std::net::Shutdown::Write).unwrap();
+                let reader = BufReader::new(stream);
+                let lines: Vec<String> = reader.lines().map(Result::unwrap).collect();
+                (ids, lines)
+            })
+        };
+        let a = client(vec![10, 11], path.clone());
+        let b = client(vec![20, 21, 22], path.clone());
+        let (ids_a, lines_a) = a.join().unwrap();
+        let (ids_b, lines_b) = b.join().unwrap();
+        let expected_line = {
+            let Scenario::Cell(cell) = parse_any(CELL).unwrap() else {
+                panic!("cell spec");
+            };
+            let report = cell.run().unwrap();
+            move |id: u64| wire::ok_cell_line(id, "MINT", &report)
+        };
+        assert_eq!(
+            lines_a,
+            ids_a.iter().map(|&i| expected_line(i)).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            lines_b,
+            ids_b.iter().map(|&i| expected_line(i)).collect::<Vec<_>>()
+        );
+
+        // Shutdown from a third connection stops the service.
+        let mut stream = UnixStream::connect(&path).unwrap();
+        writeln!(stream, "{}", Envelope::Shutdown.to_line()).unwrap();
+        drop(stream);
+        server.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -28,6 +28,7 @@
 
 use mint_exp::json::{quote, Json};
 use mint_memsys::{NormalizedPerf, RunReport, ScenarioGrid};
+use mint_obs::TelemetryReport;
 
 /// Version stamped on (and required of) every envelope.
 pub const WIRE_VERSION: u64 = 1;
@@ -52,6 +53,12 @@ pub enum Envelope {
     /// running cell job stops at its next chunk boundary.
     Cancel {
         /// The job to cancel.
+        id: u64,
+    },
+    /// Ask for the service's wall-clock statistics (job count,
+    /// queue-wait and run-latency histograms) as Prometheus text.
+    Stats {
+        /// Caller-chosen request id, echoed on the response line.
         id: u64,
     },
     /// Stop intake and drain: queued jobs still run and stream their
@@ -105,6 +112,7 @@ impl Envelope {
                 timeout_ms: opt_u64("timeout_ms")?,
             }),
             "cancel" => Ok(Envelope::Cancel { id: id()? }),
+            "stats" => Ok(Envelope::Stats { id: id()? }),
             "shutdown" => Ok(Envelope::Shutdown),
             other => Err(format!("unknown op {other:?}")),
         }
@@ -137,26 +145,60 @@ impl Envelope {
             Envelope::Cancel { id } => {
                 format!("{{\"v\":{WIRE_VERSION},\"id\":{id},\"op\":\"cancel\"}}")
             }
+            Envelope::Stats { id } => {
+                format!("{{\"v\":{WIRE_VERSION},\"id\":{id},\"op\":\"stats\"}}")
+            }
             Envelope::Shutdown => format!("{{\"v\":{WIRE_VERSION},\"op\":\"shutdown\"}}"),
         }
     }
 }
 
 /// The success line for a cell job (fields and float formatting match
-/// the batch `SCENARIO_report.json`, compacted to one line).
+/// the batch `SCENARIO_report.json`, compacted to one line). Jobs run
+/// with `telemetry = on` additionally carry a `"stats"` summary object;
+/// lines for plain jobs are byte-identical to wire v1 before it existed.
 #[must_use]
 pub fn ok_cell_line(id: u64, scheme_label: &str, report: &RunReport) -> String {
     let r = &report.perf.result;
+    let stats = report
+        .telemetry
+        .as_ref()
+        .map_or_else(String::new, |t| format!(",\"stats\":{}", stats_object(t)));
     format!(
         "{{\"v\":{WIRE_VERSION},\"id\":{id},\"ok\":true,\"kind\":\"cell\",\"result\":\
          {{\"scheme\":{},\"duration_ps\":{},\"requests\":{},\"row_hit_rate\":{:.6},\
-         \"mitigative_acts\":{},\"energy_j\":{:.9}}}}}",
+         \"mitigative_acts\":{},\"energy_j\":{:.9}{stats}}}}}",
         quote(scheme_label),
         report.perf.duration_ps,
         r.requests,
         r.row_hit_rate(),
         r.mitigative_acts,
         report.energy.total_j(),
+    )
+}
+
+/// The headline counters of a job's [`TelemetryReport`], compacted to a
+/// small JSON object: session totals plus scheduler decisions and
+/// tracker mitigations summed across every channel.
+fn stats_object(t: &TelemetryReport) -> String {
+    let session = |name: &str| t.counter("session", name).unwrap_or(0);
+    let summed = |suffix: &str, metric: &str| {
+        t.sections
+            .iter()
+            .filter(|s| s.name.ends_with(suffix))
+            .flat_map(|s| &s.counters)
+            .filter(|(n, _)| n == metric)
+            .map(|(_, v)| v)
+            .sum::<u64>()
+    };
+    format!(
+        "{{\"generated\":{},\"admitted\":{},\"serviced\":{},\
+         \"sched_decisions\":{},\"mitigations\":{}}}",
+        session("generated"),
+        session("admitted"),
+        session("serviced"),
+        summed("/sched", "decisions"),
+        summed("/tracker", "mitigations"),
     )
 }
 
@@ -214,6 +256,17 @@ pub fn cancel_ack_line(id: u64) -> String {
     format!("{{\"v\":{WIRE_VERSION},\"id\":{id},\"ok\":true,\"kind\":\"cancel\"}}")
 }
 
+/// The response to a `stats` request: the service's wall-clock ledger
+/// rendered as Prometheus exposition text, carried as one JSON string.
+#[must_use]
+pub fn stats_line(id: u64, prometheus_text: &str) -> String {
+    format!(
+        "{{\"v\":{WIRE_VERSION},\"id\":{id},\"ok\":true,\"kind\":\"stats\",\"result\":\
+         {{\"prometheus\":{}}}}}",
+        quote(prometheus_text)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +287,7 @@ mod tests {
                 timeout_ms: Some(5_000),
             },
             Envelope::Cancel { id: 7 },
+            Envelope::Stats { id: 9 },
             Envelope::Shutdown,
         ];
         for e in all {

@@ -147,6 +147,10 @@ impl InDramTracker for Graphene {
         "Graphene"
     }
 
+    fn live_entries(&self) -> usize {
+        self.table.len()
+    }
+
     fn entries(&self) -> usize {
         self.config.entries
     }

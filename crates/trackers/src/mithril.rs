@@ -147,6 +147,10 @@ impl InDramTracker for Mithril {
         "Mithril"
     }
 
+    fn live_entries(&self) -> usize {
+        self.table.len()
+    }
+
     fn entries(&self) -> usize {
         self.config.entries
     }

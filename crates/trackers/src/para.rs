@@ -84,6 +84,10 @@ impl InDramTracker for InDramPara {
         "InDRAM-PARA"
     }
 
+    fn live_entries(&self) -> usize {
+        usize::from(self.sar().is_some())
+    }
+
     fn entries(&self) -> usize {
         1
     }
@@ -159,6 +163,10 @@ impl InDramTracker for InDramParaNoOverwrite {
 
     fn name(&self) -> &'static str {
         "InDRAM-PARA (No-Overwrite)"
+    }
+
+    fn live_entries(&self) -> usize {
+        usize::from(self.sar().is_some())
     }
 
     fn entries(&self) -> usize {

@@ -94,6 +94,14 @@ impl InDramTracker for Parfm {
         "PARFM"
     }
 
+    fn live_entries(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn overflow_count(&self) -> u64 {
+        self.overflow
+    }
+
     fn entries(&self) -> usize {
         self.capacity
     }

@@ -115,6 +115,10 @@ impl InDramTracker for Prct {
         "PRCT"
     }
 
+    fn live_entries(&self) -> usize {
+        self.counters.len()
+    }
+
     fn entries(&self) -> usize {
         self.rows as usize
     }

@@ -98,6 +98,14 @@ impl InDramTracker for Pride {
         "PrIDE"
     }
 
+    fn live_entries(&self) -> usize {
+        self.fifo.len()
+    }
+
+    fn overflow_count(&self) -> u64 {
+        self.lost
+    }
+
     fn entries(&self) -> usize {
         self.capacity
     }

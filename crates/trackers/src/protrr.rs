@@ -139,6 +139,10 @@ impl InDramTracker for ProTrr {
         "ProTRR"
     }
 
+    fn live_entries(&self) -> usize {
+        self.table.len()
+    }
+
     fn entries(&self) -> usize {
         self.config.entries
     }

@@ -107,6 +107,10 @@ impl InDramTracker for SimpleTrr {
         "TRR"
     }
 
+    fn live_entries(&self) -> usize {
+        self.table.len()
+    }
+
     fn entries(&self) -> usize {
         self.capacity
     }

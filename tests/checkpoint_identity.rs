@@ -96,6 +96,65 @@ fn split_matches(scheme: MitigationScheme, cfg: SystemConfig, k: u64, straight: 
     }
 }
 
+/// The telemetry-enabled counterpart of [`session`]: same traffic, same
+/// seed, observability on (and therefore telemetry words in the
+/// checkpoint stream).
+fn telemetry_session(scheme: MitigationScheme, cfg: SystemConfig) -> Session<'static> {
+    let mcf = workload_by_name("mcf").expect("workload in the suite");
+    Sim::new(cfg)
+        .scheme(scheme)
+        .workload(&[mcf; 4], REQUESTS_PER_CORE)
+        .seed(23)
+        .capture_events()
+        .telemetry()
+        .build()
+}
+
+#[test]
+fn telemetry_counters_survive_checkpoint_splits_bit_exactly() {
+    // A split-and-resumed telemetry run must reproduce the straight
+    // run's whole TelemetryReport — every counter, histogram bucket and
+    // time-series point — alongside the usual perf bit-identity. The
+    // telemetry words ride the same MINTCKPT byte stream, so the
+    // round-trip through `to_bytes` covers their framing too.
+    let total = u64::from(REQUESTS_PER_CORE) * 4;
+    for &cfg in &[topology(1, 1), topology(2, 2)] {
+        for scheme in [
+            MitigationScheme::Mint,
+            MitigationScheme::MintRfm { rfm_th: 16 },
+        ] {
+            let straight = telemetry_session(scheme, cfg).run();
+            let want = straight.telemetry.as_ref().expect("telemetry enabled");
+            assert!(
+                want.counter("session", "serviced").unwrap_or(0) == total,
+                "straight run must account every serviced request"
+            );
+            for k in [1, total / 2, total - 1] {
+                let what = format!(
+                    "{scheme:?} {}ch x {}rk telemetry split at {k}",
+                    cfg.channels, cfg.ranks
+                );
+                let SessionRun::Paused(ckpt) = telemetry_session(scheme, cfg)
+                    .run_until(k)
+                    .expect("pausable run")
+                else {
+                    panic!("{what}: finished early");
+                };
+                let revived = Checkpoint::from_bytes(&ckpt.to_bytes()).expect("byte round-trip");
+                let resumed = telemetry_session(scheme, cfg)
+                    .resume(&revived)
+                    .expect("resume");
+                assert_bits_equal(&resumed, &straight, &what);
+                assert_eq!(
+                    resumed.telemetry.as_ref(),
+                    Some(want),
+                    "{what}: TelemetryReport"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn resume_is_bit_identical_on_the_table6_dimm() {
     let cfg = topology(1, 1);

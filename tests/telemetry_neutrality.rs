@@ -1,0 +1,91 @@
+//! Telemetry neutrality, pinned.
+//!
+//! Turning the observability subsystem on must not perturb a run by a
+//! single bit: the scheduler/engine/tracker hooks only *read* simulator
+//! state, never advance it (the one tempting shortcut — calling the
+//! window planner from a hook — would mutate checkpointed state, which
+//! is exactly what this suite exists to catch). A telemetry-on run and
+//! its telemetry-off twin must therefore agree on duration, the full
+//! `SimResult`, per-core outcomes, energy to the last f64 bit, and the
+//! captured event stream — across the whole mitigation zoo on both the
+//! Table VI 1×1 DIMM and a 2-channel × 2-rank scale-out.
+
+use mint_memsys::{workload_by_name, MitigationScheme, RunReport, Sim, SystemConfig};
+
+const REQUESTS_PER_CORE: u32 = 400;
+
+fn topology(channels: u32, ranks: u32) -> SystemConfig {
+    SystemConfig {
+        channels,
+        ranks,
+        ..SystemConfig::table6()
+    }
+}
+
+fn run(scheme: MitigationScheme, cfg: SystemConfig, telemetry: bool) -> RunReport {
+    let mcf = workload_by_name("mcf").expect("workload in the suite");
+    let mut sim = Sim::new(cfg)
+        .scheme(scheme)
+        .workload(&[mcf; 4], REQUESTS_PER_CORE)
+        .seed(11)
+        .capture_events();
+    if telemetry {
+        sim = sim.telemetry();
+    }
+    sim.build().run()
+}
+
+/// Every perf-bearing field of the report, to the last bit.
+fn assert_bits_equal(got: &RunReport, want: &RunReport, what: &str) {
+    assert_eq!(
+        got.perf.duration_ps, want.perf.duration_ps,
+        "{what}: duration"
+    );
+    assert_eq!(got.perf.result, want.perf.result, "{what}: SimResult");
+    assert_eq!(got.cores.len(), want.cores.len(), "{what}: core count");
+    for (i, (a, b)) in got.cores.iter().zip(&want.cores).enumerate() {
+        assert_eq!(
+            (a.finish_ps, a.requests),
+            (b.finish_ps, b.requests),
+            "{what}: core {i}"
+        );
+    }
+    assert_eq!(
+        (got.energy.act_j.to_bits(), got.energy.non_act_j.to_bits()),
+        (want.energy.act_j.to_bits(), want.energy.non_act_j.to_bits()),
+        "{what}: energy must match to the last f64 bit"
+    );
+    assert_eq!(got.events, want.events, "{what}: event stream");
+}
+
+fn neutral_on(cfg: SystemConfig) {
+    let total = u64::from(REQUESTS_PER_CORE) * 4;
+    for scheme in MitigationScheme::zoo() {
+        let what = format!("{scheme:?} {}ch x {}rk", cfg.channels, cfg.ranks);
+        let off = run(scheme, cfg, false);
+        let on = run(scheme, cfg, true);
+        assert_bits_equal(&on, &off, &what);
+        assert!(off.telemetry.is_none(), "{what}: off runs carry no report");
+        let t = on.telemetry.as_ref().expect("telemetry enabled");
+        // The report is not just present but populated: every request
+        // accounted, every channel's scheduler heard from.
+        assert_eq!(t.counter("session", "serviced"), Some(total), "{what}");
+        let decisions: u64 = (0..cfg.channels)
+            .map(|ch| {
+                t.counter(&format!("ch{ch}/sched"), "decisions")
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(decisions, total, "{what}: scheduler decisions");
+    }
+}
+
+#[test]
+fn telemetry_is_bit_neutral_on_the_table6_dimm() {
+    neutral_on(topology(1, 1));
+}
+
+#[test]
+fn telemetry_is_bit_neutral_on_a_two_by_two_dimm() {
+    neutral_on(topology(2, 2));
+}
